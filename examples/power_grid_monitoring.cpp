@@ -1,0 +1,95 @@
+// Power-grid monitoring scenario (the paper's energy motivation, §I, and
+// its own power-plant dataset): correlated turbine sensors with injected
+// plausible-range faults, scored with BOTH the noiseless backend and the
+// IBM-Brisbane-median noisy backend to demonstrate the paper's noise-
+// resilience claim (Fig. 9: "noisy simulations closely track their
+// noiseless counterparts").
+//
+//   $ ./power_grid_monitoring [samples] [groups]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/detection_curve.h"
+#include "metrics/report.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+    using namespace quorum;
+
+    // Noisy density-matrix simulation costs ~ms per circuit, so the demo
+    // defaults to a subsample; pass larger values if you have the time.
+    const std::size_t samples = argc > 1
+                                    ? static_cast<std::size_t>(
+                                          std::strtoul(argv[1], nullptr, 10))
+                                    : 150;
+    const std::size_t groups = argc > 2
+                                   ? static_cast<std::size_t>(
+                                         std::strtoul(argv[2], nullptr, 10))
+                                   : 12;
+
+    util::rng gen(5);
+    data::dataset plant = data::make_power_plant(gen);
+    // Subsample (keeping all anomalies visible is not guaranteed — this is
+    // an honest monitoring window).
+    if (samples < plant.num_samples()) {
+        std::vector<std::vector<double>> rows;
+        std::vector<int> labels;
+        for (std::size_t i = 0; i < samples; ++i) {
+            const auto row = plant.row(i);
+            rows.emplace_back(row.begin(), row.end());
+            labels.push_back(plant.label(i));
+        }
+        plant = data::dataset::from_rows(rows, labels);
+        plant.set_name("power_plant_window");
+    }
+    std::cout << "Power-grid monitoring window: " << plant.num_samples()
+              << " sensor readings, " << plant.num_anomalies()
+              << " injected faults\n\n";
+
+    core::quorum_config config;
+    config.ensemble_groups = groups;
+    config.estimated_anomaly_rate = 0.03;
+    config.shots = 4096;
+    config.seed = 31;
+
+    // --- Noiseless (exact) ----------------------------------------------------
+    config.mode = core::exec_mode::exact;
+    core::quorum_detector exact_detector(config);
+    util::timer exact_timer;
+    const core::score_report exact_report = exact_detector.score(plant);
+    const double exact_seconds = exact_timer.seconds();
+
+    // --- IBM Brisbane noise (density matrix) ----------------------------------
+    config.mode = core::exec_mode::noisy;
+    config.noise = qsim::noise_model::ibm_brisbane_median();
+    core::quorum_detector noisy_detector(config);
+    util::timer noisy_timer;
+    const core::score_report noisy_report = noisy_detector.score(plant);
+    const double noisy_seconds = noisy_timer.seconds();
+
+    metrics::table_printer table(
+        {"backend", "det@10%", "det@20%", "AUC", "runtime"});
+    const auto add = [&](const char* name, const core::score_report& report,
+                         double seconds) {
+        const auto curve = metrics::detection_curve(plant.labels(),
+                                                    report.scores);
+        table.add_row(
+            {name,
+             metrics::table_printer::fmt(metrics::detection_rate_at(
+                 plant.labels(), report.scores, 0.10)),
+             metrics::table_printer::fmt(metrics::detection_rate_at(
+                 plant.labels(), report.scores, 0.20)),
+             metrics::table_printer::fmt(metrics::curve_auc(curve)),
+             metrics::table_printer::fmt(seconds, 2) + "s"});
+    };
+    add("noiseless", exact_report, exact_seconds);
+    add("brisbane-noisy", noisy_report, noisy_seconds);
+    table.print(std::cout);
+
+    std::cout << "\nNoise resilience: the noisy detection curve should track "
+                 "the noiseless one closely (paper Fig. 9).\n";
+    return 0;
+}

@@ -1,0 +1,127 @@
+#include "baseline/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::baseline {
+
+double average_path_length(std::size_t n) noexcept {
+    if (n <= 1) {
+        return 0.0;
+    }
+    if (n == 2) {
+        return 1.0;
+    }
+    const double nd = static_cast<double>(n);
+    constexpr double euler_gamma = 0.5772156649015329;
+    const double harmonic = std::log(nd - 1.0) + euler_gamma;
+    return 2.0 * harmonic - 2.0 * (nd - 1.0) / nd;
+}
+
+isolation_forest::isolation_forest(iforest_config config) : config_(config) {
+    QUORUM_EXPECTS(config_.trees >= 1);
+    QUORUM_EXPECTS(config_.subsample >= 2);
+}
+
+std::unique_ptr<isolation_forest::node>
+isolation_forest::build_tree(const data::dataset& input,
+                             std::vector<std::size_t>& rows, std::size_t depth,
+                             std::size_t max_depth, util::rng& gen) {
+    auto n = std::make_unique<node>();
+    if (rows.size() <= 1 || depth >= max_depth) {
+        n->size = rows.size();
+        return n;
+    }
+    // Pick a feature with spread; give up (leaf) after a few attempts on
+    // constant data.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const std::size_t feature = gen.uniform_index(input.num_features());
+        double lo = input.at(rows.front(), feature);
+        double hi = lo;
+        for (const std::size_t r : rows) {
+            lo = std::min(lo, input.at(r, feature));
+            hi = std::max(hi, input.at(r, feature));
+        }
+        if (hi <= lo) {
+            continue;
+        }
+        const double split = gen.uniform(lo, hi);
+        std::vector<std::size_t> left_rows;
+        std::vector<std::size_t> right_rows;
+        for (const std::size_t r : rows) {
+            if (input.at(r, feature) < split) {
+                left_rows.push_back(r);
+            } else {
+                right_rows.push_back(r);
+            }
+        }
+        if (left_rows.empty() || right_rows.empty()) {
+            continue; // degenerate split (split == min); retry
+        }
+        n->feature = static_cast<int>(feature);
+        n->split = split;
+        n->left = build_tree(input, left_rows, depth + 1, max_depth, gen);
+        n->right = build_tree(input, right_rows, depth + 1, max_depth, gen);
+        return n;
+    }
+    n->size = rows.size();
+    return n;
+}
+
+void isolation_forest::fit(const data::dataset& input) {
+    QUORUM_EXPECTS(input.num_samples() >= 2);
+    const std::size_t sample_size =
+        std::min(config_.subsample, input.num_samples());
+    const auto max_depth = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(sample_size))));
+    normalizer_ = average_path_length(sample_size);
+
+    util::rng root(config_.seed);
+    trees_.clear();
+    trees_.reserve(config_.trees);
+    for (std::size_t t = 0; t < config_.trees; ++t) {
+        util::rng gen = root.child(t);
+        std::vector<std::size_t> rows =
+            gen.sample_without_replacement(input.num_samples(), sample_size);
+        trees_.push_back(build_tree(input, rows, 0, max_depth, gen));
+    }
+    fitted_ = true;
+}
+
+double isolation_forest::path_length(const node* n, std::span<const double> row,
+                                     std::size_t depth) const {
+    if (n->is_leaf()) {
+        return static_cast<double>(depth) + average_path_length(n->size);
+    }
+    const double value = row[static_cast<std::size_t>(n->feature)];
+    if (value < n->split) {
+        return path_length(n->left.get(), row, depth + 1);
+    }
+    return path_length(n->right.get(), row, depth + 1);
+}
+
+double isolation_forest::score(std::span<const double> row) const {
+    QUORUM_EXPECTS_MSG(fitted_, "call fit() before score");
+    double total = 0.0;
+    for (const auto& tree : trees_) {
+        total += path_length(tree.get(), row, 0);
+    }
+    const double mean_path = total / static_cast<double>(trees_.size());
+    if (normalizer_ <= 0.0) {
+        return 0.5;
+    }
+    return std::pow(2.0, -mean_path / normalizer_);
+}
+
+std::vector<double>
+isolation_forest::score_all(const data::dataset& input) const {
+    std::vector<double> scores(input.num_samples());
+    for (std::size_t i = 0; i < input.num_samples(); ++i) {
+        scores[i] = score(input.row(i));
+    }
+    return scores;
+}
+
+} // namespace quorum::baseline

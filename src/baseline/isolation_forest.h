@@ -1,0 +1,77 @@
+// Isolation Forest (Liu, Ting & Zhou 2008) — the classical unsupervised
+// baseline the paper's background section highlights (§II-C). Not part of
+// the paper's own comparison (which is QNN-only) but included so examples
+// and ablations can situate Quorum against the classical state of practice.
+#ifndef QUORUM_BASELINE_ISOLATION_FOREST_H
+#define QUORUM_BASELINE_ISOLATION_FOREST_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace quorum::baseline {
+
+/// Isolation Forest hyperparameters.
+struct iforest_config {
+    std::size_t trees = 100;
+    std::size_t subsample = 256; ///< per-tree sample size (capped at N)
+    std::uint64_t seed = 17;
+};
+
+/// Unsupervised isolation forest. score() returns values in (0, 1);
+/// > 0.5 indicates isolation-prone (anomalous) points.
+class isolation_forest {
+public:
+    explicit isolation_forest(iforest_config config);
+
+    /// Builds the forest on the (label-free) feature matrix.
+    void fit(const data::dataset& input);
+
+    /// Anomaly score of one feature vector (higher = more anomalous).
+    [[nodiscard]] double score(std::span<const double> row) const;
+
+    /// Scores every sample of a dataset.
+    [[nodiscard]] std::vector<double>
+    score_all(const data::dataset& input) const;
+
+    [[nodiscard]] const iforest_config& config() const noexcept {
+        return config_;
+    }
+
+private:
+    struct node {
+        // Internal nodes: feature/split and children; leaves: size.
+        int feature = -1;
+        double split = 0.0;
+        std::unique_ptr<node> left;
+        std::unique_ptr<node> right;
+        std::size_t size = 0;
+
+        [[nodiscard]] bool is_leaf() const noexcept { return feature < 0; }
+    };
+
+    std::unique_ptr<node> build_tree(const data::dataset& input,
+                                     std::vector<std::size_t>& rows,
+                                     std::size_t depth, std::size_t max_depth,
+                                     util::rng& gen);
+    [[nodiscard]] double path_length(const node* n,
+                                     std::span<const double> row,
+                                     std::size_t depth) const;
+
+    iforest_config config_;
+    std::vector<std::unique_ptr<node>> trees_;
+    double normalizer_ = 1.0; // c(subsample)
+    bool fitted_ = false;
+};
+
+/// Average unsuccessful-search path length c(n) of a BST with n nodes —
+/// the isolation-forest normalising constant.
+[[nodiscard]] double average_path_length(std::size_t n) noexcept;
+
+} // namespace quorum::baseline
+
+#endif // QUORUM_BASELINE_ISOLATION_FOREST_H

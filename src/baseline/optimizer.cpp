@@ -1,0 +1,53 @@
+#include "baseline/optimizer.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::baseline {
+
+sgd_optimizer::sgd_optimizer(double learning_rate)
+    : learning_rate_(learning_rate) {
+    QUORUM_EXPECTS(learning_rate > 0.0);
+}
+
+void sgd_optimizer::step(std::span<double> params,
+                         std::span<const double> gradient) {
+    QUORUM_EXPECTS(params.size() == gradient.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i] -= learning_rate_ * gradient[i];
+    }
+}
+
+adam_optimizer::adam_optimizer(double learning_rate, double beta1, double beta2,
+                               double epsilon)
+    : learning_rate_(learning_rate), beta1_(beta1), beta2_(beta2),
+      epsilon_(epsilon) {
+    QUORUM_EXPECTS(learning_rate > 0.0);
+    QUORUM_EXPECTS(beta1 >= 0.0 && beta1 < 1.0);
+    QUORUM_EXPECTS(beta2 >= 0.0 && beta2 < 1.0);
+    QUORUM_EXPECTS(epsilon > 0.0);
+}
+
+void adam_optimizer::step(std::span<double> params,
+                          std::span<const double> gradient) {
+    QUORUM_EXPECTS(params.size() == gradient.size());
+    if (m_.empty()) {
+        m_.assign(params.size(), 0.0);
+        v_.assign(params.size(), 0.0);
+    }
+    QUORUM_EXPECTS_MSG(m_.size() == params.size(),
+                       "parameter count changed between steps");
+    ++t_;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * gradient[i];
+        v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * gradient[i] * gradient[i];
+        const double m_hat = m_[i] / bias1;
+        const double v_hat = v_[i] / bias2;
+        params[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+}
+
+} // namespace quorum::baseline

@@ -1,0 +1,49 @@
+// First-order optimizers for the trained baselines. Quorum itself never
+// optimises anything — these exist only for the QNN competitor, which the
+// paper uses to quantify what training buys (and costs).
+#ifndef QUORUM_BASELINE_OPTIMIZER_H
+#define QUORUM_BASELINE_OPTIMIZER_H
+
+#include <span>
+#include <vector>
+
+namespace quorum::baseline {
+
+/// Plain stochastic gradient descent: theta -= lr * grad.
+class sgd_optimizer {
+public:
+    explicit sgd_optimizer(double learning_rate);
+
+    /// Applies one update in place.
+    void step(std::span<double> params, std::span<const double> gradient);
+
+private:
+    double learning_rate_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class adam_optimizer {
+public:
+    explicit adam_optimizer(double learning_rate, double beta1 = 0.9,
+                            double beta2 = 0.999, double epsilon = 1e-8);
+
+    /// Applies one update in place. The parameter count must stay fixed
+    /// across calls.
+    void step(std::span<double> params, std::span<const double> gradient);
+
+    /// Steps taken so far.
+    [[nodiscard]] std::size_t iterations() const noexcept { return t_; }
+
+private:
+    double learning_rate_;
+    double beta1_;
+    double beta2_;
+    double epsilon_;
+    std::size_t t_ = 0;
+    std::vector<double> m_;
+    std::vector<double> v_;
+};
+
+} // namespace quorum::baseline
+
+#endif // QUORUM_BASELINE_OPTIMIZER_H

@@ -1,0 +1,231 @@
+#include "baseline/qnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/optimizer.h"
+#include "qml/observables.h"
+#include "qml/parameter_shift.h"
+#include "qsim/statevector.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace quorum::baseline {
+
+namespace {
+
+constexpr double pi = 3.14159265358979323846;
+constexpr double probability_clamp = 1e-6;
+
+/// Runs the QNN circuit for one encoded sample and returns p(anomaly).
+double run_circuit(std::span<const double> angles,
+                   std::span<const double> params, std::size_t n_qubits,
+                   std::size_t layers) {
+    qsim::statevector state(n_qubits);
+    // Angle encoding: RY(x * pi) per qubit.
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+        const qsim::qubit_t operand[] = {static_cast<qsim::qubit_t>(q)};
+        const double theta[] = {angles[q] * pi};
+        state.apply_gate(qsim::gate_kind::ry, operand, theta);
+    }
+    // Trainable layers: RY + RZ per qubit, then a CX ring.
+    std::size_t p = 0;
+    for (std::size_t layer = 0; layer < layers; ++layer) {
+        for (std::size_t q = 0; q < n_qubits; ++q) {
+            const qsim::qubit_t operand[] = {static_cast<qsim::qubit_t>(q)};
+            const double theta[] = {params[p++]};
+            state.apply_gate(qsim::gate_kind::ry, operand, theta);
+        }
+        for (std::size_t q = 0; q < n_qubits; ++q) {
+            const qsim::qubit_t operand[] = {static_cast<qsim::qubit_t>(q)};
+            const double theta[] = {params[p++]};
+            state.apply_gate(qsim::gate_kind::rz, operand, theta);
+        }
+        if (n_qubits >= 2) {
+            for (std::size_t q = 0; q < n_qubits; ++q) {
+                const auto control = static_cast<qsim::qubit_t>(q);
+                const auto target =
+                    static_cast<qsim::qubit_t>((q + 1) % n_qubits);
+                if (n_qubits == 2 && q == 1) {
+                    break; // a 2-qubit "ring" is a single CX
+                }
+                const qsim::qubit_t operands[] = {control, target};
+                state.apply_gate(qsim::gate_kind::cx, operands);
+            }
+        }
+    }
+    return qml::z_to_probability(qml::z_expectation(state, 0));
+}
+
+} // namespace
+
+qnn_classifier::qnn_classifier(qnn_config config) : config_(config) {
+    QUORUM_EXPECTS(config_.n_qubits >= 1 && config_.n_qubits <= 12);
+    QUORUM_EXPECTS(config_.layers >= 1);
+    QUORUM_EXPECTS(config_.epochs >= 1);
+    QUORUM_EXPECTS(config_.batch_size >= 1);
+    QUORUM_EXPECTS(config_.learning_rate > 0.0);
+    QUORUM_EXPECTS(config_.threshold > 0.0 && config_.threshold < 1.0);
+    QUORUM_EXPECTS(config_.positive_class_weight > 0.0);
+}
+
+double qnn_classifier::forward(std::span<const double> encoded_features,
+                               std::span<const double> params) const {
+    QUORUM_EXPECTS(encoded_features.size() == config_.n_qubits);
+    QUORUM_EXPECTS(params.size() == 2 * config_.layers * config_.n_qubits);
+    return run_circuit(encoded_features, params, config_.n_qubits,
+                       config_.layers);
+}
+
+std::vector<double> qnn_classifier::encode_row(const data::dataset& input,
+                                               std::size_t row) const {
+    std::vector<double> encoded(config_.n_qubits, 0.0);
+    for (std::size_t k = 0; k < feature_indices_.size(); ++k) {
+        const std::size_t j = feature_indices_[k];
+        const double range = feature_max_[k] - feature_min_[k];
+        double scaled = 0.0;
+        if (range > 0.0 && j < input.num_features()) {
+            scaled = (input.at(row, j) - feature_min_[k]) / range;
+        }
+        encoded[k] = std::min(1.0, std::max(0.0, scaled));
+    }
+    return encoded;
+}
+
+std::vector<double> qnn_classifier::fit(const data::dataset& labelled) {
+    QUORUM_EXPECTS_MSG(labelled.has_labels(),
+                       "the QNN baseline is supervised and needs labels");
+    QUORUM_EXPECTS(labelled.num_samples() >= 2);
+
+    // Feature selection: the n highest-variance features of the training
+    // data (a deterministic stand-in for the domain selection in the
+    // original network-telemetry model).
+    const std::size_t total = labelled.num_features();
+    std::vector<double> variances(total, 0.0);
+    for (std::size_t j = 0; j < total; ++j) {
+        util::welford_accumulator acc;
+        for (std::size_t i = 0; i < labelled.num_samples(); ++i) {
+            acc.add(labelled.at(i, j));
+        }
+        variances[j] = acc.variance_population();
+    }
+    std::vector<std::size_t> order(total);
+    for (std::size_t j = 0; j < total; ++j) {
+        order[j] = j;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&variances](std::size_t a, std::size_t b) {
+                         return variances[a] > variances[b];
+                     });
+    feature_indices_.assign(
+        order.begin(),
+        order.begin() + static_cast<std::ptrdiff_t>(
+                            std::min<std::size_t>(config_.n_qubits, total)));
+
+    feature_min_.assign(feature_indices_.size(), 0.0);
+    feature_max_.assign(feature_indices_.size(), 0.0);
+    for (std::size_t k = 0; k < feature_indices_.size(); ++k) {
+        const std::size_t j = feature_indices_[k];
+        double lo = labelled.at(0, j);
+        double hi = lo;
+        for (std::size_t i = 1; i < labelled.num_samples(); ++i) {
+            lo = std::min(lo, labelled.at(i, j));
+            hi = std::max(hi, labelled.at(i, j));
+        }
+        feature_min_[k] = lo;
+        feature_max_[k] = hi;
+    }
+
+    // Pre-encode all rows.
+    std::vector<std::vector<double>> encoded(labelled.num_samples());
+    for (std::size_t i = 0; i < labelled.num_samples(); ++i) {
+        encoded[i] = encode_row(labelled, i);
+    }
+
+    util::rng gen(config_.seed);
+    params_.assign(2 * config_.layers * config_.n_qubits, 0.0);
+    for (double& theta : params_) {
+        theta = gen.uniform(-0.1, 0.1); // small init near identity
+    }
+
+    adam_optimizer adam(config_.learning_rate);
+    std::vector<double> epoch_losses;
+    epoch_losses.reserve(config_.epochs);
+
+    std::vector<std::size_t> sample_order(labelled.num_samples());
+    for (std::size_t i = 0; i < sample_order.size(); ++i) {
+        sample_order[i] = i;
+    }
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        gen.shuffle(std::span<std::size_t>(sample_order));
+        double loss_sum = 0.0;
+        std::size_t cursor = 0;
+        while (cursor < sample_order.size()) {
+            const std::size_t batch_end =
+                std::min(cursor + config_.batch_size, sample_order.size());
+            std::vector<double> gradient(params_.size(), 0.0);
+            for (std::size_t b = cursor; b < batch_end; ++b) {
+                const std::size_t i = sample_order[b];
+                const double y = static_cast<double>(labelled.label(i));
+                const double weight =
+                    y > 0.5 ? config_.positive_class_weight : 1.0;
+
+                // BCE loss and dL/dp at the clamped probability.
+                const auto evaluate =
+                    [&](std::span<const double> p) -> double {
+                    return run_circuit(encoded[i], p, config_.n_qubits,
+                                       config_.layers);
+                };
+                const double prob = std::clamp(evaluate(params_),
+                                               probability_clamp,
+                                               1.0 - probability_clamp);
+                loss_sum += -weight * (y * std::log(prob) +
+                                       (1.0 - y) * std::log(1.0 - prob));
+                const double dl_dp =
+                    weight * (prob - y) / (prob * (1.0 - prob));
+
+                const std::vector<double> dp_dtheta =
+                    qml::parameter_shift_gradient(evaluate, params_);
+                for (std::size_t p = 0; p < gradient.size(); ++p) {
+                    gradient[p] += dl_dp * dp_dtheta[p];
+                }
+            }
+            const double scale =
+                1.0 / static_cast<double>(batch_end - cursor);
+            for (double& g : gradient) {
+                g *= scale;
+            }
+            adam.step(params_, gradient);
+            cursor = batch_end;
+        }
+        epoch_losses.push_back(loss_sum /
+                               static_cast<double>(sample_order.size()));
+    }
+    fitted_ = true;
+    return epoch_losses;
+}
+
+std::vector<double>
+qnn_classifier::predict_proba(const data::dataset& input) const {
+    QUORUM_EXPECTS_MSG(fitted_, "call fit() before predict");
+    std::vector<double> probs(input.num_samples());
+    for (std::size_t i = 0; i < input.num_samples(); ++i) {
+        const std::vector<double> encoded = encode_row(input, i);
+        probs[i] = run_circuit(encoded, params_, config_.n_qubits,
+                               config_.layers);
+    }
+    return probs;
+}
+
+std::vector<int> qnn_classifier::predict(const data::dataset& input) const {
+    const std::vector<double> probs = predict_proba(input);
+    std::vector<int> flags(probs.size());
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        flags[i] = probs[i] >= config_.threshold ? 1 : 0;
+    }
+    return flags;
+}
+
+} // namespace quorum::baseline

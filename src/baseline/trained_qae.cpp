@@ -1,0 +1,192 @@
+#include "baseline/trained_qae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/optimizer.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/parameter_shift.h"
+#include "qsim/statevector.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace quorum::baseline {
+
+trained_qae::trained_qae(trained_qae_config config) : config_(config) {
+    QUORUM_EXPECTS(config_.n_qubits >= 2 && config_.n_qubits <= 10);
+    QUORUM_EXPECTS(config_.layers >= 1);
+    QUORUM_EXPECTS_MSG(config_.trash_qubits >= 1 &&
+                           config_.trash_qubits < config_.n_qubits,
+                       "trash qubits must leave at least one kept qubit");
+    QUORUM_EXPECTS(config_.epochs >= 1);
+    QUORUM_EXPECTS(config_.batch_size >= 1);
+    QUORUM_EXPECTS(config_.learning_rate > 0.0);
+}
+
+double trained_qae::trash_population(std::span<const double> amplitudes,
+                                     const qml::ansatz_params& params) const {
+    std::vector<qsim::amp> complex_amps(amplitudes.begin(), amplitudes.end());
+    qsim::statevector state =
+        qsim::statevector::from_amplitudes(std::move(complex_amps));
+    qsim::circuit encoder(config_.n_qubits);
+    std::vector<qsim::qubit_t> reg(config_.n_qubits);
+    for (std::size_t q = 0; q < config_.n_qubits; ++q) {
+        reg[q] = static_cast<qsim::qubit_t>(q);
+    }
+    qml::append_encoder(encoder, params, reg);
+    for (const auto& op : encoder.ops()) {
+        state.apply_gate(op.gate, op.qubits, op.params);
+    }
+    // Trash = the top `trash_qubits` qubits (the ones Quorum resets).
+    double population = 0.0;
+    for (std::size_t k = 0; k < config_.trash_qubits; ++k) {
+        population += state.probability_one(
+            static_cast<qsim::qubit_t>(config_.n_qubits - 1 - k));
+    }
+    return population;
+}
+
+std::vector<double> trained_qae::encode_row(std::span<const double> row) const {
+    std::vector<double> selected(feature_indices_.size());
+    const double cap = 1.0 / static_cast<double>(feature_indices_.size());
+    for (std::size_t k = 0; k < feature_indices_.size(); ++k) {
+        const std::size_t j = feature_indices_[k];
+        double scaled = 0.0;
+        if (feature_range_[k] > 0.0 && j < row.size()) {
+            scaled = (row[j] - feature_min_[k]) / feature_range_[k];
+        }
+        selected[k] = std::clamp(scaled, 0.0, 1.0) * cap;
+    }
+    return qml::to_amplitudes(selected, config_.n_qubits);
+}
+
+std::vector<double> trained_qae::fit(const data::dataset& input) {
+    QUORUM_EXPECTS(input.num_samples() >= 2);
+    const std::size_t total = input.num_features();
+
+    // Fixed projection: the m highest-variance features (training needs a
+    // stable input layout, unlike Quorum's per-group resampling).
+    const std::size_t m =
+        std::min(qml::max_features(config_.n_qubits), total);
+    std::vector<double> variances(total, 0.0);
+    for (std::size_t j = 0; j < total; ++j) {
+        util::welford_accumulator acc;
+        for (std::size_t i = 0; i < input.num_samples(); ++i) {
+            acc.add(input.at(i, j));
+        }
+        variances[j] = acc.variance_population();
+    }
+    std::vector<std::size_t> order(total);
+    for (std::size_t j = 0; j < total; ++j) {
+        order[j] = j;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&variances](std::size_t a, std::size_t b) {
+                         return variances[a] > variances[b];
+                     });
+    feature_indices_.assign(order.begin(),
+                            order.begin() + static_cast<std::ptrdiff_t>(m));
+    feature_min_.assign(m, 0.0);
+    feature_range_.assign(m, 0.0);
+    for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t j = feature_indices_[k];
+        double lo = input.at(0, j);
+        double hi = lo;
+        for (std::size_t i = 1; i < input.num_samples(); ++i) {
+            lo = std::min(lo, input.at(i, j));
+            hi = std::max(hi, input.at(i, j));
+        }
+        feature_min_[k] = lo;
+        feature_range_[k] = hi - lo;
+    }
+
+    std::vector<std::vector<double>> encoded(input.num_samples());
+    for (std::size_t i = 0; i < input.num_samples(); ++i) {
+        encoded[i] = encode_row(input.row(i));
+    }
+
+    util::rng gen(config_.seed);
+    params_ = qml::random_ansatz_params(config_.n_qubits, config_.layers, gen);
+    // Flat parameter view for the optimizer: rx angles then rz angles.
+    const std::size_t param_count = params_.size();
+    std::vector<double> flat(param_count);
+    const auto pack = [&]() {
+        std::copy(params_.rx_angles.begin(), params_.rx_angles.end(),
+                  flat.begin());
+        std::copy(params_.rz_angles.begin(), params_.rz_angles.end(),
+                  flat.begin() +
+                      static_cast<std::ptrdiff_t>(params_.rx_angles.size()));
+    };
+    const auto unpack = [this](std::span<const double> values) {
+        qml::ansatz_params p = params_;
+        std::copy(values.begin(),
+                  values.begin() +
+                      static_cast<std::ptrdiff_t>(p.rx_angles.size()),
+                  p.rx_angles.begin());
+        std::copy(values.begin() +
+                      static_cast<std::ptrdiff_t>(p.rx_angles.size()),
+                  values.end(), p.rz_angles.begin());
+        return p;
+    };
+    pack();
+
+    adam_optimizer adam(config_.learning_rate);
+    std::vector<double> epoch_losses;
+    epoch_losses.reserve(config_.epochs);
+    std::vector<std::size_t> sample_order(input.num_samples());
+    for (std::size_t i = 0; i < sample_order.size(); ++i) {
+        sample_order[i] = i;
+    }
+
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+        gen.shuffle(std::span<std::size_t>(sample_order));
+        double loss_sum = 0.0;
+        std::size_t cursor = 0;
+        while (cursor < sample_order.size()) {
+            const std::size_t batch_end =
+                std::min(cursor + config_.batch_size, sample_order.size());
+            std::vector<double> gradient(param_count, 0.0);
+            for (std::size_t b = cursor; b < batch_end; ++b) {
+                const std::size_t i = sample_order[b];
+                const auto evaluate =
+                    [&](std::span<const double> values) -> double {
+                    return trash_population(encoded[i], unpack(values));
+                };
+                loss_sum += evaluate(flat);
+                const std::vector<double> grad =
+                    qml::parameter_shift_gradient(evaluate, flat);
+                training_evaluations_ += 2 * param_count;
+                for (std::size_t p = 0; p < param_count; ++p) {
+                    gradient[p] += grad[p];
+                }
+            }
+            const double scale = 1.0 / static_cast<double>(batch_end - cursor);
+            for (double& g : gradient) {
+                g *= scale;
+            }
+            adam.step(flat, gradient);
+            cursor = batch_end;
+        }
+        epoch_losses.push_back(loss_sum /
+                               static_cast<double>(sample_order.size()));
+    }
+    params_ = unpack(flat);
+    fitted_ = true;
+    return epoch_losses;
+}
+
+double trained_qae::score_row(std::span<const double> row) const {
+    QUORUM_EXPECTS_MSG(fitted_, "call fit() before score");
+    return trash_population(encode_row(row), params_);
+}
+
+std::vector<double> trained_qae::score_all(const data::dataset& input) const {
+    std::vector<double> scores(input.num_samples());
+    for (std::size_t i = 0; i < input.num_samples(); ++i) {
+        scores[i] = score_row(input.row(i));
+    }
+    return scores;
+}
+
+} // namespace quorum::baseline

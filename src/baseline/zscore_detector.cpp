@@ -1,0 +1,33 @@
+#include "baseline/zscore_detector.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace quorum::baseline {
+
+std::vector<double> zscore_scores(const data::dataset& input) {
+    const std::size_t n = input.num_samples();
+    const std::size_t m = input.num_features();
+    std::vector<double> mean(m, 0.0);
+    std::vector<double> stddev(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+        util::welford_accumulator acc;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc.add(input.at(i, j));
+        }
+        mean[j] = acc.mean();
+        stddev[j] = acc.stddev_population();
+    }
+    std::vector<double> scores(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            if (stddev[j] > 1e-12) {
+                scores[i] += std::abs(input.at(i, j) - mean[j]) / stddev[j];
+            }
+        }
+    }
+    return scores;
+}
+
+} // namespace quorum::baseline

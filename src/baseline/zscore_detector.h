@@ -1,0 +1,18 @@
+// Naive global z-score baseline: score = sum_j |x_ij - mu_j| / sigma_j.
+// The sanity floor every structured detector should beat on clustered or
+// correlated data (it is blind to multi-modal structure and correlations).
+#ifndef QUORUM_BASELINE_ZSCORE_DETECTOR_H
+#define QUORUM_BASELINE_ZSCORE_DETECTOR_H
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace quorum::baseline {
+
+/// Per-sample summed absolute z-scores over all features.
+[[nodiscard]] std::vector<double> zscore_scores(const data::dataset& input);
+
+} // namespace quorum::baseline
+
+#endif // QUORUM_BASELINE_ZSCORE_DETECTOR_H

@@ -1,0 +1,54 @@
+#include "core/anomaly_score.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace quorum::core {
+
+std::vector<std::size_t> score_report::ranking() const {
+    std::vector<std::size_t> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return scores[a] > scores[b];
+                     });
+    return order;
+}
+
+std::vector<std::size_t> score_report::top(std::size_t count) const {
+    std::vector<std::size_t> order = ranking();
+    order.resize(std::min(count, order.size()));
+    return order;
+}
+
+std::vector<int> score_report::flag_top(std::size_t count) const {
+    std::vector<int> flags(scores.size(), 0);
+    for (const std::size_t index : top(count)) {
+        flags[index] = 1;
+    }
+    return flags;
+}
+
+score_report aggregate_groups(std::span<const group_result> groups) {
+    QUORUM_EXPECTS(!groups.empty());
+    const std::size_t n_samples = groups.front().abs_z_sum.size();
+    score_report report;
+    report.scores.assign(n_samples, 0.0);
+    report.run_counts.assign(n_samples, 0);
+    report.groups = groups.size();
+    report.bucket_size = groups.front().bucket_size;
+    for (const group_result& group : groups) {
+        QUORUM_EXPECTS_MSG(group.abs_z_sum.size() == n_samples,
+                           "inconsistent group result sizes");
+        for (std::size_t i = 0; i < n_samples; ++i) {
+            report.scores[i] += group.abs_z_sum[i];
+            report.run_counts[i] += group.run_count[i];
+        }
+    }
+    return report;
+}
+
+} // namespace quorum::core

@@ -1,0 +1,44 @@
+// Score aggregation and ranking (paper Fig. 7 / Fig. 10): a sample's
+// anomaly score is the sum over all ensemble runs of its absolute
+// standardised deviation from the bucket mean. Higher = more anomalous.
+#ifndef QUORUM_CORE_ANOMALY_SCORE_H
+#define QUORUM_CORE_ANOMALY_SCORE_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ensemble.h"
+
+namespace quorum::core {
+
+/// Final per-sample scores plus provenance.
+struct score_report {
+    /// Sum of |z| over every (group, bucket, level) run — the paper's
+    /// "Sum Absolute Std. Deviation".
+    std::vector<double> scores;
+    /// Runs contributing to each sample.
+    std::vector<std::size_t> run_counts;
+    /// Number of ensemble groups aggregated.
+    std::size_t groups = 0;
+    /// Bucket size used (constant across groups).
+    std::size_t bucket_size = 0;
+
+    /// Sample indices ranked most-anomalous first (ties break by index).
+    [[nodiscard]] std::vector<std::size_t> ranking() const;
+
+    /// The top `count` sample indices by score.
+    [[nodiscard]] std::vector<std::size_t> top(std::size_t count) const;
+
+    /// 0/1 flags for the `count` highest-scoring samples.
+    [[nodiscard]] std::vector<int> flag_top(std::size_t count) const;
+};
+
+/// Merges per-group results (in group order — deterministic regardless of
+/// completion order) into a final report.
+[[nodiscard]] score_report
+aggregate_groups(std::span<const group_result> groups);
+
+} // namespace quorum::core
+
+#endif // QUORUM_CORE_ANOMALY_SCORE_H

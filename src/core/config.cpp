@@ -1,0 +1,63 @@
+#include "core/config.h"
+
+#include "util/contracts.h"
+
+namespace quorum::core {
+
+const char* exec_mode_name(exec_mode mode) noexcept {
+    switch (mode) {
+    case exec_mode::exact:
+        return "exact";
+    case exec_mode::sampled:
+        return "sampled";
+    case exec_mode::per_shot:
+        return "per_shot";
+    case exec_mode::noisy:
+        return "noisy";
+    }
+    return "?";
+}
+
+const char* feature_strategy_name(feature_strategy s) noexcept {
+    switch (s) {
+    case feature_strategy::uniform_random:
+        return "uniform_random";
+    case feature_strategy::top_variance:
+        return "top_variance";
+    }
+    return "?";
+}
+
+std::vector<std::size_t>
+quorum_config::effective_compression_levels() const {
+    if (!compression_levels.empty()) {
+        return compression_levels;
+    }
+    std::vector<std::size_t> levels;
+    for (std::size_t k = 1; k < n_qubits; ++k) {
+        levels.push_back(k);
+    }
+    return levels;
+}
+
+void quorum_config::validate() const {
+    QUORUM_EXPECTS_MSG(n_qubits >= 2 && n_qubits <= 10,
+                       "n_qubits must be in [2, 10]");
+    QUORUM_EXPECTS_MSG(ansatz_layers >= 1 && ansatz_layers <= 16,
+                       "ansatz_layers must be in [1, 16]");
+    QUORUM_EXPECTS_MSG(ensemble_groups >= 1, "need at least one ensemble group");
+    QUORUM_EXPECTS_MSG(bucket_probability > 0.0 && bucket_probability < 1.0,
+                       "bucket_probability must be in (0, 1)");
+    QUORUM_EXPECTS_MSG(estimated_anomaly_rate > 0.0 &&
+                           estimated_anomaly_rate < 1.0,
+                       "estimated_anomaly_rate must be in (0, 1)");
+    if (mode != exec_mode::exact) {
+        QUORUM_EXPECTS_MSG(shots >= 1, "sampling modes need shots >= 1");
+    }
+    for (const std::size_t level : compression_levels) {
+        QUORUM_EXPECTS_MSG(level >= 1 && level < n_qubits,
+                           "compression levels must be in [1, n_qubits)");
+    }
+}
+
+} // namespace quorum::core

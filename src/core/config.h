@@ -1,0 +1,91 @@
+// Configuration of the Quorum detector (paper §IV-F: "flexibility in
+// choosing the number of compression levels, the size of buckets, and the
+// number of features selected allows users to fine-tune the balance
+// between computational cost and the granularity of anomaly detection").
+#ifndef QUORUM_CORE_CONFIG_H
+#define QUORUM_CORE_CONFIG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "qsim/noise.h"
+
+namespace quorum::core {
+
+/// How SWAP-test probabilities are obtained.
+enum class exec_mode {
+    /// Deterministic exact probabilities (noiseless; analytic fast path).
+    exact,
+    /// Exact probability + Binomial(shots) sampling — statistically
+    /// identical to running `shots` repetitions (paper: 4096 shots).
+    sampled,
+    /// Full per-shot stochastic simulation of the 2n+1-qubit circuit
+    /// (hardware semantics; slow — for validation and small studies).
+    per_shot,
+    /// Density-matrix simulation with the configured noise model,
+    /// then Binomial(shots) sampling (paper's Brisbane noisy runs).
+    noisy,
+};
+
+/// Human-readable mode name.
+[[nodiscard]] const char* exec_mode_name(exec_mode mode) noexcept;
+
+/// How each ensemble group picks its m = 2^n - 1 features.
+enum class feature_strategy {
+    /// The paper's choice (§IV-C): uniform random per group — unbiased,
+    /// explores feature combinations a fixed projection never would.
+    uniform_random,
+    /// Ablation comparator: always the m highest-variance features (the
+    /// "bias towards features that might not indicate anomalies" the
+    /// paper warns against — every group sees the same projection).
+    top_variance,
+};
+
+/// Human-readable strategy name.
+[[nodiscard]] const char* feature_strategy_name(feature_strategy s) noexcept;
+
+/// All knobs of the Quorum pipeline. Defaults follow the paper's primary
+/// configuration: 3-qubit encodings (7-qubit circuits), 4096 shots,
+/// p = 0.75 bucket probability, 2-layer ansatz.
+struct quorum_config {
+    /// Qubits per encoding register; circuits use 2n+1 qubits (§IV-B).
+    std::size_t n_qubits = 3;
+    /// Ansatz layers in the encoder (Fig. 5 shows 2).
+    std::size_t ansatz_layers = 2;
+    /// Ensemble groups; the paper uses 1000 (§V), with diminishing returns
+    /// beyond a few hundred (see bench_ablation_shots_ensembles).
+    std::size_t ensemble_groups = 200;
+    /// Circuit repetitions per measurement in sampled/per_shot/noisy modes.
+    std::size_t shots = 4096;
+    /// Qubits reset at each compression level; empty = all of 1..n-1 (§IV-E).
+    std::vector<std::size_t> compression_levels{};
+    /// Target P[>=1 anomaly per bucket] (Table I right-most column).
+    double bucket_probability = 0.75;
+    /// Estimated anomaly proportion (unsupervised prior; drives bucket
+    /// sizing together with bucket_probability).
+    double estimated_anomaly_rate = 0.03;
+    /// Execution mode (see exec_mode).
+    exec_mode mode = exec_mode::exact;
+    /// Worker threads for the ensemble loop; 0 = all hardware threads.
+    /// Results are identical for any thread count.
+    std::size_t threads = 0;
+    /// Master seed; every ensemble group derives child stream g.
+    std::uint64_t seed = 2025;
+    /// exact/sampled only: simulate the full 2n+1-qubit circuit instead of
+    /// the register-A analytic shortcut (slower; used for validation).
+    bool use_full_circuit = false;
+    /// Feature subsampling strategy (paper default: uniform_random).
+    feature_strategy features = feature_strategy::uniform_random;
+    /// Noise model for exec_mode::noisy.
+    qsim::noise_model noise = qsim::noise_model::ibm_brisbane_median();
+
+    /// The compression levels actually run: configured ones, or 1..n-1.
+    [[nodiscard]] std::vector<std::size_t> effective_compression_levels() const;
+
+    /// Throws util::contract_error on an inconsistent configuration.
+    void validate() const;
+};
+
+} // namespace quorum::core
+
+#endif // QUORUM_CORE_CONFIG_H

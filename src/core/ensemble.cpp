@@ -1,0 +1,179 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/bucketing.h"
+#include "data/feature_select.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/density_runner.h"
+#include "qsim/statevector_runner.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace quorum::core {
+
+namespace {
+
+/// Floor for bucket standard deviations: below this the run carries no
+/// signal and contributes zero deviation (avoids division blow-ups when a
+/// bucket's SWAP results are all identical).
+constexpr double sigma_floor = 1e-9;
+
+/// Evaluates one sample's SWAP-test P(1) according to the execution mode.
+double evaluate_sample(std::span<const double> amplitudes,
+                       const qml::ansatz_params& params,
+                       std::size_t compression, const quorum_config& config,
+                       util::rng& gen) {
+    switch (config.mode) {
+    case exec_mode::exact:
+    case exec_mode::sampled: {
+        double p_one = 0.0;
+        if (config.use_full_circuit) {
+            const qsim::circuit c = qml::build_autoencoder_circuit(
+                amplitudes, params, compression);
+            const qsim::exact_run_result result =
+                qsim::statevector_runner::run_exact(c);
+            p_one = result.cbit_probability_one(qml::swap_result_cbit);
+        } else {
+            p_one = qml::analytic_swap_p1(amplitudes, params, compression);
+        }
+        if (config.mode == exec_mode::exact) {
+            return p_one;
+        }
+        return static_cast<double>(gen.binomial(config.shots, p_one)) /
+               static_cast<double>(config.shots);
+    }
+    case exec_mode::per_shot: {
+        const qsim::circuit c =
+            qml::build_autoencoder_circuit(amplitudes, params, compression);
+        std::size_t ones = 0;
+        for (std::size_t shot = 0; shot < config.shots; ++shot) {
+            const std::vector<bool> cbits =
+                qsim::statevector_runner::run_single_shot(c, gen);
+            ones += static_cast<std::size_t>(
+                cbits[static_cast<std::size_t>(qml::swap_result_cbit)]);
+        }
+        return static_cast<double>(ones) / static_cast<double>(config.shots);
+    }
+    case exec_mode::noisy: {
+        const qsim::circuit c =
+            qml::build_autoencoder_circuit(amplitudes, params, compression);
+        const qsim::noisy_run_result result =
+            qsim::density_runner::run(c, config.noise);
+        const double p_one =
+            result.cbit_probability_one(qml::swap_result_cbit, config.noise);
+        if (config.shots == 0) {
+            return p_one;
+        }
+        return static_cast<double>(gen.binomial(config.shots, p_one)) /
+               static_cast<double>(config.shots);
+    }
+    }
+    throw util::contract_error("unknown execution mode");
+}
+
+} // namespace
+
+group_result run_ensemble_group(const data::dataset& normalized,
+                                const quorum_config& config,
+                                std::size_t group_index) {
+    const std::size_t n_samples = normalized.num_samples();
+    const std::size_t n_features = normalized.num_features();
+    QUORUM_EXPECTS(n_samples >= 2);
+
+    // Independent deterministic stream for this group.
+    util::rng gen(util::derive_seed(config.seed, group_index));
+
+    group_result result;
+    result.abs_z_sum.assign(n_samples, 0.0);
+    result.run_count.assign(n_samples, 0);
+
+    // Bucket sizing from the unsupervised anomaly-rate estimate (§IV-C).
+    const auto estimated_anomalies = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(
+               config.estimated_anomaly_rate *
+               static_cast<double>(n_samples))));
+    result.bucket_size = data::solve_bucket_size(n_samples, estimated_anomalies,
+                                                 config.bucket_probability);
+    const std::vector<std::vector<std::size_t>> buckets =
+        data::make_buckets(n_samples, result.bucket_size, gen);
+
+    // Feature subset for this group (m = 2^n - 1, Fig. 4).
+    std::vector<std::size_t> features;
+    if (config.features == feature_strategy::top_variance) {
+        // Ablation comparator: a fixed variance-greedy projection shared by
+        // every group (the bias the paper's random selection avoids).
+        std::vector<double> variances(n_features, 0.0);
+        for (std::size_t j = 0; j < n_features; ++j) {
+            util::welford_accumulator acc;
+            for (std::size_t i = 0; i < n_samples; ++i) {
+                acc.add(normalized.at(i, j));
+            }
+            variances[j] = acc.variance_population();
+        }
+        std::vector<std::size_t> order(n_features);
+        for (std::size_t j = 0; j < n_features; ++j) {
+            order[j] = j;
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&variances](std::size_t a, std::size_t b) {
+                             return variances[a] > variances[b];
+                         });
+        const std::size_t count =
+            std::min(qml::max_features(config.n_qubits), n_features);
+        features.assign(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(count));
+        // Keep the RNG stream aligned with the random strategy so bucket
+        // assignments and angles stay comparable across ablation arms.
+        (void)data::select_features(n_features,
+                                    qml::max_features(config.n_qubits), gen);
+    } else {
+        features = data::select_features(
+            n_features, qml::max_features(config.n_qubits), gen);
+    }
+
+    // Random ansatz angles, shared by all compression levels (Fig. 6).
+    const qml::ansatz_params params =
+        qml::random_ansatz_params(config.n_qubits, config.ansatz_layers, gen);
+
+    // Encode each sample once; amplitudes are level-independent.
+    std::vector<std::vector<double>> amplitudes(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+        const std::vector<double> selected =
+            data::gather_features(normalized.row(i), features);
+        amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
+    }
+
+    const std::vector<std::size_t> levels =
+        config.effective_compression_levels();
+    std::vector<double> p_values(n_samples, 0.0);
+    for (const std::size_t level : levels) {
+        for (std::size_t i = 0; i < n_samples; ++i) {
+            p_values[i] =
+                evaluate_sample(amplitudes[i], params, level, config, gen);
+        }
+        // Per-bucket statistics -> |z| accumulation (Fig. 7).
+        for (const std::vector<std::size_t>& bucket : buckets) {
+            util::welford_accumulator acc;
+            for (const std::size_t i : bucket) {
+                acc.add(p_values[i]);
+            }
+            const double mu = acc.mean();
+            const double sigma = acc.stddev_population();
+            if (sigma < sigma_floor) {
+                continue;
+            }
+            for (const std::size_t i : bucket) {
+                result.abs_z_sum[i] += std::abs((p_values[i] - mu) / sigma);
+                ++result.run_count[i];
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace quorum::core

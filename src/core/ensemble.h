@@ -1,0 +1,36 @@
+// One ensemble group (paper §IV-E): fresh random buckets, a fresh random
+// feature subset, fresh random ansatz angles, all compression levels.
+// Every sample's SWAP-test P(1) is compared against its bucket's mean and
+// standard deviation per (bucket, level) "run"; |z| deviations accumulate
+// into the group's score contribution (Fig. 7).
+#ifndef QUORUM_CORE_ENSEMBLE_H
+#define QUORUM_CORE_ENSEMBLE_H
+
+#include <vector>
+
+#include "core/config.h"
+#include "data/dataset.h"
+
+namespace quorum::core {
+
+/// A single ensemble group's contribution to the anomaly scores.
+struct group_result {
+    /// Sum over (bucket, level) runs of |z_i| per sample.
+    std::vector<double> abs_z_sum;
+    /// Number of runs that contributed to each sample (for diagnostics).
+    std::vector<std::size_t> run_count;
+    /// Bucket size used by this group (identical across groups for a
+    /// fixed dataset/config; exposed for reporting).
+    std::size_t bucket_size = 0;
+};
+
+/// Runs ensemble group `group_index` over a dataset that has ALREADY been
+/// normalised with data::normalize_for_quorum (values in [0, 1/M]).
+/// Deterministic: depends only on (config.seed, group_index, data).
+[[nodiscard]] group_result run_ensemble_group(const data::dataset& normalized,
+                                              const quorum_config& config,
+                                              std::size_t group_index);
+
+} // namespace quorum::core
+
+#endif // QUORUM_CORE_ENSEMBLE_H

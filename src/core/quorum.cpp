@@ -1,0 +1,66 @@
+#include "core/quorum.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "data/preprocess.h"
+#include "util/contracts.h"
+#include "util/thread_pool.h"
+
+namespace quorum::core {
+
+quorum_detector::quorum_detector(quorum_config config)
+    : config_(std::move(config)) {
+    config_.validate();
+}
+
+void quorum_detector::set_progress_callback(
+    std::function<void(std::size_t, std::size_t)> callback) {
+    progress_ = std::move(callback);
+}
+
+score_report quorum_detector::score(const data::dataset& input) const {
+    QUORUM_EXPECTS_MSG(input.num_samples() >= 2,
+                       "need at least two samples to compare");
+    // Unsupervised: any labels are dropped before processing (§V).
+    const data::dataset normalized =
+        data::normalize_for_quorum(input.without_labels());
+
+    std::vector<group_result> groups(config_.ensemble_groups);
+    const std::size_t thread_count =
+        config_.threads == 0 ? util::default_thread_count() : config_.threads;
+
+    std::atomic<std::size_t> completed{0};
+    const auto run_group = [&](std::size_t g) {
+        groups[g] = run_ensemble_group(normalized, config_, g);
+        const std::size_t done = completed.fetch_add(1) + 1;
+        if (progress_) {
+            progress_(done, config_.ensemble_groups);
+        }
+    };
+
+    if (thread_count <= 1 || config_.ensemble_groups == 1) {
+        for (std::size_t g = 0; g < config_.ensemble_groups; ++g) {
+            run_group(g);
+        }
+    } else {
+        util::thread_pool pool(thread_count);
+        pool.parallel_for(config_.ensemble_groups, run_group);
+    }
+    return aggregate_groups(groups);
+}
+
+std::size_t quorum_detector::flag_count(std::size_t n_samples) const {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(config_.estimated_anomaly_rate *
+                         static_cast<double>(n_samples))));
+}
+
+std::vector<std::size_t>
+quorum_detector::detect(const data::dataset& input) const {
+    const score_report report = score(input);
+    return report.top(flag_count(input.num_samples()));
+}
+
+} // namespace quorum::core

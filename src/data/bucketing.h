@@ -1,0 +1,41 @@
+// Bucketing (paper §IV-C): the dataset is split into random buckets small
+// enough that anomalies stand out against their bucket-mates but large
+// enough that, with probability >= p, each bucket contains at least one
+// anomaly. The bucket size is the smallest s with
+//
+//   P[>=1 anomaly in a size-s bucket] = 1 - C(N-A, s)/C(N, s) >= p
+//
+// (hypergeometric; A is the *estimated* anomaly count — Quorum never sees
+// labels). Table I's right-most column lists the per-dataset p targets.
+#ifndef QUORUM_DATA_BUCKETING_H
+#define QUORUM_DATA_BUCKETING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace quorum::data {
+
+/// Exact hypergeometric P[>=1 of the `anomalies` special items lands in a
+/// uniformly random subset of `bucket_size` out of `population`].
+[[nodiscard]] double prob_bucket_contains_anomaly(std::size_t population,
+                                                  std::size_t anomalies,
+                                                  std::size_t bucket_size);
+
+/// Smallest bucket size whose anomaly-containment probability reaches
+/// `target_probability`. Returns `population` when no smaller size does
+/// (e.g. zero estimated anomalies).
+[[nodiscard]] std::size_t solve_bucket_size(std::size_t population,
+                                            std::size_t anomalies,
+                                            double target_probability);
+
+/// Randomly partitions {0..population-1} into ceil(population/bucket_size)
+/// buckets whose sizes differ by at most 1. Every index appears exactly
+/// once; bucket contents are in random order.
+[[nodiscard]] std::vector<std::vector<std::size_t>>
+make_buckets(std::size_t population, std::size_t bucket_size, util::rng& gen);
+
+} // namespace quorum::data
+
+#endif // QUORUM_DATA_BUCKETING_H

@@ -1,0 +1,90 @@
+#include "data/dataset.h"
+
+#include "util/contracts.h"
+
+namespace quorum::data {
+
+dataset::dataset(std::size_t num_samples, std::size_t num_features)
+    : samples_(num_samples), features_(num_features),
+      values_(num_samples * num_features, 0.0) {
+    QUORUM_EXPECTS(num_samples > 0 && num_features > 0);
+}
+
+dataset dataset::from_rows(const std::vector<std::vector<double>>& rows,
+                           std::vector<int> labels) {
+    QUORUM_EXPECTS_MSG(!rows.empty(), "dataset needs at least one row");
+    dataset d(rows.size(), rows.front().size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        QUORUM_EXPECTS_MSG(rows[i].size() == d.features_,
+                           "all rows must have the same width");
+        for (std::size_t j = 0; j < d.features_; ++j) {
+            d.at(i, j) = rows[i][j];
+        }
+    }
+    if (!labels.empty()) {
+        d.set_labels(std::move(labels));
+    }
+    return d;
+}
+
+double dataset::at(std::size_t sample, std::size_t feature) const {
+    QUORUM_EXPECTS(sample < samples_ && feature < features_);
+    return values_[sample * features_ + feature];
+}
+
+double& dataset::at(std::size_t sample, std::size_t feature) {
+    QUORUM_EXPECTS(sample < samples_ && feature < features_);
+    return values_[sample * features_ + feature];
+}
+
+std::span<const double> dataset::row(std::size_t sample) const {
+    QUORUM_EXPECTS(sample < samples_);
+    return std::span<const double>(values_).subspan(sample * features_,
+                                                    features_);
+}
+
+void dataset::set_labels(std::vector<int> labels) {
+    QUORUM_EXPECTS_MSG(labels.size() == samples_,
+                       "one label per sample required");
+    for (const int l : labels) {
+        QUORUM_EXPECTS_MSG(l == 0 || l == 1, "labels must be 0 or 1");
+    }
+    labels_ = std::move(labels);
+}
+
+void dataset::set_label(std::size_t sample, int label) {
+    QUORUM_EXPECTS(sample < samples_);
+    QUORUM_EXPECTS(label == 0 || label == 1);
+    if (labels_.empty()) {
+        labels_.assign(samples_, 0);
+    }
+    labels_[sample] = label;
+}
+
+int dataset::label(std::size_t sample) const {
+    QUORUM_EXPECTS(sample < samples_);
+    QUORUM_EXPECTS_MSG(has_labels(), "dataset is unlabelled");
+    return labels_[sample];
+}
+
+std::size_t dataset::num_anomalies() const noexcept {
+    std::size_t count = 0;
+    for (const int l : labels_) {
+        count += static_cast<std::size_t>(l == 1);
+    }
+    return count;
+}
+
+dataset dataset::without_labels() const {
+    dataset copy = *this;
+    copy.labels_.clear();
+    return copy;
+}
+
+void dataset::set_feature_names(std::vector<std::string> names) {
+    QUORUM_EXPECTS_MSG(names.size() == features_,
+                       "one name per feature required");
+    feature_names_ = std::move(names);
+}
+
+} // namespace quorum::data

@@ -1,0 +1,68 @@
+// Tabular dataset container. Labels (0 = normal, 1 = anomaly) are carried
+// only for *evaluation* — the paper strips them before any processing
+// ("All datasets have labels stripped for all operations until the
+// evaluation is performed", §V), and quorum_detector never reads them.
+#ifndef QUORUM_DATA_DATASET_H
+#define QUORUM_DATA_DATASET_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace quorum::data {
+
+/// Row-major feature matrix with optional evaluation-only labels.
+class dataset {
+public:
+    dataset() = default;
+
+    /// Zero-filled dataset of the given shape.
+    dataset(std::size_t num_samples, std::size_t num_features);
+
+    /// Builds a dataset from rows (all rows must have equal width).
+    /// `labels` may be empty (unlabelled) or one entry per row.
+    static dataset from_rows(const std::vector<std::vector<double>>& rows,
+                             std::vector<int> labels = {});
+
+    [[nodiscard]] std::size_t num_samples() const noexcept { return samples_; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return features_; }
+
+    [[nodiscard]] double at(std::size_t sample, std::size_t feature) const;
+    double& at(std::size_t sample, std::size_t feature);
+
+    /// One sample's feature vector.
+    [[nodiscard]] std::span<const double> row(std::size_t sample) const;
+
+    // --- labels (evaluation only) -------------------------------------------
+    [[nodiscard]] bool has_labels() const noexcept { return !labels_.empty(); }
+    void set_labels(std::vector<int> labels);
+    void set_label(std::size_t sample, int label);
+    [[nodiscard]] int label(std::size_t sample) const;
+    [[nodiscard]] const std::vector<int>& labels() const noexcept {
+        return labels_;
+    }
+    /// Number of label-1 samples (0 when unlabelled).
+    [[nodiscard]] std::size_t num_anomalies() const noexcept;
+    /// A copy with all label information removed.
+    [[nodiscard]] dataset without_labels() const;
+
+    // --- metadata -------------------------------------------------------------
+    void set_name(std::string name) { name_ = std::move(name); }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_feature_names(std::vector<std::string> names);
+    [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+        return feature_names_;
+    }
+
+private:
+    std::size_t samples_ = 0;
+    std::size_t features_ = 0;
+    std::vector<double> values_; // row-major
+    std::vector<int> labels_;
+    std::string name_;
+    std::vector<std::string> feature_names_;
+};
+
+} // namespace quorum::data
+
+#endif // QUORUM_DATA_DATASET_H

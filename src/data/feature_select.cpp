@@ -1,0 +1,30 @@
+#include "data/feature_select.h"
+
+#include "util/contracts.h"
+
+namespace quorum::data {
+
+std::vector<std::size_t> select_features(std::size_t total_features,
+                                         std::size_t count, util::rng& gen) {
+    QUORUM_EXPECTS(total_features >= 1);
+    if (count >= total_features) {
+        std::vector<std::size_t> all(total_features);
+        for (std::size_t j = 0; j < total_features; ++j) {
+            all[j] = j;
+        }
+        return all;
+    }
+    return gen.sample_without_replacement(total_features, count);
+}
+
+std::vector<double> gather_features(std::span<const double> row,
+                                    std::span<const std::size_t> indices) {
+    std::vector<double> out(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+        QUORUM_EXPECTS(indices[k] < row.size());
+        out[k] = row[indices[k]];
+    }
+    return out;
+}
+
+} // namespace quorum::data

@@ -1,0 +1,30 @@
+// Uniform random feature selection (paper §IV-C, Fig. 4): each ensemble
+// group sees m = 2^n - 1 features chosen uniformly at random — faster than
+// PCA, unbiased towards "loud" features, and explores combinations that a
+// fixed projection would never look at. When the dataset has fewer than m
+// features (e.g. the 5-feature power-plant table on 3-qubit registers) all
+// features are used.
+#ifndef QUORUM_DATA_FEATURE_SELECT_H
+#define QUORUM_DATA_FEATURE_SELECT_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace quorum::data {
+
+/// `count` distinct feature indices drawn uniformly from [0, total).
+/// When count >= total, returns all indices (0..total-1) in order.
+[[nodiscard]] std::vector<std::size_t>
+select_features(std::size_t total_features, std::size_t count, util::rng& gen);
+
+/// Gathers row[indices[k]] into a dense vector.
+[[nodiscard]] std::vector<double>
+gather_features(std::span<const double> row,
+                std::span<const std::size_t> indices);
+
+} // namespace quorum::data
+
+#endif // QUORUM_DATA_FEATURE_SELECT_H

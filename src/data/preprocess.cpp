@@ -1,0 +1,79 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace quorum::data {
+
+normalization_summary summarize_ranges(const dataset& input) {
+    normalization_summary summary;
+    summary.feature_min.assign(input.num_features(),
+                               std::numeric_limits<double>::infinity());
+    summary.feature_max.assign(input.num_features(),
+                               -std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < input.num_samples(); ++i) {
+        for (std::size_t j = 0; j < input.num_features(); ++j) {
+            const double v = input.at(i, j);
+            QUORUM_EXPECTS_MSG(std::isfinite(v),
+                               "dataset contains NaN or infinite values");
+            summary.feature_min[j] = std::min(summary.feature_min[j], v);
+            summary.feature_max[j] = std::max(summary.feature_max[j], v);
+        }
+    }
+    return summary;
+}
+
+dataset normalize_for_quorum(const dataset& input) {
+    const normalization_summary summary = summarize_ranges(input);
+    const double per_feature_cap =
+        1.0 / static_cast<double>(input.num_features());
+    dataset out = input;
+    for (std::size_t j = 0; j < input.num_features(); ++j) {
+        const double range = summary.feature_max[j] - summary.feature_min[j];
+        for (std::size_t i = 0; i < input.num_samples(); ++i) {
+            if (range <= 0.0) {
+                out.at(i, j) = 0.0;
+            } else {
+                out.at(i, j) = (input.at(i, j) - summary.feature_min[j]) /
+                               range * per_feature_cap;
+            }
+        }
+    }
+    return out;
+}
+
+dataset normalize_max_scale(const dataset& input) {
+    const normalization_summary summary = summarize_ranges(input);
+    const double per_feature_cap =
+        1.0 / static_cast<double>(input.num_features());
+    dataset out = input;
+    for (std::size_t j = 0; j < input.num_features(); ++j) {
+        QUORUM_EXPECTS_MSG(summary.feature_min[j] >= 0.0,
+                           "normalize_max_scale requires non-negative data; "
+                           "use normalize_for_quorum instead");
+        const double max_value = summary.feature_max[j];
+        for (std::size_t i = 0; i < input.num_samples(); ++i) {
+            if (max_value <= 0.0) {
+                out.at(i, j) = 0.0;
+            } else {
+                out.at(i, j) = input.at(i, j) / max_value * per_feature_cap;
+            }
+        }
+    }
+    return out;
+}
+
+double hash_category(std::string_view token) noexcept {
+    // FNV-1a 64-bit, folded into the unit interval.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char ch : token) {
+        hash ^= static_cast<std::uint8_t>(ch);
+        hash *= 0x100000001b3ULL;
+    }
+    return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+} // namespace quorum::data

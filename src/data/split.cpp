@@ -1,0 +1,93 @@
+#include "data/split.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::data {
+
+namespace {
+
+/// Builds a dataset from a subset of `input`'s rows.
+dataset gather_rows(const dataset& input,
+                    const std::vector<std::size_t>& rows) {
+    QUORUM_EXPECTS(!rows.empty());
+    std::vector<std::vector<double>> values;
+    std::vector<int> labels;
+    values.reserve(rows.size());
+    for (const std::size_t r : rows) {
+        const auto row = input.row(r);
+        values.emplace_back(row.begin(), row.end());
+        if (input.has_labels()) {
+            labels.push_back(input.label(r));
+        }
+    }
+    dataset out = dataset::from_rows(values, std::move(labels));
+    out.set_name(input.name());
+    if (!input.feature_names().empty()) {
+        out.set_feature_names(input.feature_names());
+    }
+    return out;
+}
+
+split_result build_split(const dataset& input,
+                         std::vector<std::size_t> train_rows,
+                         std::vector<std::size_t> test_rows) {
+    QUORUM_EXPECTS_MSG(!train_rows.empty() && !test_rows.empty(),
+                       "both split parts must be non-empty");
+    split_result result{gather_rows(input, train_rows),
+                        gather_rows(input, test_rows), std::move(train_rows),
+                        std::move(test_rows)};
+    return result;
+}
+
+} // namespace
+
+split_result stratified_split(const dataset& input, double train_fraction,
+                              util::rng& gen) {
+    QUORUM_EXPECTS_MSG(input.has_labels(),
+                       "stratified split needs labels; use random_split");
+    QUORUM_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0);
+
+    std::vector<std::size_t> class_rows[2];
+    for (std::size_t i = 0; i < input.num_samples(); ++i) {
+        class_rows[static_cast<std::size_t>(input.label(i))].push_back(i);
+    }
+    QUORUM_EXPECTS_MSG(class_rows[0].size() >= 2 && class_rows[1].size() >= 2,
+                       "each class needs >= 2 samples to stratify");
+
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (auto& rows : class_rows) {
+        gen.shuffle(std::span<std::size_t>(rows));
+        // At least one row of each class in each part.
+        auto take = static_cast<std::size_t>(std::lround(
+            train_fraction * static_cast<double>(rows.size())));
+        take = std::min(std::max<std::size_t>(take, 1), rows.size() - 1);
+        train_rows.insert(train_rows.end(), rows.begin(),
+                          rows.begin() + static_cast<std::ptrdiff_t>(take));
+        test_rows.insert(test_rows.end(),
+                         rows.begin() + static_cast<std::ptrdiff_t>(take),
+                         rows.end());
+    }
+    gen.shuffle(std::span<std::size_t>(train_rows));
+    gen.shuffle(std::span<std::size_t>(test_rows));
+    return build_split(input, std::move(train_rows), std::move(test_rows));
+}
+
+split_result random_split(const dataset& input, double train_fraction,
+                          util::rng& gen) {
+    QUORUM_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0);
+    QUORUM_EXPECTS(input.num_samples() >= 2);
+    std::vector<std::size_t> order = gen.permutation(input.num_samples());
+    auto take = static_cast<std::size_t>(std::lround(
+        train_fraction * static_cast<double>(order.size())));
+    take = std::min(std::max<std::size_t>(take, 1), order.size() - 1);
+    std::vector<std::size_t> train_rows(
+        order.begin(), order.begin() + static_cast<std::ptrdiff_t>(take));
+    std::vector<std::size_t> test_rows(
+        order.begin() + static_cast<std::ptrdiff_t>(take), order.end());
+    return build_split(input, std::move(train_rows), std::move(test_rows));
+}
+
+} // namespace quorum::data

@@ -1,0 +1,35 @@
+// Train/evaluation splitting utilities for the trained baselines. The
+// supervised QNN realistically trains on a labelled split and is judged
+// on held-out rows; stratification keeps the (rare) anomaly class present
+// in both parts.
+#ifndef QUORUM_DATA_SPLIT_H
+#define QUORUM_DATA_SPLIT_H
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace quorum::data {
+
+/// A train/test partition (row copies; originals untouched).
+struct split_result {
+    dataset train;
+    dataset test;
+    /// Original row index of every train/test row (for traceability).
+    std::vector<std::size_t> train_indices;
+    std::vector<std::size_t> test_indices;
+};
+
+/// Splits `input` into train/test with `train_fraction` of each CLASS in
+/// the train part (stratified). Requires labels and at least one sample
+/// of each class in each part; throws otherwise. Order is randomised.
+[[nodiscard]] split_result stratified_split(const dataset& input,
+                                            double train_fraction,
+                                            util::rng& gen);
+
+/// Unstratified random split (works on unlabelled data).
+[[nodiscard]] split_result random_split(const dataset& input,
+                                        double train_fraction, util::rng& gen);
+
+} // namespace quorum::data
+
+#endif // QUORUM_DATA_SPLIT_H

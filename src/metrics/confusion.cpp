@@ -1,0 +1,98 @@
+#include "metrics/confusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::metrics {
+
+double confusion_counts::precision() const noexcept {
+    const std::size_t flagged = true_positive + false_positive;
+    if (flagged == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(true_positive) / static_cast<double>(flagged);
+}
+
+double confusion_counts::recall() const noexcept {
+    const std::size_t actual = true_positive + false_negative;
+    if (actual == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(true_positive) / static_cast<double>(actual);
+}
+
+double confusion_counts::f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    if (p + r <= 0.0) {
+        return 0.0;
+    }
+    return 2.0 * p * r / (p + r);
+}
+
+double confusion_counts::accuracy() const noexcept {
+    const std::size_t total = true_positive + false_positive + true_negative +
+                              false_negative;
+    if (total == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(true_positive + true_negative) /
+           static_cast<double>(total);
+}
+
+confusion_counts evaluate_flags(std::span<const int> labels,
+                                std::span<const int> flagged) {
+    QUORUM_EXPECTS(labels.size() == flagged.size());
+    confusion_counts counts;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const bool anomaly = labels[i] == 1;
+        const bool flag = flagged[i] != 0;
+        if (anomaly && flag) {
+            ++counts.true_positive;
+        } else if (!anomaly && flag) {
+            ++counts.false_positive;
+        } else if (anomaly && !flag) {
+            ++counts.false_negative;
+        } else {
+            ++counts.true_negative;
+        }
+    }
+    return counts;
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> scores,
+                                       std::size_t k) {
+    std::vector<std::size_t> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&scores](std::size_t a, std::size_t b) {
+                         return scores[a] > scores[b];
+                     });
+    order.resize(std::min(k, order.size()));
+    return order;
+}
+
+confusion_counts evaluate_top_k(std::span<const int> labels,
+                                std::span<const double> scores, std::size_t k) {
+    QUORUM_EXPECTS(labels.size() == scores.size());
+    std::vector<int> flags(labels.size(), 0);
+    for (const std::size_t index : top_k_indices(scores, k)) {
+        flags[index] = 1;
+    }
+    return evaluate_flags(labels, flags);
+}
+
+confusion_counts evaluate_top_fraction(std::span<const int> labels,
+                                       std::span<const double> scores,
+                                       double fraction) {
+    QUORUM_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+    const auto k = static_cast<std::size_t>(
+        std::lround(fraction * static_cast<double>(scores.size())));
+    return evaluate_top_k(labels, scores, k);
+}
+
+} // namespace quorum::metrics

@@ -1,0 +1,52 @@
+// Classification metrics (paper §V "Evaluation Metrics"): precision,
+// recall, F1 and accuracy computed from flagged-vs-true anomaly sets.
+// Quorum flags the top-K scoring samples, where K is the caller's
+// anomaly-count estimate (unsupervised — no threshold tuning on labels).
+#ifndef QUORUM_METRICS_CONFUSION_H
+#define QUORUM_METRICS_CONFUSION_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace quorum::metrics {
+
+/// Confusion counts plus the paper's four derived metrics.
+struct confusion_counts {
+    std::size_t true_positive = 0;
+    std::size_t false_positive = 0;
+    std::size_t true_negative = 0;
+    std::size_t false_negative = 0;
+
+    /// TP / (TP + FP); 0 when nothing was flagged.
+    [[nodiscard]] double precision() const noexcept;
+    /// TP / (TP + FN); 0 when there are no true anomalies.
+    [[nodiscard]] double recall() const noexcept;
+    /// Harmonic mean of precision and recall; 0 when either is 0.
+    [[nodiscard]] double f1() const noexcept;
+    /// (TP + TN) / total.
+    [[nodiscard]] double accuracy() const noexcept;
+};
+
+/// Compares explicit flags against 0/1 labels.
+[[nodiscard]] confusion_counts
+evaluate_flags(std::span<const int> labels, std::span<const int> flagged);
+
+/// Flags the `k` highest-scoring samples (stable ties) and evaluates.
+[[nodiscard]] confusion_counts evaluate_top_k(std::span<const int> labels,
+                                              std::span<const double> scores,
+                                              std::size_t k);
+
+/// Flags the top `fraction` of samples by score and evaluates.
+[[nodiscard]] confusion_counts
+evaluate_top_fraction(std::span<const int> labels,
+                      std::span<const double> scores, double fraction);
+
+/// Indices of the `k` highest-scoring samples, highest first
+/// (deterministic: score ties break by index).
+[[nodiscard]] std::vector<std::size_t>
+top_k_indices(std::span<const double> scores, std::size_t k);
+
+} // namespace quorum::metrics
+
+#endif // QUORUM_METRICS_CONFUSION_H

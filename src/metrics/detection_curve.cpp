@@ -1,0 +1,67 @@
+#include "metrics/detection_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/confusion.h"
+#include "util/contracts.h"
+
+namespace quorum::metrics {
+
+std::vector<curve_point> detection_curve(std::span<const int> labels,
+                                         std::span<const double> scores,
+                                         std::size_t points) {
+    QUORUM_EXPECTS(labels.size() == scores.size());
+    QUORUM_EXPECTS(points >= 2);
+
+    const std::vector<std::size_t> order = top_k_indices(scores, scores.size());
+    std::size_t total_anomalies = 0;
+    for (const int l : labels) {
+        total_anomalies += static_cast<std::size_t>(l == 1);
+    }
+
+    // cumulative[k]: anomalies among the k highest-scoring samples.
+    std::vector<std::size_t> cumulative(order.size() + 1, 0);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        cumulative[k + 1] = cumulative[k] +
+                            static_cast<std::size_t>(labels[order[k]] == 1);
+    }
+
+    std::vector<curve_point> curve(points);
+    for (std::size_t p = 0; p < points; ++p) {
+        const double fraction =
+            static_cast<double>(p) / static_cast<double>(points - 1);
+        const auto k = static_cast<std::size_t>(
+            std::lround(fraction * static_cast<double>(order.size())));
+        curve[p].fraction_of_dataset = fraction;
+        curve[p].fraction_of_anomalies_detected =
+            total_anomalies == 0
+                ? 0.0
+                : static_cast<double>(cumulative[k]) /
+                      static_cast<double>(total_anomalies);
+    }
+    return curve;
+}
+
+double detection_rate_at(std::span<const int> labels,
+                         std::span<const double> scores, double fraction) {
+    QUORUM_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+    const confusion_counts counts =
+        evaluate_top_fraction(labels, scores, fraction);
+    return counts.recall();
+}
+
+double curve_auc(std::span<const curve_point> curve) {
+    QUORUM_EXPECTS(curve.size() >= 2);
+    double area = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        const double dx = curve[i].fraction_of_dataset -
+                          curve[i - 1].fraction_of_dataset;
+        const double avg_y = 0.5 * (curve[i].fraction_of_anomalies_detected +
+                                    curve[i - 1].fraction_of_anomalies_detected);
+        area += dx * avg_y;
+    }
+    return area;
+}
+
+} // namespace quorum::metrics

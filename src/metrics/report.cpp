@@ -1,0 +1,57 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace quorum::metrics {
+
+table_printer::table_printer(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+    QUORUM_EXPECTS(!headers_.empty());
+}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+    QUORUM_EXPECTS_MSG(cells.size() == headers_.size(),
+                       "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void table_printer::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    const auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out << (c ? "  " : "") << std::left
+                << std::setw(static_cast<int>(widths[c])) << cells[c];
+        }
+        out << '\n';
+    };
+    print_row(headers_);
+    std::size_t rule_width = 2 * (headers_.size() - 1);
+    for (const std::size_t w : widths) {
+        rule_width += w;
+    }
+    out << std::string(rule_width, '-') << '\n';
+    for (const auto& row : rows_) {
+        print_row(row);
+    }
+}
+
+std::string table_printer::fmt(double value, int precision) {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << value;
+    return out.str();
+}
+
+} // namespace quorum::metrics

@@ -1,0 +1,33 @@
+// Fixed-width table printing shared by the benchmark harness, so every
+// reproduced table/figure prints paper-style rows.
+#ifndef QUORUM_METRICS_REPORT_H
+#define QUORUM_METRICS_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace quorum::metrics {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class table_printer {
+public:
+    explicit table_printer(std::vector<std::string> headers);
+
+    /// Adds one row; must match the header width.
+    void add_row(std::vector<std::string> cells);
+
+    /// Prints headers, a rule, and all rows.
+    void print(std::ostream& out) const;
+
+    /// Formats a double with fixed precision (helper for cells).
+    [[nodiscard]] static std::string fmt(double value, int precision = 3);
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace quorum::metrics
+
+#endif // QUORUM_METRICS_REPORT_H

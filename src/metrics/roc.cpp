@@ -1,0 +1,67 @@
+#include "metrics/roc.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace quorum::metrics {
+
+std::vector<roc_point> roc_curve(std::span<const int> labels,
+                                 std::span<const double> scores) {
+    QUORUM_EXPECTS(labels.size() == scores.size());
+    QUORUM_EXPECTS(!labels.empty());
+    std::size_t positives = 0;
+    for (const int l : labels) {
+        positives += static_cast<std::size_t>(l == 1);
+    }
+    const std::size_t negatives = labels.size() - positives;
+    QUORUM_EXPECTS_MSG(positives > 0 && negatives > 0,
+                       "ROC needs both classes present");
+
+    std::vector<std::size_t> order(labels.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(),
+              [&scores](std::size_t a, std::size_t b) {
+                  return scores[a] > scores[b];
+              });
+
+    std::vector<roc_point> curve;
+    curve.push_back({0.0, 0.0});
+    std::size_t tp = 0;
+    std::size_t fp = 0;
+    std::size_t i = 0;
+    while (i < order.size()) {
+        // Consume the whole tie group before emitting a point.
+        const double threshold = scores[order[i]];
+        while (i < order.size() && scores[order[i]] == threshold) {
+            if (labels[order[i]] == 1) {
+                ++tp;
+            } else {
+                ++fp;
+            }
+            ++i;
+        }
+        curve.push_back({static_cast<double>(fp) /
+                             static_cast<double>(negatives),
+                         static_cast<double>(tp) /
+                             static_cast<double>(positives)});
+    }
+    return curve;
+}
+
+double roc_auc(std::span<const int> labels, std::span<const double> scores) {
+    const std::vector<roc_point> curve = roc_curve(labels, scores);
+    double area = 0.0;
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        const double dx = curve[i].false_positive_rate -
+                          curve[i - 1].false_positive_rate;
+        const double avg_y = 0.5 * (curve[i].true_positive_rate +
+                                    curve[i - 1].true_positive_rate);
+        area += dx * avg_y;
+    }
+    return area;
+}
+
+} // namespace quorum::metrics

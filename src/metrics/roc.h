@@ -1,0 +1,34 @@
+// ROC analysis: threshold-free ranking quality, complementing the paper's
+// detection-rate curves (which are anomaly-recall vs dataset fraction,
+// not FPR). ROC-AUC equals the probability that a random anomaly outranks
+// a random normal sample — the cleanest single-number summary for
+// comparing detectors across operating points.
+#ifndef QUORUM_METRICS_ROC_H
+#define QUORUM_METRICS_ROC_H
+
+#include <span>
+#include <vector>
+
+namespace quorum::metrics {
+
+/// One ROC point.
+struct roc_point {
+    double false_positive_rate = 0.0;
+    double true_positive_rate = 0.0;
+};
+
+/// Full ROC curve from scores (higher = more anomalous) and 0/1 labels.
+/// Points are ordered by descending threshold, starting at (0,0) and
+/// ending at (1,1). Tied scores advance both rates together (no
+/// artificial staircase through ties).
+[[nodiscard]] std::vector<roc_point> roc_curve(std::span<const int> labels,
+                                               std::span<const double> scores);
+
+/// Area under the ROC curve via the Mann–Whitney statistic (ties count
+/// half). 0.5 = random, 1.0 = perfect. Throws when either class is empty.
+[[nodiscard]] double roc_auc(std::span<const int> labels,
+                             std::span<const double> scores);
+
+} // namespace quorum::metrics
+
+#endif // QUORUM_METRICS_ROC_H

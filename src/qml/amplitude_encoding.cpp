@@ -1,0 +1,57 @@
+#include "qml/amplitude_encoding.h"
+
+#include <cmath>
+
+#include "qsim/transpile.h"
+#include "util/contracts.h"
+
+namespace quorum::qml {
+
+std::vector<double> to_amplitudes(std::span<const double> features,
+                                  std::size_t n_qubits) {
+    QUORUM_EXPECTS_MSG(n_qubits >= 1 && n_qubits <= 20,
+                       "encoding qubit count out of range");
+    const std::size_t dim = std::size_t{1} << n_qubits;
+    QUORUM_EXPECTS_MSG(features.size() <= max_features(n_qubits),
+                       "too many features for the register (need 2^n - 1)");
+    std::vector<double> amplitudes(dim, 0.0);
+    double sum_squares = 0.0;
+    for (std::size_t j = 0; j < features.size(); ++j) {
+        const double value = features[j];
+        QUORUM_EXPECTS_MSG(value >= -1e-12 && value <= 1.0 + 1e-12,
+                           "features must be normalised into [0, 1]");
+        const double clamped = std::min(1.0, std::max(0.0, value));
+        amplitudes[j] = clamped;
+        sum_squares += clamped * clamped;
+    }
+    QUORUM_EXPECTS_MSG(sum_squares <= 1.0 + 1e-9,
+                       "feature squares exceed unit probability mass; "
+                       "apply the 1/M normalisation first");
+    amplitudes[overflow_index(n_qubits)] =
+        std::sqrt(std::max(0.0, 1.0 - sum_squares));
+    // Exact renormalisation to absorb rounding.
+    double norm = 0.0;
+    for (const double a : amplitudes) {
+        norm += a * a;
+    }
+    const double scale = 1.0 / std::sqrt(norm);
+    for (double& a : amplitudes) {
+        a *= scale;
+    }
+    return amplitudes;
+}
+
+qsim::statevector encode_state(std::span<const double> features,
+                               std::size_t n_qubits) {
+    const std::vector<double> amplitudes = to_amplitudes(features, n_qubits);
+    std::vector<qsim::amp> complex_amps(amplitudes.begin(), amplitudes.end());
+    return qsim::statevector::from_amplitudes(std::move(complex_amps));
+}
+
+qsim::circuit encoding_circuit(std::span<const double> features,
+                               std::size_t n_qubits) {
+    const std::vector<double> amplitudes = to_amplitudes(features, n_qubits);
+    return qsim::synthesize_state_prep(amplitudes);
+}
+
+} // namespace quorum::qml

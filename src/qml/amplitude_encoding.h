@@ -1,0 +1,48 @@
+// Amplitude encoding with an overflow state (paper §IV-B).
+//
+// Quorum normalises each of M features into [0, 1/M] so the sum of squared
+// feature values never exceeds 1; a sample's m <= 2^n - 1 selected feature
+// values become the first m amplitudes of an n-qubit state, and the last
+// basis state |2^n - 1> absorbs the remaining probability mass
+// ("overflow state"), keeping the state normalised.
+#ifndef QUORUM_QML_AMPLITUDE_ENCODING_H
+#define QUORUM_QML_AMPLITUDE_ENCODING_H
+
+#include <span>
+#include <vector>
+
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+
+namespace quorum::qml {
+
+/// Index of the overflow basis state for an n-qubit register.
+[[nodiscard]] constexpr std::size_t overflow_index(std::size_t n_qubits) {
+    return (std::size_t{1} << n_qubits) - 1;
+}
+
+/// Maximum number of features an n-qubit register encodes (2^n - 1,
+/// leaving room for the overflow state) — paper §IV-C.
+[[nodiscard]] constexpr std::size_t max_features(std::size_t n_qubits) {
+    return (std::size_t{1} << n_qubits) - 1;
+}
+
+/// Builds the amplitude vector for one sample: amplitudes[j] = features[j]
+/// for j < m, amplitudes[2^n - 1] = sqrt(1 - sum features^2) (overflow).
+/// Requires every feature in [0, 1] and sum of squares <= 1 (+1e-9 slack).
+/// The result is exactly normalised.
+[[nodiscard]] std::vector<double>
+to_amplitudes(std::span<const double> features, std::size_t n_qubits);
+
+/// The encoded pure state (exact fast path, no gates).
+[[nodiscard]] qsim::statevector encode_state(std::span<const double> features,
+                                             std::size_t n_qubits);
+
+/// A gate-level state-preparation circuit for the encoded state
+/// (Möttönen uniformly-controlled-RY tree; what noisy hardware would run).
+[[nodiscard]] qsim::circuit encoding_circuit(std::span<const double> features,
+                                             std::size_t n_qubits);
+
+} // namespace quorum::qml
+
+#endif // QUORUM_QML_AMPLITUDE_ENCODING_H

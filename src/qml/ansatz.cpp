@@ -1,0 +1,58 @@
+#include "qml/ansatz.h"
+
+#include "util/contracts.h"
+
+namespace quorum::qml {
+
+ansatz_params random_ansatz_params(std::size_t n_qubits, std::size_t layers,
+                                   util::rng& gen) {
+    QUORUM_EXPECTS(n_qubits >= 1);
+    QUORUM_EXPECTS(layers >= 1);
+    ansatz_params params;
+    params.n_qubits = n_qubits;
+    params.layers = layers;
+    params.rx_angles.resize(layers * n_qubits);
+    params.rz_angles.resize(layers * n_qubits);
+    for (double& theta : params.rx_angles) {
+        theta = gen.angle();
+    }
+    for (double& theta : params.rz_angles) {
+        theta = gen.angle();
+    }
+    return params;
+}
+
+void append_encoder(qsim::circuit& c, const ansatz_params& params,
+                    std::span<const qsim::qubit_t> reg) {
+    QUORUM_EXPECTS(reg.size() == params.n_qubits);
+    for (std::size_t layer = 0; layer < params.layers; ++layer) {
+        for (std::size_t q = 0; q < reg.size(); ++q) {
+            c.rx(params.rx(layer, q), reg[q]);
+        }
+        for (std::size_t q = 0; q < reg.size(); ++q) {
+            c.rz(params.rz(layer, q), reg[q]);
+        }
+        for (std::size_t q = 0; q + 1 < reg.size(); ++q) {
+            c.cx(reg[q], reg[q + 1]);
+        }
+    }
+}
+
+void append_decoder(qsim::circuit& c, const ansatz_params& params,
+                    std::span<const qsim::qubit_t> reg) {
+    QUORUM_EXPECTS(reg.size() == params.n_qubits);
+    for (std::size_t layer = params.layers; layer > 0; --layer) {
+        const std::size_t l = layer - 1;
+        for (std::size_t q = reg.size() - 1; q + 1 >= 2; --q) {
+            c.cx(reg[q - 1], reg[q]);
+        }
+        for (std::size_t q = 0; q < reg.size(); ++q) {
+            c.rz(-params.rz(l, q), reg[q]);
+        }
+        for (std::size_t q = 0; q < reg.size(); ++q) {
+            c.rx(-params.rx(l, q), reg[q]);
+        }
+    }
+}
+
+} // namespace quorum::qml

@@ -1,0 +1,54 @@
+// Quorum's random autoencoder ansatz (paper Fig. 5): per layer, an RX and
+// an RZ rotation on every qubit followed by a CNOT ladder. Angles are drawn
+// once per ensemble group from U(0, 2π) and NEVER trained — the decoder is
+// the exact inverse (reversed ladder, negated angles), so without the
+// bottleneck reset the encoder/decoder pair is the identity.
+#ifndef QUORUM_QML_ANSATZ_H
+#define QUORUM_QML_ANSATZ_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "qsim/circuit.h"
+#include "util/rng.h"
+
+namespace quorum::qml {
+
+/// Angles for one random encoder instance.
+struct ansatz_params {
+    std::size_t n_qubits = 0;
+    std::size_t layers = 0;
+    std::vector<double> rx_angles; ///< layers * n_qubits, layer-major
+    std::vector<double> rz_angles; ///< layers * n_qubits, layer-major
+
+    [[nodiscard]] double rx(std::size_t layer, std::size_t q) const {
+        return rx_angles[layer * n_qubits + q];
+    }
+    [[nodiscard]] double rz(std::size_t layer, std::size_t q) const {
+        return rz_angles[layer * n_qubits + q];
+    }
+    /// Total number of rotation parameters.
+    [[nodiscard]] std::size_t size() const noexcept {
+        return rx_angles.size() + rz_angles.size();
+    }
+};
+
+/// Draws all angles from U(0, 2π) (paper §IV-D).
+[[nodiscard]] ansatz_params random_ansatz_params(std::size_t n_qubits,
+                                                 std::size_t layers,
+                                                 util::rng& gen);
+
+/// Appends the encoder E(θ) onto `c` over the qubits in `reg`:
+/// per layer: RX on every qubit, RZ on every qubit, CX ladder
+/// reg[0]->reg[1]->...->reg[n-1].
+void append_encoder(qsim::circuit& c, const ansatz_params& params,
+                    std::span<const qsim::qubit_t> reg);
+
+/// Appends the decoder D(θ) = E(θ)^{-1}: reversed ladders, negated angles.
+void append_decoder(qsim::circuit& c, const ansatz_params& params,
+                    std::span<const qsim::qubit_t> reg);
+
+} // namespace quorum::qml
+
+#endif // QUORUM_QML_ANSATZ_H

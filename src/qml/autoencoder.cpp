@@ -1,0 +1,91 @@
+#include "qml/autoencoder.h"
+
+#include <cmath>
+
+#include "qml/swap_test.h"
+#include "qsim/statevector.h"
+#include "qsim/statevector_runner.h"
+#include "util/contracts.h"
+
+namespace quorum::qml {
+
+std::vector<qsim::qubit_t> autoencoder_layout::reg_a() const {
+    std::vector<qsim::qubit_t> reg(n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+        reg[q] = static_cast<qsim::qubit_t>(q);
+    }
+    return reg;
+}
+
+std::vector<qsim::qubit_t> autoencoder_layout::reg_b() const {
+    std::vector<qsim::qubit_t> reg(n_qubits);
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+        reg[q] = static_cast<qsim::qubit_t>(n_qubits + q);
+    }
+    return reg;
+}
+
+qsim::circuit build_autoencoder_circuit(std::span<const double> amplitudes,
+                                        const ansatz_params& params,
+                                        std::size_t compression) {
+    const std::size_t n = params.n_qubits;
+    QUORUM_EXPECTS(amplitudes.size() == (std::size_t{1} << n));
+    QUORUM_EXPECTS_MSG(compression < n,
+                       "compression must leave at least one qubit");
+    const autoencoder_layout layout{n};
+    const std::vector<qsim::qubit_t> reg_a = layout.reg_a();
+    const std::vector<qsim::qubit_t> reg_b = layout.reg_b();
+
+    qsim::circuit c(layout.total_qubits(), 1);
+    c.initialize(reg_a, amplitudes);
+    c.initialize(reg_b, amplitudes);
+    c.barrier();
+    append_encoder(c, params, reg_a);
+    // Information bottleneck: reset the top `compression` qubits of A.
+    for (std::size_t k = 0; k < compression; ++k) {
+        c.reset(reg_a[n - 1 - k]);
+    }
+    append_decoder(c, params, reg_a);
+    c.barrier();
+    append_swap_test(c, reg_a, reg_b, layout.ancilla(), swap_result_cbit);
+    return c;
+}
+
+double analytic_swap_p1(std::span<const double> amplitudes,
+                        const ansatz_params& params, std::size_t compression) {
+    const std::size_t n = params.n_qubits;
+    QUORUM_EXPECTS(amplitudes.size() == (std::size_t{1} << n));
+    QUORUM_EXPECTS_MSG(compression < n,
+                       "compression must leave at least one qubit");
+
+    // Build the register-A-only circuit: E(θ), resets, D(θ).
+    std::vector<qsim::qubit_t> reg(n);
+    for (std::size_t q = 0; q < n; ++q) {
+        reg[q] = static_cast<qsim::qubit_t>(q);
+    }
+    qsim::circuit c(n);
+    c.initialize(reg, amplitudes);
+    append_encoder(c, params, reg);
+    for (std::size_t k = 0; k < compression; ++k) {
+        c.reset(reg[n - 1 - k]);
+    }
+    append_decoder(c, params, reg);
+
+    const qsim::exact_run_result mixture = qsim::statevector_runner::run_exact(c);
+
+    std::vector<qsim::amp> reference_amps(amplitudes.size());
+    for (std::size_t j = 0; j < amplitudes.size(); ++j) {
+        reference_amps[j] = amplitudes[j];
+    }
+    const qsim::statevector reference =
+        qsim::statevector::from_amplitudes(std::move(reference_amps));
+
+    // Tr(rho_A |psi><psi|) = sum_b w_b |<psi|phi_b>|^2.
+    double fidelity = 0.0;
+    for (const qsim::branch& b : mixture.branches) {
+        fidelity += b.weight * std::norm(reference.inner_product(b.state));
+    }
+    return swap_test_p1_from_overlap(fidelity);
+}
+
+} // namespace quorum::qml

@@ -1,0 +1,68 @@
+// The full Quorum autoencoder circuit (paper Fig. 2 + Fig. 6):
+//
+//   reg A (n qubits): amplitude-encode sample -> encoder E(θ)
+//                     -> partial reset of `compression` qubits
+//                     -> decoder D(θ) = E(θ)^-1
+//   reg B (n qubits): amplitude-encode the same sample (reference copy)
+//   ancilla (1 qubit): SWAP test between A and B -> measured
+//
+// Total 2n + 1 qubits. P(ancilla = 1) is the per-sample deviation signal:
+// 0 when the bottleneck did not disturb the state, up to 1/2 when the
+// reconstructed state is orthogonal to the reference.
+//
+// Two equivalent evaluation paths are provided:
+//  * build_autoencoder_circuit: the real 2n+1-qubit circuit (what noisy
+//    hardware runs; needed for the density-matrix backend);
+//  * analytic_swap_p1: an exact n-qubit shortcut — evolve only register A
+//    through E/reset/D as a branch mixture and use
+//    P(1) = (1 - sum_b w_b |<psi|phi_b>|^2) / 2.
+// A property test asserts the two agree to 1e-12.
+#ifndef QUORUM_QML_AUTOENCODER_H
+#define QUORUM_QML_AUTOENCODER_H
+
+#include <span>
+
+#include "qml/ansatz.h"
+#include "qsim/circuit.h"
+
+namespace quorum::qml {
+
+/// Qubit layout of a Quorum circuit over n-qubit registers.
+struct autoencoder_layout {
+    std::size_t n_qubits = 0;
+
+    /// Register A (transformed copy): qubits [0, n).
+    [[nodiscard]] std::vector<qsim::qubit_t> reg_a() const;
+    /// Register B (reference copy): qubits [n, 2n).
+    [[nodiscard]] std::vector<qsim::qubit_t> reg_b() const;
+    /// Ancilla qubit: 2n.
+    [[nodiscard]] qsim::qubit_t ancilla() const {
+        return static_cast<qsim::qubit_t>(2 * n_qubits);
+    }
+    /// Total qubits: 2n + 1.
+    [[nodiscard]] std::size_t total_qubits() const { return 2 * n_qubits + 1; }
+};
+
+/// The classical bit the SWAP-test ancilla is measured into.
+inline constexpr int swap_result_cbit = 0;
+
+/// Builds the full 2n+1-qubit circuit for one (sample, θ, compression)
+/// triple. `amplitudes` is the 2^n-dim encoded amplitude vector (see
+/// qml::to_amplitudes). `compression` qubits of register A — the top ones,
+/// reg A qubits [n - compression, n) — are reset between E and D;
+/// compression must be < n (paper: level 1 = most qubits reset).
+/// With compression == 0 the circuit is an identity check (P(1) = 0).
+[[nodiscard]] qsim::circuit
+build_autoencoder_circuit(std::span<const double> amplitudes,
+                          const ansatz_params& params,
+                          std::size_t compression);
+
+/// Exact P(ancilla = 1) via the register-A-only shortcut (no SWAP gates,
+/// no doubled register). Deterministic: reset branches are enumerated.
+[[nodiscard]] double analytic_swap_p1(std::span<const double> amplitudes,
+                                      const ansatz_params& params,
+                                      std::size_t compression);
+
+} // namespace quorum::qml
+
+#endif // QUORUM_QML_AUTOENCODER_H

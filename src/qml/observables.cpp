@@ -1,0 +1,15 @@
+#include "qml/observables.h"
+
+namespace quorum::qml {
+
+double z_expectation(const qsim::statevector& state, qsim::qubit_t q) {
+    return 1.0 - 2.0 * state.probability_one(q);
+}
+
+double z_expectation(const qsim::exact_run_result& result, qsim::qubit_t q) {
+    return 1.0 - 2.0 * result.probability_one(q);
+}
+
+double z_to_probability(double z_value) { return 0.5 * (1.0 - z_value); }
+
+} // namespace quorum::qml

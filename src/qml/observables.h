@@ -1,0 +1,24 @@
+// Pauli-Z expectation values — the readout used by the QNN baseline.
+#ifndef QUORUM_QML_OBSERVABLES_H
+#define QUORUM_QML_OBSERVABLES_H
+
+#include "qsim/statevector.h"
+#include "qsim/statevector_runner.h"
+
+namespace quorum::qml {
+
+/// <Z_q> = P(q = 0) - P(q = 1) for a pure state.
+[[nodiscard]] double z_expectation(const qsim::statevector& state,
+                                   qsim::qubit_t q);
+
+/// <Z_q> under a branch mixture (exact runner output).
+[[nodiscard]] double z_expectation(const qsim::exact_run_result& result,
+                                   qsim::qubit_t q);
+
+/// Maps <Z> in [-1, 1] to a probability-like score in [0, 1]:
+/// p = (1 - <Z>)/2 (so |1> -> 1).
+[[nodiscard]] double z_to_probability(double z_value);
+
+} // namespace quorum::qml
+
+#endif // QUORUM_QML_OBSERVABLES_H

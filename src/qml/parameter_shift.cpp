@@ -1,0 +1,46 @@
+#include "qml/parameter_shift.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::qml {
+
+std::vector<double>
+parameter_shift_gradient(const expectation_fn& evaluate,
+                         std::span<const double> params, double shift) {
+    QUORUM_EXPECTS(std::abs(std::sin(shift)) > 1e-9);
+    std::vector<double> shifted(params.begin(), params.end());
+    std::vector<double> gradient(params.size());
+    const double denom = 2.0 * std::sin(shift);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const double original = shifted[i];
+        shifted[i] = original + shift;
+        const double plus = evaluate(shifted);
+        shifted[i] = original - shift;
+        const double minus = evaluate(shifted);
+        shifted[i] = original;
+        gradient[i] = (plus - minus) / denom;
+    }
+    return gradient;
+}
+
+std::vector<double>
+finite_difference_gradient(const expectation_fn& evaluate,
+                           std::span<const double> params, double step) {
+    QUORUM_EXPECTS(step > 0.0);
+    std::vector<double> shifted(params.begin(), params.end());
+    std::vector<double> gradient(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const double original = shifted[i];
+        shifted[i] = original + step;
+        const double plus = evaluate(shifted);
+        shifted[i] = original - step;
+        const double minus = evaluate(shifted);
+        shifted[i] = original;
+        gradient[i] = (plus - minus) / (2.0 * step);
+    }
+    return gradient;
+}
+
+} // namespace quorum::qml

@@ -1,0 +1,35 @@
+// Parameter-shift gradients (paper §I: "Quantum systems require gradient
+// calculations from first principles using the parameter shift rule").
+// Quorum itself needs NO gradients — this exists for the trained QNN
+// baseline the paper compares against, and to let benches demonstrate the
+// training cost Quorum avoids.
+#ifndef QUORUM_QML_PARAMETER_SHIFT_H
+#define QUORUM_QML_PARAMETER_SHIFT_H
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace quorum::qml {
+
+/// An expectation-value evaluator E(θ) over a parameter vector.
+using expectation_fn = std::function<double(std::span<const double>)>;
+
+/// Exact gradient of E for circuits whose parameters enter through
+/// standard rotation gates (generator eigenvalues ±1/2):
+///   dE/dθ_i = [E(θ + s e_i) - E(θ - s e_i)] / (2 sin s),  s = π/2.
+/// Costs 2 evaluations per parameter.
+[[nodiscard]] std::vector<double>
+parameter_shift_gradient(const expectation_fn& evaluate,
+                         std::span<const double> params,
+                         double shift = 1.5707963267948966);
+
+/// Central finite-difference gradient (for cross-checking only).
+[[nodiscard]] std::vector<double>
+finite_difference_gradient(const expectation_fn& evaluate,
+                           std::span<const double> params,
+                           double step = 1e-6);
+
+} // namespace quorum::qml
+
+#endif // QUORUM_QML_PARAMETER_SHIFT_H

@@ -1,0 +1,41 @@
+#include "qml/swap_test.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::qml {
+
+void append_swap_test(qsim::circuit& c, std::span<const qsim::qubit_t> reg_a,
+                      std::span<const qsim::qubit_t> reg_b,
+                      qsim::qubit_t ancilla, int cbit) {
+    QUORUM_EXPECTS_MSG(reg_a.size() == reg_b.size(),
+                       "SWAP test registers must have equal size");
+    QUORUM_EXPECTS(!reg_a.empty());
+    c.h(ancilla);
+    for (std::size_t i = 0; i < reg_a.size(); ++i) {
+        c.cswap(ancilla, reg_a[i], reg_b[i]);
+    }
+    c.h(ancilla);
+    if (cbit >= 0) {
+        c.measure(ancilla, cbit);
+    }
+}
+
+double swap_test_p1_from_overlap(double overlap_squared) {
+    QUORUM_EXPECTS(overlap_squared >= -1e-9 && overlap_squared <= 1.0 + 1e-9);
+    const double clamped = std::min(1.0, std::max(0.0, overlap_squared));
+    return 0.5 * (1.0 - clamped);
+}
+
+double overlap_from_swap_test_p1(double p_one) {
+    QUORUM_EXPECTS(p_one >= -1e-9 && p_one <= 0.5 + 1e-9);
+    return std::max(0.0, 1.0 - 2.0 * p_one);
+}
+
+double swap_test_p1(const qsim::statevector& a, const qsim::statevector& b) {
+    const double overlap = std::norm(a.inner_product(b));
+    return swap_test_p1_from_overlap(overlap);
+}
+
+} // namespace quorum::qml

@@ -1,0 +1,34 @@
+// SWAP test (paper §II-B): measures the overlap |<phi|psi>|^2 between two
+// registers. P(ancilla = 0) = (1 + |<phi|psi>|^2)/2; Quorum uses
+// P(ancilla = 1) = (1 - overlap)/2 as its per-sample deviation signal —
+// identical states give 0, orthogonal states give 1/2.
+#ifndef QUORUM_QML_SWAP_TEST_H
+#define QUORUM_QML_SWAP_TEST_H
+
+#include <span>
+
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+
+namespace quorum::qml {
+
+/// Appends a SWAP test between two equal-size registers onto `c`:
+/// H(ancilla), CSWAP(ancilla; a_i, b_i) for each pair, H(ancilla),
+/// measure(ancilla -> cbit). Pass cbit = -1 to skip the measurement.
+void append_swap_test(qsim::circuit& c, std::span<const qsim::qubit_t> reg_a,
+                      std::span<const qsim::qubit_t> reg_b,
+                      qsim::qubit_t ancilla, int cbit);
+
+/// P(ancilla = 1) given the squared overlap |<phi|psi>|^2.
+[[nodiscard]] double swap_test_p1_from_overlap(double overlap_squared);
+
+/// Squared overlap recovered from a measured P(ancilla = 1).
+[[nodiscard]] double overlap_from_swap_test_p1(double p_one);
+
+/// Analytic P(ancilla = 1) for two explicit pure states.
+[[nodiscard]] double swap_test_p1(const qsim::statevector& a,
+                                  const qsim::statevector& b);
+
+} // namespace quorum::qml
+
+#endif // QUORUM_QML_SWAP_TEST_H

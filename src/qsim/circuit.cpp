@@ -1,0 +1,314 @@
+#include "qsim/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "qsim/statevector.h"
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+circuit::circuit(std::size_t num_qubits, std::size_t num_clbits)
+    : num_qubits_(num_qubits), num_clbits_(num_clbits) {
+    QUORUM_EXPECTS_MSG(num_qubits >= 1, "circuit needs at least one qubit");
+    QUORUM_EXPECTS_MSG(num_qubits <= 30, "state vectors above 30 qubits are unsupported");
+}
+
+void circuit::check_qubit(qubit_t q) const {
+    QUORUM_EXPECTS_MSG(q < num_qubits_, "qubit index out of range");
+}
+
+void circuit::check_distinct(std::span<const qubit_t> qs) const {
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+        check_qubit(qs[i]);
+        for (std::size_t j = i + 1; j < qs.size(); ++j) {
+            QUORUM_EXPECTS_MSG(qs[i] != qs[j], "gate operands must be distinct");
+        }
+    }
+}
+
+circuit& circuit::add_gate(gate_kind kind, std::vector<qubit_t> qs,
+                           std::vector<double> params) {
+    QUORUM_EXPECTS(qs.size() == gate_arity(kind));
+    QUORUM_EXPECTS(params.size() == gate_param_count(kind));
+    check_distinct(qs);
+    operation op;
+    op.kind = op_kind::gate;
+    op.gate = kind;
+    op.qubits = std::move(qs);
+    op.params = std::move(params);
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+circuit& circuit::id(qubit_t q) { return add_gate(gate_kind::id, {q}, {}); }
+circuit& circuit::x(qubit_t q) { return add_gate(gate_kind::x, {q}, {}); }
+circuit& circuit::y(qubit_t q) { return add_gate(gate_kind::y, {q}, {}); }
+circuit& circuit::z(qubit_t q) { return add_gate(gate_kind::z, {q}, {}); }
+circuit& circuit::h(qubit_t q) { return add_gate(gate_kind::h, {q}, {}); }
+circuit& circuit::s(qubit_t q) { return add_gate(gate_kind::s, {q}, {}); }
+circuit& circuit::sdg(qubit_t q) { return add_gate(gate_kind::sdg, {q}, {}); }
+circuit& circuit::t(qubit_t q) { return add_gate(gate_kind::t, {q}, {}); }
+circuit& circuit::tdg(qubit_t q) { return add_gate(gate_kind::tdg, {q}, {}); }
+circuit& circuit::sx(qubit_t q) { return add_gate(gate_kind::sx, {q}, {}); }
+
+circuit& circuit::rx(double theta, qubit_t q) {
+    return add_gate(gate_kind::rx, {q}, {theta});
+}
+circuit& circuit::ry(double theta, qubit_t q) {
+    return add_gate(gate_kind::ry, {q}, {theta});
+}
+circuit& circuit::rz(double theta, qubit_t q) {
+    return add_gate(gate_kind::rz, {q}, {theta});
+}
+circuit& circuit::u3(double theta, double phi, double lambda, qubit_t q) {
+    return add_gate(gate_kind::u3, {q}, {theta, phi, lambda});
+}
+
+circuit& circuit::cx(qubit_t control, qubit_t target) {
+    return add_gate(gate_kind::cx, {control, target}, {});
+}
+circuit& circuit::cz(qubit_t a, qubit_t b) {
+    return add_gate(gate_kind::cz, {a, b}, {});
+}
+circuit& circuit::swap(qubit_t a, qubit_t b) {
+    return add_gate(gate_kind::swap_q, {a, b}, {});
+}
+circuit& circuit::ccx(qubit_t control_a, qubit_t control_b, qubit_t target) {
+    return add_gate(gate_kind::ccx, {control_a, control_b, target}, {});
+}
+circuit& circuit::cswap(qubit_t control, qubit_t a, qubit_t b) {
+    return add_gate(gate_kind::cswap, {control, a, b}, {});
+}
+
+circuit& circuit::initialize(std::span<const qubit_t> qubits,
+                             std::span<const amp> amplitudes) {
+    check_distinct(qubits);
+    QUORUM_EXPECTS_MSG(qubits.size() >= 1 && qubits.size() <= 24,
+                       "initialize register size out of range");
+    QUORUM_EXPECTS_MSG(amplitudes.size() == (std::size_t{1} << qubits.size()),
+                       "initialize needs 2^k amplitudes");
+    double norm = 0.0;
+    for (const amp& a : amplitudes) {
+        norm += std::norm(a);
+    }
+    QUORUM_EXPECTS_MSG(std::abs(norm - 1.0) < 1e-9,
+                       "initialize amplitudes must be normalised");
+    operation op;
+    op.kind = op_kind::initialize;
+    op.qubits.assign(qubits.begin(), qubits.end());
+    op.init_amplitudes.assign(amplitudes.begin(), amplitudes.end());
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+circuit& circuit::initialize(std::span<const qubit_t> qubits,
+                             std::span<const double> amplitudes) {
+    std::vector<amp> complex_amps(amplitudes.begin(), amplitudes.end());
+    return initialize(qubits, std::span<const amp>(complex_amps));
+}
+
+circuit& circuit::reset(qubit_t q) {
+    check_qubit(q);
+    operation op;
+    op.kind = op_kind::reset;
+    op.qubits = {q};
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+circuit& circuit::measure(qubit_t q, int cbit) {
+    check_qubit(q);
+    QUORUM_EXPECTS_MSG(cbit >= 0 && static_cast<std::size_t>(cbit) < num_clbits_,
+                       "classical bit out of range");
+    operation op;
+    op.kind = op_kind::measure;
+    op.qubits = {q};
+    op.cbit = cbit;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+circuit& circuit::barrier() {
+    operation op;
+    op.kind = op_kind::barrier;
+    ops_.push_back(std::move(op));
+    return *this;
+}
+
+circuit& circuit::append_gate(gate_kind kind, std::span<const qubit_t> qubits,
+                              std::span<const double> params) {
+    return add_gate(kind, std::vector<qubit_t>(qubits.begin(), qubits.end()),
+                    std::vector<double>(params.begin(), params.end()));
+}
+
+circuit& circuit::append(const circuit& other,
+                         std::span<const qubit_t> qubit_map) {
+    QUORUM_EXPECTS_MSG(qubit_map.size() == other.num_qubits(),
+                       "qubit map must cover the appended circuit");
+    for (const qubit_t q : qubit_map) {
+        check_qubit(q);
+    }
+    QUORUM_EXPECTS_MSG(other.num_clbits() <= num_clbits_,
+                       "appended circuit needs more classical bits");
+    for (const operation& op : other.ops()) {
+        operation mapped = op;
+        for (qubit_t& q : mapped.qubits) {
+            q = qubit_map[q];
+        }
+        if (mapped.kind == op_kind::gate) {
+            check_distinct(mapped.qubits);
+        }
+        ops_.push_back(std::move(mapped));
+    }
+    return *this;
+}
+
+circuit circuit::inverse() const {
+    circuit inv(num_qubits_, num_clbits_);
+    for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+        const operation& op = *it;
+        switch (op.kind) {
+        case op_kind::barrier:
+            inv.barrier();
+            break;
+        case op_kind::gate: {
+            const gate_inverse_result g = gate_inverse(op.gate, op.params);
+            QUORUM_EXPECTS_MSG(g.supported, "gate has no in-set inverse");
+            std::vector<double> params(op.params.size());
+            for (std::size_t p = 0; p < params.size(); ++p) {
+                params[p] = g.params[p];
+            }
+            inv.add_gate(g.kind, op.qubits, std::move(params));
+            break;
+        }
+        default:
+            throw util::contract_error(
+                "cannot invert a circuit with non-unitary operations");
+        }
+    }
+    return inv;
+}
+
+std::size_t circuit::gate_count() const noexcept {
+    std::size_t count = 0;
+    for (const operation& op : ops_) {
+        if (op.kind == op_kind::gate) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t circuit::gate_count_arity(std::size_t arity) const noexcept {
+    std::size_t count = 0;
+    for (const operation& op : ops_) {
+        if (op.kind == op_kind::gate && gate_arity(op.gate) == arity) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t circuit::count_kind(gate_kind kind) const noexcept {
+    std::size_t count = 0;
+    for (const operation& op : ops_) {
+        if (op.kind == op_kind::gate && op.gate == kind) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t circuit::depth() const noexcept {
+    std::vector<std::size_t> frontier(num_qubits_, 0);
+    std::size_t max_depth = 0;
+    for (const operation& op : ops_) {
+        if (op.kind == op_kind::barrier) {
+            const std::size_t level =
+                *std::max_element(frontier.begin(), frontier.end());
+            std::fill(frontier.begin(), frontier.end(), level);
+            continue;
+        }
+        std::size_t level = 0;
+        for (const qubit_t q : op.qubits) {
+            level = std::max(level, frontier[q]);
+        }
+        ++level;
+        for (const qubit_t q : op.qubits) {
+            frontier[q] = level;
+        }
+        max_depth = std::max(max_depth, level);
+    }
+    return max_depth;
+}
+
+std::string circuit::to_string() const {
+    std::ostringstream out;
+    out << "circuit(" << num_qubits_ << " qubits, " << num_clbits_
+        << " clbits)\n";
+    for (const operation& op : ops_) {
+        switch (op.kind) {
+        case op_kind::gate:
+            out << "  " << gate_name(op.gate);
+            if (!op.params.empty()) {
+                out << "(";
+                for (std::size_t p = 0; p < op.params.size(); ++p) {
+                    out << (p ? ", " : "") << op.params[p];
+                }
+                out << ")";
+            }
+            break;
+        case op_kind::initialize:
+            out << "  initialize[" << op.init_amplitudes.size() << "]";
+            break;
+        case op_kind::reset:
+            out << "  reset";
+            break;
+        case op_kind::measure:
+            out << "  measure -> c" << op.cbit;
+            break;
+        case op_kind::barrier:
+            out << "  barrier";
+            break;
+        }
+        if (op.kind != op_kind::barrier) {
+            out << " q[";
+            for (std::size_t q = 0; q < op.qubits.size(); ++q) {
+                out << (q ? "," : "") << op.qubits[q];
+            }
+            out << "]";
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+util::cmatrix circuit_unitary(const circuit& c) {
+    const std::size_t dim = std::size_t{1} << c.num_qubits();
+    QUORUM_EXPECTS_MSG(c.num_qubits() <= 12,
+                       "circuit_unitary is for small circuits only");
+    util::cmatrix u(dim, dim);
+    for (std::size_t col = 0; col < dim; ++col) {
+        statevector state = statevector::basis_state(c.num_qubits(), col);
+        for (const operation& op : c.ops()) {
+            switch (op.kind) {
+            case op_kind::gate:
+                state.apply_gate(op.gate, op.qubits, op.params);
+                break;
+            case op_kind::barrier:
+                break;
+            default:
+                throw util::contract_error(
+                    "circuit_unitary requires a gates-only circuit");
+            }
+        }
+        for (std::size_t row = 0; row < dim; ++row) {
+            u(row, col) = state.amplitudes()[row];
+        }
+    }
+    return u;
+}
+
+} // namespace quorum::qsim

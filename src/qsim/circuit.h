@@ -1,0 +1,134 @@
+// Circuit intermediate representation: an ordered list of operations
+// (gates, register initialisation, mid-circuit resets, measurements,
+// barriers) over a fixed number of qubits and classical bits.
+//
+// This is the common currency between the encoders (qml), the transpiler,
+// and both execution engines (state vector and density matrix).
+#ifndef QUORUM_QSIM_CIRCUIT_H
+#define QUORUM_QSIM_CIRCUIT_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qsim/gates.h"
+#include "qsim/types.h"
+
+namespace quorum::qsim {
+
+/// Kind of a circuit operation.
+enum class op_kind {
+    gate,       ///< unitary gate from gate_kind
+    initialize, ///< set a (currently |0..0>) register to given amplitudes
+    reset,      ///< measure one qubit and force it to |0> (non-unitary)
+    measure,    ///< measure one qubit into a classical bit
+    barrier,    ///< scheduling hint; no effect on simulation
+};
+
+/// One operation in a circuit.
+struct operation {
+    op_kind kind = op_kind::gate;
+    gate_kind gate = gate_kind::id;     ///< valid when kind == gate
+    std::vector<qubit_t> qubits;        ///< operands, first = LSB of matrices
+    std::vector<double> params;         ///< rotation angles (kind == gate)
+    std::vector<amp> init_amplitudes;   ///< kind == initialize
+    int cbit = -1;                      ///< kind == measure
+};
+
+/// A quantum circuit: builder API + introspection. All builder methods
+/// validate qubit indices and return *this for chaining.
+class circuit {
+public:
+    /// Creates an empty circuit over `num_qubits` qubits and
+    /// `num_clbits` classical bits.
+    explicit circuit(std::size_t num_qubits, std::size_t num_clbits = 0);
+
+    [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+    [[nodiscard]] std::size_t num_clbits() const noexcept { return num_clbits_; }
+    [[nodiscard]] const std::vector<operation>& ops() const noexcept {
+        return ops_;
+    }
+
+    // --- single-qubit gates -------------------------------------------------
+    circuit& id(qubit_t q);
+    circuit& x(qubit_t q);
+    circuit& y(qubit_t q);
+    circuit& z(qubit_t q);
+    circuit& h(qubit_t q);
+    circuit& s(qubit_t q);
+    circuit& sdg(qubit_t q);
+    circuit& t(qubit_t q);
+    circuit& tdg(qubit_t q);
+    circuit& sx(qubit_t q);
+    circuit& rx(double theta, qubit_t q);
+    circuit& ry(double theta, qubit_t q);
+    circuit& rz(double theta, qubit_t q);
+    circuit& u3(double theta, double phi, double lambda, qubit_t q);
+
+    // --- multi-qubit gates --------------------------------------------------
+    circuit& cx(qubit_t control, qubit_t target);
+    circuit& cz(qubit_t a, qubit_t b);
+    circuit& swap(qubit_t a, qubit_t b);
+    circuit& ccx(qubit_t control_a, qubit_t control_b, qubit_t target);
+    circuit& cswap(qubit_t control, qubit_t a, qubit_t b);
+
+    // --- non-unitary / structural ops ---------------------------------------
+    /// Initialises `qubits` (which must currently be in |0..0>) with the
+    /// given 2^k amplitudes. The first qubit is the LSB of the index.
+    circuit& initialize(std::span<const qubit_t> qubits,
+                        std::span<const amp> amplitudes);
+    /// Convenience overload for real non-negative amplitudes.
+    circuit& initialize(std::span<const qubit_t> qubits,
+                        std::span<const double> amplitudes);
+    circuit& reset(qubit_t q);
+    circuit& measure(qubit_t q, int cbit);
+    circuit& barrier();
+
+    /// Appends a generic gate operation (used by the transpiler).
+    circuit& append_gate(gate_kind kind, std::span<const qubit_t> qubits,
+                         std::span<const double> params = {});
+
+    /// Appends all of `other`'s operations, mapping its qubit i to
+    /// this circuit's qubit `qubit_map[i]`. Classical bits map identically.
+    circuit& append(const circuit& other, std::span<const qubit_t> qubit_map);
+
+    /// The inverse circuit (gates reversed with inverted kinds/angles).
+    /// Throws if the circuit contains non-unitary ops or gates without an
+    /// in-set inverse (sx, u3).
+    [[nodiscard]] circuit inverse() const;
+
+    // --- accounting ----------------------------------------------------------
+    /// Total number of gate operations.
+    [[nodiscard]] std::size_t gate_count() const noexcept;
+    /// Number of gate operations with the given arity (1, 2, or 3 qubits).
+    [[nodiscard]] std::size_t gate_count_arity(std::size_t arity) const noexcept;
+    /// Number of operations of a specific gate kind.
+    [[nodiscard]] std::size_t count_kind(gate_kind kind) const noexcept;
+    /// Circuit depth: longest chain of operations per qubit (barriers and
+    /// initialize count as full-width layers; measures/resets count as ops).
+    [[nodiscard]] std::size_t depth() const noexcept;
+
+    /// Human-readable listing, one op per line (for debugging/logging).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    void check_qubit(qubit_t q) const;
+    void check_distinct(std::span<const qubit_t> qs) const;
+    circuit& add_gate(gate_kind kind, std::vector<qubit_t> qs,
+                      std::vector<double> params);
+
+    std::size_t num_qubits_;
+    std::size_t num_clbits_;
+    std::vector<operation> ops_;
+};
+
+/// Dense unitary of a gates-only circuit (little-endian indexing),
+/// computed column-by-column with the state-vector engine.
+/// Throws on non-unitary ops. Intended for tests and transpiler checks
+/// on small circuits.
+[[nodiscard]] util::cmatrix circuit_unitary(const circuit& c);
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_CIRCUIT_H

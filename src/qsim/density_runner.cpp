@@ -1,0 +1,69 @@
+#include "qsim/density_runner.h"
+
+#include "qsim/transpile.h"
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+double noisy_run_result::cbit_probability_one(int cbit,
+                                              const noise_model& noise) const {
+    for (const auto& [qubit, bit] : measures) {
+        if (bit == cbit) {
+            return noise.apply_readout(state.probability_one(qubit));
+        }
+    }
+    throw util::contract_error("no measurement wrote the requested cbit");
+}
+
+noisy_run_result density_runner::run(const circuit& c,
+                                     const noise_model& noise) {
+    const circuit lowered = transpile_for_hardware(c);
+    noisy_run_result result{density_matrix(c.num_qubits()), {}};
+
+    for (const operation& op : lowered.ops()) {
+        switch (op.kind) {
+        case op_kind::barrier:
+            break;
+        case op_kind::initialize:
+            throw util::contract_error("initialize survived transpilation");
+        case op_kind::gate: {
+            result.state.apply_gate(op.gate, op.qubits, op.params);
+            const double p = noise.depolarizing_param(op.gate);
+            if (p > 0.0) {
+                result.state.depolarize(op.qubits, p);
+            }
+            const auto thermal =
+                noise.thermal_coefficients(noise.duration_ns(op.gate));
+            if (thermal.gamma > 0.0 || thermal.lambda > 0.0) {
+                for (const qubit_t q : op.qubits) {
+                    result.state.apply_thermal(q, thermal.gamma, thermal.lambda);
+                }
+            }
+            break;
+        }
+        case op_kind::reset:
+            result.state.reset_qubit(op.qubits[0]);
+            break;
+        case op_kind::measure: {
+            // Thermal decay during the (comparatively long) readout window.
+            const auto thermal =
+                noise.thermal_coefficients(noise.measure_duration_ns());
+            if (thermal.gamma > 0.0 || thermal.lambda > 0.0) {
+                result.state.apply_thermal(op.qubits[0], thermal.gamma,
+                                           thermal.lambda);
+            }
+            result.measures.emplace_back(op.qubits[0], op.cbit);
+            break;
+        }
+        }
+    }
+    return result;
+}
+
+double density_runner::probability_one(const circuit& c, qubit_t q,
+                                       const noise_model& noise) {
+    const noisy_run_result result = run(c, noise);
+    return noise.apply_readout(result.state.probability_one(q));
+}
+
+} // namespace quorum::qsim

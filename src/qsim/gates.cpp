@@ -1,0 +1,256 @@
+#include "qsim/gates.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+namespace {
+
+using util::cmatrix;
+using cd = std::complex<double>;
+
+cmatrix mat2(cd a, cd b, cd c, cd d) {
+    return cmatrix::from_rows(2, 2, {a, b, c, d});
+}
+
+/// 4x4 matrix in the little-endian (first qubit = LSB) convention.
+cmatrix cx_matrix() {
+    // control = qubit argument 0 (LSB), target = qubit argument 1.
+    // |q1 q0>: |01> <-> |11>, i.e. indices 1 <-> 3.
+    cmatrix m(4, 4);
+    m(0, 0) = 1.0;
+    m(1, 3) = 1.0;
+    m(2, 2) = 1.0;
+    m(3, 1) = 1.0;
+    return m;
+}
+
+cmatrix cz_matrix() {
+    cmatrix m = cmatrix::identity(4);
+    m(3, 3) = -1.0;
+    return m;
+}
+
+cmatrix swap_matrix() {
+    cmatrix m(4, 4);
+    m(0, 0) = 1.0;
+    m(1, 2) = 1.0;
+    m(2, 1) = 1.0;
+    m(3, 3) = 1.0;
+    return m;
+}
+
+cmatrix ccx_matrix() {
+    // controls = qubit args 0,1 (bits 0,1), target = qubit arg 2 (bit 2):
+    // |011> (3) <-> |111> (7).
+    cmatrix m = cmatrix::identity(8);
+    m(3, 3) = 0.0;
+    m(7, 7) = 0.0;
+    m(3, 7) = 1.0;
+    m(7, 3) = 1.0;
+    return m;
+}
+
+cmatrix cswap_matrix() {
+    // control = qubit arg 0 (bit 0), swapped pair = qubit args 1, 2
+    // (bits 1, 2): |011> (3) <-> |101> (5).
+    cmatrix m = cmatrix::identity(8);
+    m(3, 3) = 0.0;
+    m(5, 5) = 0.0;
+    m(3, 5) = 1.0;
+    m(5, 3) = 1.0;
+    return m;
+}
+
+} // namespace
+
+std::size_t gate_arity(gate_kind kind) noexcept {
+    switch (kind) {
+    case gate_kind::cx:
+    case gate_kind::cz:
+    case gate_kind::swap_q:
+        return 2;
+    case gate_kind::ccx:
+    case gate_kind::cswap:
+        return 3;
+    default:
+        return 1;
+    }
+}
+
+std::size_t gate_param_count(gate_kind kind) noexcept {
+    switch (kind) {
+    case gate_kind::rx:
+    case gate_kind::ry:
+    case gate_kind::rz:
+        return 1;
+    case gate_kind::u3:
+        return 3;
+    default:
+        return 0;
+    }
+}
+
+std::string_view gate_name(gate_kind kind) noexcept {
+    switch (kind) {
+    case gate_kind::id:
+        return "id";
+    case gate_kind::x:
+        return "x";
+    case gate_kind::y:
+        return "y";
+    case gate_kind::z:
+        return "z";
+    case gate_kind::h:
+        return "h";
+    case gate_kind::s:
+        return "s";
+    case gate_kind::sdg:
+        return "sdg";
+    case gate_kind::t:
+        return "t";
+    case gate_kind::tdg:
+        return "tdg";
+    case gate_kind::sx:
+        return "sx";
+    case gate_kind::rx:
+        return "rx";
+    case gate_kind::ry:
+        return "ry";
+    case gate_kind::rz:
+        return "rz";
+    case gate_kind::u3:
+        return "u3";
+    case gate_kind::cx:
+        return "cx";
+    case gate_kind::cz:
+        return "cz";
+    case gate_kind::swap_q:
+        return "swap";
+    case gate_kind::ccx:
+        return "ccx";
+    case gate_kind::cswap:
+        return "cswap";
+    }
+    return "?";
+}
+
+util::cmatrix gate_matrix(gate_kind kind, std::span<const double> params) {
+    QUORUM_EXPECTS_MSG(params.size() == gate_param_count(kind),
+                       std::string("gate ") + std::string(gate_name(kind)));
+    const cd i(0.0, 1.0);
+    switch (kind) {
+    case gate_kind::id:
+        return cmatrix::identity(2);
+    case gate_kind::x:
+        return mat2(0, 1, 1, 0);
+    case gate_kind::y:
+        return mat2(0, -i, i, 0);
+    case gate_kind::z:
+        return mat2(1, 0, 0, -1);
+    case gate_kind::h: {
+        const double r = 1.0 / std::sqrt(2.0);
+        return mat2(r, r, r, -r);
+    }
+    case gate_kind::s:
+        return mat2(1, 0, 0, i);
+    case gate_kind::sdg:
+        return mat2(1, 0, 0, -i);
+    case gate_kind::t:
+        return mat2(1, 0, 0, std::exp(i * (pi / 4.0)));
+    case gate_kind::tdg:
+        return mat2(1, 0, 0, std::exp(-i * (pi / 4.0)));
+    case gate_kind::sx:
+        // sqrt(X) = 0.5 * [[1+i, 1-i], [1-i, 1+i]]
+        return mat2(cd(0.5, 0.5), cd(0.5, -0.5), cd(0.5, -0.5), cd(0.5, 0.5));
+    case gate_kind::rx: {
+        const double half = params[0] / 2.0;
+        return mat2(std::cos(half), -i * std::sin(half), -i * std::sin(half),
+                    std::cos(half));
+    }
+    case gate_kind::ry: {
+        const double half = params[0] / 2.0;
+        return mat2(std::cos(half), -std::sin(half), std::sin(half),
+                    std::cos(half));
+    }
+    case gate_kind::rz: {
+        const double half = params[0] / 2.0;
+        return mat2(std::exp(-i * half), 0, 0, std::exp(i * half));
+    }
+    case gate_kind::u3: {
+        // u3(theta, phi, lambda): the generic single-qubit rotation,
+        // matching the OpenQASM definition.
+        const double theta = params[0];
+        const double phi = params[1];
+        const double lambda = params[2];
+        const double c = std::cos(theta / 2.0);
+        const double s = std::sin(theta / 2.0);
+        return mat2(c, -std::exp(i * lambda) * s, std::exp(i * phi) * s,
+                    std::exp(i * (phi + lambda)) * c);
+    }
+    case gate_kind::cx:
+        return cx_matrix();
+    case gate_kind::cz:
+        return cz_matrix();
+    case gate_kind::swap_q:
+        return swap_matrix();
+    case gate_kind::ccx:
+        return ccx_matrix();
+    case gate_kind::cswap:
+        return cswap_matrix();
+    }
+    throw util::contract_error("unknown gate kind");
+}
+
+gate_inverse_result gate_inverse(gate_kind kind,
+                                 std::span<const double> params) {
+    gate_inverse_result result;
+    result.kind = kind;
+    for (std::size_t p = 0; p < params.size() && p < 3; ++p) {
+        result.params[p] = -params[p];
+    }
+    switch (kind) {
+    case gate_kind::id:
+    case gate_kind::x:
+    case gate_kind::y:
+    case gate_kind::z:
+    case gate_kind::h:
+    case gate_kind::cx:
+    case gate_kind::cz:
+    case gate_kind::swap_q:
+    case gate_kind::ccx:
+    case gate_kind::cswap:
+        result.supported = true; // self-inverse, parameters unused
+        return result;
+    case gate_kind::rx:
+    case gate_kind::ry:
+    case gate_kind::rz:
+        result.supported = true; // angle negation
+        return result;
+    case gate_kind::s:
+        result.supported = true;
+        result.kind = gate_kind::sdg;
+        return result;
+    case gate_kind::sdg:
+        result.supported = true;
+        result.kind = gate_kind::s;
+        return result;
+    case gate_kind::t:
+        result.supported = true;
+        result.kind = gate_kind::tdg;
+        return result;
+    case gate_kind::tdg:
+        result.supported = true;
+        result.kind = gate_kind::t;
+        return result;
+    case gate_kind::sx:
+    case gate_kind::u3:
+        result.supported = false; // no in-set inverse gate
+        return result;
+    }
+    return result;
+}
+
+} // namespace quorum::qsim

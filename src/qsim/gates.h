@@ -1,0 +1,69 @@
+// Gate library: the fixed and parameterised gates Quorum's circuits use
+// (paper §II-A lists RX/RY/RZ/CX; the SWAP test adds H and CSWAP, the
+// transpiler adds SX/X/T/S and Toffoli).
+#ifndef QUORUM_QSIM_GATES_H
+#define QUORUM_QSIM_GATES_H
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "qsim/types.h"
+#include "util/matrix.h"
+
+namespace quorum::qsim {
+
+/// Every gate the simulator understands.
+enum class gate_kind {
+    id,
+    x,
+    y,
+    z,
+    h,
+    s,
+    sdg,
+    t,
+    tdg,
+    sx,
+    rx,
+    ry,
+    rz,
+    u3,
+    cx,
+    cz,
+    swap_q,
+    ccx,
+    cswap,
+};
+
+/// Number of qubits the gate acts on (1, 2 or 3).
+[[nodiscard]] std::size_t gate_arity(gate_kind kind) noexcept;
+
+/// Number of rotation parameters the gate takes (0, 1 or 3).
+[[nodiscard]] std::size_t gate_param_count(gate_kind kind) noexcept;
+
+/// Lower-case mnemonic ("rx", "cswap", ...) for printing.
+[[nodiscard]] std::string_view gate_name(gate_kind kind) noexcept;
+
+/// Dense unitary matrix of the gate. For multi-qubit gates the first qubit
+/// argument maps to the least-significant bit of the matrix index (so
+/// cx(control=q0, target=q1) permutes |01> <-> |11>).
+/// Throws if the parameter count does not match gate_param_count.
+[[nodiscard]] util::cmatrix gate_matrix(gate_kind kind,
+                                        std::span<const double> params = {});
+
+/// The inverse gate and parameters: rotations negate their angles,
+/// s <-> sdg, t <-> tdg, self-inverse gates map to themselves.
+/// sx and u3 have no in-set inverse and are reported via `supported=false`.
+struct gate_inverse_result {
+    bool supported = false;
+    gate_kind kind = gate_kind::id;
+    /// Parameter transform: angles negated (size matches the original).
+    std::array<double, 3> params{};
+};
+[[nodiscard]] gate_inverse_result gate_inverse(gate_kind kind,
+                                               std::span<const double> params);
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_GATES_H

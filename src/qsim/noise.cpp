@@ -1,0 +1,134 @@
+#include "qsim/noise.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+noise_model noise_model::ideal() { return noise_model{}; }
+
+noise_model noise_model::ibm_brisbane_median() {
+    noise_model model;
+    // Average gate error rates quoted in the paper (§V, Brisbane medians).
+    model.set_gate_error(gate_kind::sx, 2.274e-4);
+    model.set_gate_error(gate_kind::x, 2.274e-4);
+    model.set_gate_error(gate_kind::cx, 2.903e-3);
+    // rz is virtual (frame change): zero error, zero duration.
+    // Typical IBM Eagle-class timings; the paper does not quote durations,
+    // so we use the published Brisbane defaults (sx/x 60ns, 2q ~660ns,
+    // readout ~1.3us).
+    model.set_gate_duration(gate_kind::sx, 60.0);
+    model.set_gate_duration(gate_kind::x, 60.0);
+    model.set_gate_duration(gate_kind::cx, 660.0);
+    model.set_measure_duration(1300.0);
+    model.set_thermal(thermal_params{230.42, 143.41});
+    model.set_readout(readout_error{1.38e-2, 1.38e-2});
+    return model;
+}
+
+void noise_model::set_gate_error(gate_kind kind, double average_error_rate) {
+    QUORUM_EXPECTS(average_error_rate >= 0.0 && average_error_rate < 1.0);
+    const double d = static_cast<double>(std::size_t{1} << gate_arity(kind));
+    // Depolarizing channel rho -> (1-p) rho + p I/d has average error
+    // r = p (d-1)/d, so p = r d/(d-1).
+    const double p = average_error_rate * d / (d - 1.0);
+    QUORUM_EXPECTS_MSG(p <= 1.0, "gate error rate too large for depolarizing");
+    depol_[kind] = p;
+}
+
+void noise_model::set_gate_duration(gate_kind kind, double nanoseconds) {
+    QUORUM_EXPECTS(nanoseconds >= 0.0);
+    duration_ns_[kind] = nanoseconds;
+}
+
+bool noise_model::is_ideal() const noexcept {
+    if (thermal_.t1_us > 0.0 || thermal_.t2_us > 0.0) {
+        return false;
+    }
+    if (readout_.p1_given_0 > 0.0 || readout_.p0_given_1 > 0.0) {
+        return false;
+    }
+    for (const auto& [kind, p] : depol_) {
+        if (p > 0.0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double noise_model::depolarizing_param(gate_kind kind) const {
+    const auto it = depol_.find(kind);
+    return it == depol_.end() ? 0.0 : it->second;
+}
+
+double noise_model::duration_ns(gate_kind kind) const {
+    const auto it = duration_ns_.find(kind);
+    return it == duration_ns_.end() ? 0.0 : it->second;
+}
+
+noise_model::thermal_coefficients_result
+noise_model::thermal_coefficients(double nanoseconds) const {
+    thermal_coefficients_result out;
+    if (nanoseconds <= 0.0 ||
+        (thermal_.t1_us <= 0.0 && thermal_.t2_us <= 0.0)) {
+        return out;
+    }
+    const double t_us = nanoseconds * 1e-3;
+    // Amplitude damping: gamma = 1 - exp(-t/T1).
+    if (thermal_.t1_us > 0.0) {
+        out.gamma = 1.0 - std::exp(-t_us / thermal_.t1_us);
+    }
+    // Pure dephasing: 1/Tphi = 1/T2 - 1/(2 T1); lambda = 1 - exp(-t/Tphi).
+    if (thermal_.t2_us > 0.0) {
+        double inv_tphi = 1.0 / thermal_.t2_us;
+        if (thermal_.t1_us > 0.0) {
+            inv_tphi -= 1.0 / (2.0 * thermal_.t1_us);
+        }
+        QUORUM_EXPECTS_MSG(inv_tphi >= -1e-12, "requires T2 <= 2*T1");
+        if (inv_tphi > 0.0) {
+            out.lambda = 1.0 - std::exp(-t_us * inv_tphi);
+        }
+    }
+    return out;
+}
+
+std::vector<util::cmatrix> noise_model::thermal_kraus(double nanoseconds) const {
+    std::vector<util::cmatrix> ops;
+    const thermal_coefficients_result coeff = thermal_coefficients(nanoseconds);
+    const double gamma = coeff.gamma;
+    const double lambda = coeff.lambda;
+    if (gamma == 0.0 && lambda == 0.0) {
+        return ops;
+    }
+
+    // Compose amplitude damping {A0, A1} with phase damping {P0, P1}:
+    // Kraus set {P_i A_j}.
+    const double keep = std::sqrt(1.0 - gamma);
+    const double decay = std::sqrt(gamma);
+    const double coherent = std::sqrt(1.0 - lambda);
+    const double dephase = std::sqrt(lambda);
+
+    util::cmatrix a0 = util::cmatrix::from_rows(2, 2, {1, 0, 0, keep});
+    util::cmatrix a1 = util::cmatrix::from_rows(2, 2, {0, decay, 0, 0});
+    util::cmatrix p0 = util::cmatrix::from_rows(2, 2, {1, 0, 0, coherent});
+    util::cmatrix p1 = util::cmatrix::from_rows(2, 2, {0, 0, 0, dephase});
+
+    ops.push_back(p0.multiply(a0));
+    if (gamma > 0.0) {
+        ops.push_back(p0.multiply(a1));
+    }
+    if (lambda > 0.0) {
+        // P1 * A1 is identically zero (A1 maps into |0>, P1 projects onto
+        // |1>), so only P1 * A0 contributes.
+        ops.push_back(p1.multiply(a0));
+    }
+    return ops;
+}
+
+double noise_model::apply_readout(double p_one) const noexcept {
+    return p_one * (1.0 - readout_.p0_given_1) +
+           (1.0 - p_one) * readout_.p1_given_0;
+}
+
+} // namespace quorum::qsim

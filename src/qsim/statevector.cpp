@@ -1,0 +1,266 @@
+#include "qsim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qsim/bit_ops.h"
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t log2_exact(std::size_t n) {
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < n) {
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+statevector::statevector(std::size_t num_qubits)
+    : num_qubits_(num_qubits), data_(std::size_t{1} << num_qubits) {
+    QUORUM_EXPECTS_MSG(num_qubits >= 1 && num_qubits <= 30,
+                       "statevector qubit count out of range");
+    data_[0] = 1.0;
+}
+
+statevector statevector::basis_state(std::size_t num_qubits,
+                                     std::size_t index) {
+    statevector state(num_qubits);
+    QUORUM_EXPECTS(index < state.dim());
+    state.data_[0] = 0.0;
+    state.data_[index] = 1.0;
+    return state;
+}
+
+statevector statevector::from_amplitudes(std::vector<amp> amplitudes) {
+    QUORUM_EXPECTS_MSG(is_power_of_two(amplitudes.size()),
+                       "amplitude count must be a power of two");
+    double norm = 0.0;
+    for (const amp& a : amplitudes) {
+        norm += std::norm(a);
+    }
+    QUORUM_EXPECTS_MSG(std::abs(norm - 1.0) < 1e-9,
+                       "amplitudes must be normalised");
+    statevector state(log2_exact(amplitudes.size()));
+    state.data_ = std::move(amplitudes);
+    return state;
+}
+
+void statevector::apply_gate(gate_kind kind, std::span<const qubit_t> qubits,
+                             std::span<const double> params) {
+    QUORUM_EXPECTS(qubits.size() == gate_arity(kind));
+    for (const qubit_t q : qubits) {
+        QUORUM_EXPECTS(q < num_qubits_);
+    }
+    switch (kind) {
+    case gate_kind::id:
+        return;
+    case gate_kind::x:
+        apply_x(qubits[0]);
+        return;
+    case gate_kind::cx:
+        apply_cx(qubits[0], qubits[1]);
+        return;
+    default:
+        break;
+    }
+    const util::cmatrix u = gate_matrix(kind, params);
+    if (qubits.size() == 1) {
+        apply_1q(u, qubits[0]);
+    } else {
+        apply_matrix(u, qubits);
+    }
+}
+
+void statevector::apply_1q(const util::cmatrix& u, qubit_t q) {
+    const amp u00 = u(0, 0);
+    const amp u01 = u(0, 1);
+    const amp u10 = u(1, 0);
+    const amp u11 = u(1, 1);
+    const std::size_t step = std::size_t{1} << q;
+    for (std::size_t block = 0; block < data_.size(); block += 2 * step) {
+        for (std::size_t i = block; i < block + step; ++i) {
+            const amp a = data_[i];
+            const amp b = data_[i + step];
+            data_[i] = u00 * a + u01 * b;
+            data_[i + step] = u10 * a + u11 * b;
+        }
+    }
+}
+
+void statevector::apply_x(qubit_t q) {
+    const std::size_t step = std::size_t{1} << q;
+    for (std::size_t block = 0; block < data_.size(); block += 2 * step) {
+        for (std::size_t i = block; i < block + step; ++i) {
+            std::swap(data_[i], data_[i + step]);
+        }
+    }
+}
+
+void statevector::apply_cx(qubit_t control, qubit_t target) {
+    const std::size_t cmask = std::size_t{1} << control;
+    const std::size_t tmask = std::size_t{1} << target;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if ((i & cmask) != 0 && (i & tmask) == 0) {
+            std::swap(data_[i], data_[i | tmask]);
+        }
+    }
+}
+
+void statevector::apply_matrix(const util::cmatrix& u,
+                               std::span<const qubit_t> qubits) {
+    const std::size_t k = qubits.size();
+    const std::size_t block = std::size_t{1} << k;
+    QUORUM_EXPECTS(u.rows() == block && u.cols() == block);
+    for (const qubit_t q : qubits) {
+        QUORUM_EXPECTS(q < num_qubits_);
+    }
+
+    std::vector<qubit_t> sorted(qubits.begin(), qubits.end());
+    std::sort(sorted.begin(), sorted.end());
+    QUORUM_EXPECTS_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "matrix operands must be distinct");
+
+    // offsets[j]: bit pattern placing sub-index j's bits onto the target
+    // qubits (bit b of j -> qubit qubits[b]).
+    const std::vector<std::size_t> offsets = make_offsets(qubits);
+
+    std::vector<amp> scratch(block);
+    const std::size_t groups = data_.size() >> k;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t base = expand_index(g, sorted);
+        for (std::size_t j = 0; j < block; ++j) {
+            scratch[j] = data_[base + offsets[j]];
+        }
+        for (std::size_t row = 0; row < block; ++row) {
+            amp sum{};
+            for (std::size_t col = 0; col < block; ++col) {
+                sum += u(row, col) * scratch[col];
+            }
+            data_[base + offsets[row]] = sum;
+        }
+    }
+}
+
+double statevector::probability_one(qubit_t q) const {
+    QUORUM_EXPECTS(q < num_qubits_);
+    const std::size_t mask = std::size_t{1} << q;
+    double p = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if ((i & mask) != 0) {
+            p += std::norm(data_[i]);
+        }
+    }
+    return p;
+}
+
+void statevector::collapse(qubit_t q, bool outcome) {
+    QUORUM_EXPECTS(q < num_qubits_);
+    const std::size_t mask = std::size_t{1} << q;
+    const double p_one = probability_one(q);
+    const double p = outcome ? p_one : 1.0 - p_one;
+    QUORUM_EXPECTS_MSG(p > probability_epsilon,
+                       "collapse onto a zero-probability outcome");
+    const double scale = 1.0 / std::sqrt(p);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const bool bit = (i & mask) != 0;
+        if (bit == outcome) {
+            data_[i] *= scale;
+        } else {
+            data_[i] = 0.0;
+        }
+    }
+}
+
+bool statevector::measure_collapse(qubit_t q, util::rng& gen) {
+    const double p_one = probability_one(q);
+    const bool outcome = gen.bernoulli(p_one);
+    collapse(q, outcome);
+    return outcome;
+}
+
+amp statevector::inner_product(const statevector& other) const {
+    QUORUM_EXPECTS(other.dim() == dim());
+    amp sum{};
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        sum += std::conj(data_[i]) * other.data_[i];
+    }
+    return sum;
+}
+
+double statevector::norm_squared() const noexcept {
+    double sum = 0.0;
+    for (const amp& a : data_) {
+        sum += std::norm(a);
+    }
+    return sum;
+}
+
+void statevector::normalize() {
+    const double norm = std::sqrt(norm_squared());
+    QUORUM_EXPECTS_MSG(norm > probability_epsilon,
+                       "cannot normalise a zero state");
+    for (amp& a : data_) {
+        a /= norm;
+    }
+}
+
+std::vector<double> statevector::probabilities() const {
+    std::vector<double> probs(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        probs[i] = std::norm(data_[i]);
+    }
+    return probs;
+}
+
+std::size_t statevector::sample(util::rng& gen) const {
+    const double u = gen.uniform();
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        cumulative += std::norm(data_[i]);
+        if (u < cumulative) {
+            return i;
+        }
+    }
+    return data_.size() - 1; // numerical tail
+}
+
+void statevector::initialize_register(std::span<const qubit_t> qubits,
+                                      std::span<const amp> amplitudes) {
+    const std::size_t k = qubits.size();
+    QUORUM_EXPECTS(amplitudes.size() == (std::size_t{1} << k));
+    for (const qubit_t q : qubits) {
+        QUORUM_EXPECTS(q < num_qubits_);
+    }
+    const std::size_t register_mask = make_mask(qubits);
+    // Precondition: the register must be in |0..0> (disentangled).
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if ((i & register_mask) != 0) {
+            QUORUM_EXPECTS_MSG(std::norm(data_[i]) < probability_epsilon,
+                               "initialize target register must be |0..0>");
+        }
+    }
+    const std::vector<std::size_t> offsets = make_offsets(qubits);
+    // Spread each base amplitude over the register's sub-states.
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if ((i & register_mask) != 0) {
+            continue;
+        }
+        const amp base = data_[i];
+        if (std::norm(base) < 1e-300) {
+            continue;
+        }
+        for (std::size_t j = 0; j < amplitudes.size(); ++j) {
+            data_[i | offsets[j]] = base * amplitudes[j];
+        }
+    }
+}
+
+} // namespace quorum::qsim

@@ -1,0 +1,89 @@
+// Pure-state simulation engine: a 2^n complex amplitude vector with gate
+// kernels, measurement utilities and register initialisation. This is the
+// noiseless workhorse behind Quorum's "exact" and "sampled" execution modes.
+#ifndef QUORUM_QSIM_STATEVECTOR_H
+#define QUORUM_QSIM_STATEVECTOR_H
+
+#include <span>
+#include <vector>
+
+#include "qsim/gates.h"
+#include "qsim/types.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+
+namespace quorum::qsim {
+
+/// State vector over `num_qubits` qubits, little-endian indexed.
+class statevector {
+public:
+    /// |0...0> over `num_qubits` qubits.
+    explicit statevector(std::size_t num_qubits);
+
+    /// Computational basis state |index>.
+    static statevector basis_state(std::size_t num_qubits, std::size_t index);
+
+    /// State with explicit amplitudes (size must be a power of two and
+    /// normalised to 1 within 1e-9).
+    static statevector from_amplitudes(std::vector<amp> amplitudes);
+
+    [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+    [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
+    [[nodiscard]] std::span<const amp> amplitudes() const noexcept {
+        return data_;
+    }
+
+    /// Applies a named gate. Dispatches to fast kernels for x/cx/1q gates
+    /// and to the generic k-qubit kernel otherwise.
+    void apply_gate(gate_kind kind, std::span<const qubit_t> qubits,
+                    std::span<const double> params = {});
+
+    /// Applies an arbitrary 2^k x 2^k matrix to the given k qubits
+    /// (first qubit = LSB of the matrix index). The matrix need not be
+    /// unitary (the density engine reuses this for Kraus operators).
+    void apply_matrix(const util::cmatrix& u, std::span<const qubit_t> qubits);
+
+    /// Probability that measuring `q` yields 1.
+    [[nodiscard]] double probability_one(qubit_t q) const;
+
+    /// Projects qubit `q` onto `outcome` and renormalises.
+    /// Throws if the outcome probability is (numerically) zero.
+    void collapse(qubit_t q, bool outcome);
+
+    /// Measures qubit `q` stochastically: samples an outcome, collapses,
+    /// and returns the outcome.
+    bool measure_collapse(qubit_t q, util::rng& gen);
+
+    /// <this|other>.
+    [[nodiscard]] amp inner_product(const statevector& other) const;
+
+    /// Sum of |amplitude|^2 (should be 1 for a normalised state).
+    [[nodiscard]] double norm_squared() const noexcept;
+
+    /// Rescales to unit norm. Throws if the norm is (numerically) zero.
+    void normalize();
+
+    /// Probability of each basis state.
+    [[nodiscard]] std::vector<double> probabilities() const;
+
+    /// Samples a full basis-state index from the Born distribution.
+    [[nodiscard]] std::size_t sample(util::rng& gen) const;
+
+    /// Sets `qubits` (which must currently be in |0..0> and unentangled
+    /// with the rest, i.e. every amplitude with a set bit in `qubits` is
+    /// zero) to the product with the given sub-register amplitudes.
+    void initialize_register(std::span<const qubit_t> qubits,
+                             std::span<const amp> amplitudes);
+
+private:
+    void apply_1q(const util::cmatrix& u, qubit_t q);
+    void apply_x(qubit_t q);
+    void apply_cx(qubit_t control, qubit_t target);
+
+    std::size_t num_qubits_;
+    std::vector<amp> data_;
+};
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_STATEVECTOR_H

@@ -1,0 +1,133 @@
+#include "qsim/statevector_runner.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+double exact_run_result::probability_one(qubit_t q) const {
+    double p = 0.0;
+    for (const branch& b : branches) {
+        p += b.weight * b.state.probability_one(q);
+    }
+    return p;
+}
+
+double exact_run_result::cbit_probability_one(int cbit) const {
+    for (const auto& [qubit, bit] : measures) {
+        if (bit == cbit) {
+            return probability_one(qubit);
+        }
+    }
+    throw util::contract_error("no measurement wrote the requested cbit");
+}
+
+exact_run_result statevector_runner::run_exact(const circuit& c) {
+    exact_run_result result;
+    result.branches.push_back(branch{1.0, statevector(c.num_qubits())});
+
+    std::vector<bool> measured(c.num_qubits(), false);
+    for (const operation& op : c.ops()) {
+        if (op.kind != op_kind::barrier) {
+            for (const qubit_t q : op.qubits) {
+                QUORUM_EXPECTS_MSG(!measured[q],
+                                   "exact mode requires terminal measurements");
+            }
+        }
+        switch (op.kind) {
+        case op_kind::barrier:
+            break;
+        case op_kind::initialize:
+            for (branch& b : result.branches) {
+                b.state.initialize_register(op.qubits, op.init_amplitudes);
+            }
+            break;
+        case op_kind::gate:
+            for (branch& b : result.branches) {
+                b.state.apply_gate(op.gate, op.qubits, op.params);
+            }
+            break;
+        case op_kind::measure:
+            measured[op.qubits[0]] = true;
+            result.measures.emplace_back(op.qubits[0], op.cbit);
+            break;
+        case op_kind::reset: {
+            const qubit_t q = op.qubits[0];
+            std::vector<branch> next;
+            next.reserve(result.branches.size() * 2);
+            for (branch& b : result.branches) {
+                const double p_one = b.state.probability_one(q);
+                const double p_zero = 1.0 - p_one;
+                if (p_zero > probability_epsilon) {
+                    branch zero_branch{b.weight * p_zero, b.state};
+                    zero_branch.state.collapse(q, false);
+                    next.push_back(std::move(zero_branch));
+                }
+                if (p_one > probability_epsilon) {
+                    branch one_branch{b.weight * p_one, std::move(b.state)};
+                    one_branch.state.collapse(q, true);
+                    const qubit_t operand[] = {q};
+                    one_branch.state.apply_gate(gate_kind::x, operand);
+                    next.push_back(std::move(one_branch));
+                }
+            }
+            result.branches = std::move(next);
+            break;
+        }
+        }
+    }
+    QUORUM_ENSURES(!result.branches.empty());
+    return result;
+}
+
+std::vector<bool> statevector_runner::run_single_shot(const circuit& c,
+                                                      util::rng& gen) {
+    statevector state(c.num_qubits());
+    std::vector<bool> cbits(c.num_clbits(), false);
+    for (const operation& op : c.ops()) {
+        switch (op.kind) {
+        case op_kind::barrier:
+            break;
+        case op_kind::initialize:
+            state.initialize_register(op.qubits, op.init_amplitudes);
+            break;
+        case op_kind::gate:
+            state.apply_gate(op.gate, op.qubits, op.params);
+            break;
+        case op_kind::reset: {
+            const qubit_t q = op.qubits[0];
+            if (state.measure_collapse(q, gen)) {
+                const qubit_t operand[] = {q};
+                state.apply_gate(gate_kind::x, operand);
+            }
+            break;
+        }
+        case op_kind::measure: {
+            const bool outcome = state.measure_collapse(op.qubits[0], gen);
+            cbits[static_cast<std::size_t>(op.cbit)] = outcome;
+            break;
+        }
+        }
+    }
+    return cbits;
+}
+
+std::map<std::size_t, std::size_t>
+statevector_runner::sample_counts(const circuit& c, std::size_t shots,
+                                  util::rng& gen) {
+    std::map<std::size_t, std::size_t> counts;
+    for (std::size_t shot = 0; shot < shots; ++shot) {
+        const std::vector<bool> cbits = run_single_shot(c, gen);
+        std::size_t key = 0;
+        for (std::size_t b = 0; b < cbits.size(); ++b) {
+            if (cbits[b]) {
+                key |= std::size_t{1} << b;
+            }
+        }
+        ++counts[key];
+    }
+    return counts;
+}
+
+} // namespace quorum::qsim

@@ -1,0 +1,62 @@
+// Circuit execution on the state-vector engine.
+//
+// Mid-circuit `reset` is non-unitary: a pure state generally becomes a
+// *mixture* after resetting entangled qubits. The exact mode here keeps the
+// full mixture as a small set of weighted pure-state branches (one split
+// per reset, zero-probability branches pruned), so measurement statistics
+// are deterministic — no Monte Carlo noise in Quorum's "exact" pipeline.
+// A per-shot stochastic mode mirrors real-hardware semantics for tests and
+// the paper's shot-sampled runs.
+#ifndef QUORUM_QSIM_STATEVECTOR_RUNNER_H
+#define QUORUM_QSIM_STATEVECTOR_RUNNER_H
+
+#include <map>
+#include <vector>
+
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+#include "util/rng.h"
+
+namespace quorum::qsim {
+
+/// One pure-state branch of a post-reset mixture.
+struct branch {
+    double weight = 1.0;
+    statevector state;
+};
+
+/// Result of an exact run: the branch mixture plus the measure map.
+struct exact_run_result {
+    std::vector<branch> branches;
+    /// measure ops encountered, as (qubit, classical bit) pairs.
+    std::vector<std::pair<qubit_t, int>> measures;
+
+    /// P[measuring `q` gives 1] under the mixture.
+    [[nodiscard]] double probability_one(qubit_t q) const;
+
+    /// P[classical bit `cbit` reads 1], using the recorded measure map.
+    /// Throws if no measure wrote that bit.
+    [[nodiscard]] double cbit_probability_one(int cbit) const;
+};
+
+/// Stateless executor functions for the state-vector engine.
+class statevector_runner {
+public:
+    /// Runs gates/initialize exactly; resets split into weighted branches;
+    /// measures are recorded, not collapsed. Measurements must be terminal
+    /// per qubit (no later op may touch a measured qubit) — this is checked.
+    static exact_run_result run_exact(const circuit& c);
+
+    /// Runs one stochastic shot (resets and measures collapse randomly);
+    /// returns the classical bits (index = cbit).
+    static std::vector<bool> run_single_shot(const circuit& c, util::rng& gen);
+
+    /// Runs `shots` stochastic shots and histograms the classical register
+    /// (key: little-endian packed cbits).
+    static std::map<std::size_t, std::size_t>
+    sample_counts(const circuit& c, std::size_t shots, util::rng& gen);
+};
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_STATEVECTOR_RUNNER_H

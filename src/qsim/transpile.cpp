@@ -1,0 +1,395 @@
+#include "qsim/transpile.h"
+
+#include <cmath>
+
+#include "qsim/gates.h"
+#include "util/contracts.h"
+
+namespace quorum::qsim {
+
+namespace {
+
+constexpr double angle_epsilon = 1e-12;
+
+/// True when `theta` is 0 modulo 2π (so rz(theta) is a global phase).
+bool is_trivial_rotation(double theta) {
+    const double two_pi = 2.0 * pi;
+    const double wrapped = std::remainder(theta, two_pi);
+    return std::abs(wrapped) < 1e-10;
+}
+
+/// ZYZ Euler angles of a 2x2 unitary: U = e^{i alpha} RZ(beta) RY(gamma) RZ(delta).
+struct zyz_angles {
+    double beta = 0.0;
+    double gamma = 0.0;
+    double delta = 0.0;
+};
+
+zyz_angles zyz_decompose(const util::cmatrix& u) {
+    QUORUM_EXPECTS(u.rows() == 2 && u.cols() == 2);
+    const std::complex<double> det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+    QUORUM_EXPECTS_MSG(std::abs(std::abs(det) - 1.0) < 1e-9,
+                       "zyz_decompose requires a unitary matrix");
+    const std::complex<double> phase = std::sqrt(det);
+    const std::complex<double> su00 = u(0, 0) / phase;
+    const std::complex<double> su10 = u(1, 0) / phase;
+    const std::complex<double> su11 = u(1, 1) / phase;
+
+    zyz_angles out;
+    out.gamma = 2.0 * std::atan2(std::abs(su10), std::abs(su00));
+    const double cos_mag = std::abs(su00);
+    const double sin_mag = std::abs(su10);
+    if (sin_mag < angle_epsilon) {
+        // Diagonal in the SU(2) form: only beta + delta matters.
+        out.beta = 2.0 * std::arg(su11);
+        out.delta = 0.0;
+    } else if (cos_mag < angle_epsilon) {
+        // Anti-diagonal: only beta - delta matters.
+        out.beta = 2.0 * std::arg(su10);
+        out.delta = 0.0;
+    } else {
+        out.beta = std::arg(su11) + std::arg(su10);
+        out.delta = std::arg(su11) - std::arg(su10);
+    }
+    return out;
+}
+
+/// Emits rz(theta) unless it is a global phase.
+void emit_rz(circuit& out, double theta, qubit_t q) {
+    if (!is_trivial_rotation(theta)) {
+        out.rz(theta, q);
+    }
+}
+
+/// Lowers an arbitrary 1-qubit unitary to the {rz, sx} basis via
+/// U ~ RZ(beta+pi) . SX . RZ(gamma+pi) . SX . RZ(delta)  (global phase
+/// dropped). When gamma ~ 0 the whole gate collapses to one rz.
+void emit_1q_unitary(circuit& out, const util::cmatrix& u, qubit_t q) {
+    const zyz_angles angles = zyz_decompose(u);
+    if (std::abs(std::remainder(angles.gamma, 2.0 * pi)) < 1e-10) {
+        // RY(gamma) is +-identity: a pure z-rotation remains.
+        emit_rz(out, angles.beta + angles.delta, q);
+        return;
+    }
+    emit_rz(out, angles.delta, q);
+    out.sx(q);
+    emit_rz(out, angles.gamma + pi, q);
+    out.sx(q);
+    emit_rz(out, angles.beta + pi, q);
+}
+
+/// Lowers one non-basis 1q gate.
+void lower_1q_gate(circuit& out, gate_kind kind, std::span<const double> params,
+                   qubit_t q) {
+    if (kind == gate_kind::id) {
+        return;
+    }
+    if (kind == gate_kind::rz) {
+        emit_rz(out, params[0], q);
+        return;
+    }
+    if (kind == gate_kind::x || kind == gate_kind::sx) {
+        const qubit_t operand[] = {q};
+        out.append_gate(kind, operand);
+        return;
+    }
+    emit_1q_unitary(out, gate_matrix(kind, params), q);
+}
+
+void lower_h(circuit& out, qubit_t q) {
+    lower_1q_gate(out, gate_kind::h, {}, q);
+}
+
+void lower_t(circuit& out, qubit_t q) { emit_rz(out, pi / 4.0, q); }
+void lower_tdg(circuit& out, qubit_t q) { emit_rz(out, -pi / 4.0, q); }
+
+/// Textbook 6-CX Toffoli expansion (Nielsen & Chuang Fig. 4.9).
+void lower_ccx(circuit& out, qubit_t a, qubit_t b, qubit_t c) {
+    lower_h(out, c);
+    out.cx(b, c);
+    lower_tdg(out, c);
+    out.cx(a, c);
+    lower_t(out, c);
+    out.cx(b, c);
+    lower_tdg(out, c);
+    out.cx(a, c);
+    lower_t(out, b);
+    lower_t(out, c);
+    lower_h(out, c);
+    out.cx(a, b);
+    lower_t(out, a);
+    lower_tdg(out, b);
+    out.cx(a, b);
+}
+
+void lower_gate(circuit& out, const operation& op) {
+    switch (op.gate) {
+    case gate_kind::cx:
+        out.cx(op.qubits[0], op.qubits[1]);
+        return;
+    case gate_kind::cz:
+        lower_h(out, op.qubits[1]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        lower_h(out, op.qubits[1]);
+        return;
+    case gate_kind::swap_q:
+        out.cx(op.qubits[0], op.qubits[1]);
+        out.cx(op.qubits[1], op.qubits[0]);
+        out.cx(op.qubits[0], op.qubits[1]);
+        return;
+    case gate_kind::ccx:
+        lower_ccx(out, op.qubits[0], op.qubits[1], op.qubits[2]);
+        return;
+    case gate_kind::cswap:
+        // CSWAP(c; a, b) = CX(b,a) . CCX(c, a, b) . CX(b,a).
+        out.cx(op.qubits[2], op.qubits[1]);
+        lower_ccx(out, op.qubits[0], op.qubits[1], op.qubits[2]);
+        out.cx(op.qubits[2], op.qubits[1]);
+        return;
+    default:
+        lower_1q_gate(out, op.gate, op.params, op.qubits[0]);
+        return;
+    }
+}
+
+} // namespace
+
+bool is_basis_gate(gate_kind kind) noexcept {
+    return kind == gate_kind::rz || kind == gate_kind::sx ||
+           kind == gate_kind::x || kind == gate_kind::cx;
+}
+
+bool is_basis_circuit(const circuit& c) noexcept {
+    for (const operation& op : c.ops()) {
+        if (op.kind == op_kind::gate && !is_basis_gate(op.gate)) {
+            return false;
+        }
+        if (op.kind == op_kind::initialize) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void append_multiplexed_ry(circuit& c, std::span<const qubit_t> controls,
+                           qubit_t target, std::span<const double> angles) {
+    QUORUM_EXPECTS(angles.size() == (std::size_t{1} << controls.size()));
+    bool all_trivial = true;
+    for (const double theta : angles) {
+        if (std::abs(theta) > angle_epsilon) {
+            all_trivial = false;
+            break;
+        }
+    }
+    if (all_trivial) {
+        return;
+    }
+    if (controls.empty()) {
+        c.ry(angles[0], target);
+        return;
+    }
+    const std::size_t k = controls.size();
+    const std::size_t half = std::size_t{1} << (k - 1);
+    std::vector<double> sum_half(half);
+    std::vector<double> diff_half(half);
+    for (std::size_t j = 0; j < half; ++j) {
+        sum_half[j] = 0.5 * (angles[j] + angles[j | half]);
+        diff_half[j] = 0.5 * (angles[j] - angles[j | half]);
+    }
+    const std::span<const qubit_t> inner_controls = controls.first(k - 1);
+    // Conditioned on the split control b: RY(sum) . (X^b RY(diff) X^b)
+    // = RY(sum + (-1)^b diff), which is angles[j] for b=0 and
+    // angles[j | half] for b=1.
+    append_multiplexed_ry(c, inner_controls, target, sum_half);
+    c.cx(controls[k - 1], target);
+    append_multiplexed_ry(c, inner_controls, target, diff_half);
+    c.cx(controls[k - 1], target);
+}
+
+circuit synthesize_state_prep(std::span<const double> amplitudes) {
+    const std::size_t dim = amplitudes.size();
+    QUORUM_EXPECTS_MSG(dim >= 2 && (dim & (dim - 1)) == 0,
+                       "amplitude count must be a power of two >= 2");
+    std::size_t n = 0;
+    while ((std::size_t{1} << n) < dim) {
+        ++n;
+    }
+    double norm = 0.0;
+    for (const double a : amplitudes) {
+        QUORUM_EXPECTS_MSG(a >= -1e-12, "state prep needs non-negative reals");
+        norm += a * a;
+    }
+    QUORUM_EXPECTS_MSG(std::abs(norm - 1.0) < 1e-8,
+                       "state prep amplitudes must be normalised");
+
+    std::vector<double> probs(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+        probs[j] = amplitudes[j] * amplitudes[j];
+    }
+
+    circuit c(n);
+    for (std::size_t level = 0; level < n; ++level) {
+        const qubit_t target = static_cast<qubit_t>(n - 1 - level);
+        // Controls: the already-prepared higher qubits, MSB first, so that
+        // bit j of the angle index is the value of qubit (n-1-j).
+        std::vector<qubit_t> controls(level);
+        for (std::size_t j = 0; j < level; ++j) {
+            controls[j] = static_cast<qubit_t>(n - 1 - j);
+        }
+        const std::size_t keys = std::size_t{1} << level;
+        std::vector<double> angles(keys, 0.0);
+        for (std::size_t key = 0; key < keys; ++key) {
+            double mass_zero = 0.0;
+            double mass_one = 0.0;
+            for (std::size_t idx = 0; idx < dim; ++idx) {
+                bool matches = true;
+                for (std::size_t j = 0; j < level; ++j) {
+                    const bool index_bit = ((idx >> (n - 1 - j)) & 1u) != 0;
+                    const bool key_bit = ((key >> j) & 1u) != 0;
+                    if (index_bit != key_bit) {
+                        matches = false;
+                        break;
+                    }
+                }
+                if (!matches) {
+                    continue;
+                }
+                if (((idx >> target) & 1u) != 0) {
+                    mass_one += probs[idx];
+                } else {
+                    mass_zero += probs[idx];
+                }
+            }
+            if (mass_zero + mass_one > 1e-300) {
+                angles[key] =
+                    2.0 * std::atan2(std::sqrt(mass_one), std::sqrt(mass_zero));
+            }
+        }
+        append_multiplexed_ry(c, controls, target, angles);
+    }
+    return c;
+}
+
+circuit expand_initialize(const circuit& c) {
+    circuit out(c.num_qubits(), c.num_clbits());
+    for (const operation& op : c.ops()) {
+        if (op.kind != op_kind::initialize) {
+            if (op.kind == op_kind::gate) {
+                out.append_gate(op.gate, op.qubits, op.params);
+            } else if (op.kind == op_kind::reset) {
+                out.reset(op.qubits[0]);
+            } else if (op.kind == op_kind::measure) {
+                out.measure(op.qubits[0], op.cbit);
+            } else {
+                out.barrier();
+            }
+            continue;
+        }
+        std::vector<double> real_amps(op.init_amplitudes.size());
+        for (std::size_t j = 0; j < real_amps.size(); ++j) {
+            const amp a = op.init_amplitudes[j];
+            QUORUM_EXPECTS_MSG(std::abs(a.imag()) < 1e-12 && a.real() >= -1e-12,
+                               "initialize expansion needs non-negative reals");
+            real_amps[j] = std::max(0.0, a.real());
+        }
+        const circuit prep = synthesize_state_prep(real_amps);
+        out.append(prep, op.qubits);
+    }
+    return out;
+}
+
+circuit decompose_to_basis(const circuit& c) {
+    const circuit expanded = expand_initialize(c);
+    circuit out(c.num_qubits(), c.num_clbits());
+    for (const operation& op : expanded.ops()) {
+        switch (op.kind) {
+        case op_kind::gate:
+            lower_gate(out, op);
+            break;
+        case op_kind::reset:
+            out.reset(op.qubits[0]);
+            break;
+        case op_kind::measure:
+            out.measure(op.qubits[0], op.cbit);
+            break;
+        case op_kind::barrier:
+            out.barrier();
+            break;
+        case op_kind::initialize:
+            throw util::contract_error("initialize survived expansion");
+        }
+    }
+    return out;
+}
+
+circuit optimize_basis_circuit(const circuit& c) {
+    circuit out(c.num_qubits(), c.num_clbits());
+    std::vector<operation> pending;
+    pending.reserve(c.ops().size());
+
+    const auto try_merge_tail = [&pending]() {
+        // Cascading peephole over the last two ops.
+        while (pending.size() >= 2) {
+            operation& prev = pending[pending.size() - 2];
+            operation& last = pending[pending.size() - 1];
+            if (prev.kind != op_kind::gate || last.kind != op_kind::gate) {
+                return;
+            }
+            // rz merge.
+            if (prev.gate == gate_kind::rz && last.gate == gate_kind::rz &&
+                prev.qubits == last.qubits) {
+                prev.params[0] += last.params[0];
+                pending.pop_back();
+                if (is_trivial_rotation(prev.params[0])) {
+                    pending.pop_back();
+                }
+                continue;
+            }
+            // Self-cancelling pairs: cx;cx and x;x on identical operands.
+            if (prev.gate == last.gate && prev.qubits == last.qubits &&
+                (prev.gate == gate_kind::cx || prev.gate == gate_kind::x)) {
+                pending.pop_back();
+                pending.pop_back();
+                continue;
+            }
+            return;
+        }
+    };
+
+    for (const operation& op : c.ops()) {
+        if (op.kind == op_kind::gate && op.gate == gate_kind::rz &&
+            is_trivial_rotation(op.params[0])) {
+            continue;
+        }
+        pending.push_back(op);
+        try_merge_tail();
+    }
+
+    for (const operation& op : pending) {
+        switch (op.kind) {
+        case op_kind::gate:
+            out.append_gate(op.gate, op.qubits, op.params);
+            break;
+        case op_kind::reset:
+            out.reset(op.qubits[0]);
+            break;
+        case op_kind::measure:
+            out.measure(op.qubits[0], op.cbit);
+            break;
+        case op_kind::barrier:
+            out.barrier();
+            break;
+        case op_kind::initialize:
+            out.initialize(op.qubits,
+                           std::span<const amp>(op.init_amplitudes));
+            break;
+        }
+    }
+    return out;
+}
+
+circuit transpile_for_hardware(const circuit& c) {
+    return optimize_basis_circuit(decompose_to_basis(c));
+}
+
+} // namespace quorum::qsim

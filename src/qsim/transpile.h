@@ -1,0 +1,56 @@
+// Transpilation to a hardware basis-gate set.
+//
+// The noisy engine models errors per *physical* gate, so circuits must
+// first be lowered to the IBM-style basis {rz, sx, x, cx} (rz is virtual).
+// Lowering uses the standard ZYZ Euler decomposition realised as
+// U = e^{ia} . rz . sx . rz . sx . rz ("ZSXZSXZ"), the textbook 6-CX
+// Toffoli expansion, and Fredkin = CX·CCX·CX. `initialize` pseudo-ops are
+// synthesised into RY/CX trees (Möttönen-style uniformly controlled
+// rotations, valid for the real non-negative amplitudes Quorum produces).
+#ifndef QUORUM_QSIM_TRANSPILE_H
+#define QUORUM_QSIM_TRANSPILE_H
+
+#include <span>
+
+#include "qsim/circuit.h"
+
+namespace quorum::qsim {
+
+/// Gate kinds allowed in a lowered circuit.
+[[nodiscard]] bool is_basis_gate(gate_kind kind) noexcept;
+
+/// True when every gate op in `c` is a basis gate.
+[[nodiscard]] bool is_basis_circuit(const circuit& c) noexcept;
+
+/// Appends a uniformly controlled RY ("multiplexed RY") to `target`:
+/// for each control basis value b (little-endian over `controls`),
+/// rotates the target by angles[b]. Decomposed recursively into
+/// 2^k RY + 2^k CX gates. With no controls this is a single RY.
+void append_multiplexed_ry(circuit& c, std::span<const qubit_t> controls,
+                           qubit_t target, std::span<const double> angles);
+
+/// Builds a state-preparation circuit for real non-negative `amplitudes`
+/// (size 2^n, normalised) over qubits [0, n), |0..0> -> sum a_j |j>.
+/// Uses the Möttönen uniformly-controlled-RY tree.
+[[nodiscard]] circuit synthesize_state_prep(std::span<const double> amplitudes);
+
+/// Replaces every `initialize` op with its synthesised RY/CX tree.
+/// Throws if an initialize op has amplitudes with nonzero imaginary part
+/// or negative real part (Quorum never produces those).
+[[nodiscard]] circuit expand_initialize(const circuit& c);
+
+/// Lowers all gates to the {rz, sx, x, cx} basis (expanding initialize
+/// first). reset/measure/barrier pass through unchanged.
+[[nodiscard]] circuit decompose_to_basis(const circuit& c);
+
+/// Peephole cleanup on a basis circuit: merges adjacent rz on the same
+/// qubit, drops rotations that are 0 (mod 2π), cancels adjacent identical
+/// cx pairs. Preserves the unitary exactly (up to global phase).
+[[nodiscard]] circuit optimize_basis_circuit(const circuit& c);
+
+/// Convenience: decompose_to_basis + optimize_basis_circuit.
+[[nodiscard]] circuit transpile_for_hardware(const circuit& c);
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_TRANSPILE_H

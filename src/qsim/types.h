@@ -1,0 +1,32 @@
+// Shared types for the quantum simulator substrate.
+//
+// Conventions (used consistently across the whole repository):
+//  * Qubits are indexed little-endian: qubit 0 is the least-significant bit
+//    of a basis-state index (same convention as Qiskit, which the paper's
+//    reference implementation uses).
+//  * Multi-qubit gate matrices are indexed so that the FIRST qubit argument
+//    is the least-significant bit of the matrix row/column index.
+#ifndef QUORUM_QSIM_TYPES_H
+#define QUORUM_QSIM_TYPES_H
+
+#include <complex>
+#include <cstdint>
+
+namespace quorum::qsim {
+
+/// A probability amplitude.
+using amp = std::complex<double>;
+
+/// A qubit index within a circuit or register.
+using qubit_t = std::uint32_t;
+
+/// π, spelled once.
+inline constexpr double pi = 3.141592653589793238462643383279502884;
+
+/// Numerical tolerance for "this probability is zero" decisions
+/// (branch pruning, collapse feasibility).
+inline constexpr double probability_epsilon = 1e-12;
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_TYPES_H

@@ -1,0 +1,68 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects() for expressing preconditions", I.8 Ensures()).
+//
+// Violations throw `quorum::util::contract_error` so that library misuse is
+// testable and never silently corrupts results. The checks are always on:
+// this library drives statistical experiments where a silently violated
+// precondition would invalidate every downstream number.
+#ifndef QUORUM_UTIL_CONTRACTS_H
+#define QUORUM_UTIL_CONTRACTS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace quorum::util {
+
+/// Thrown when a precondition (QUORUM_EXPECTS) or postcondition
+/// (QUORUM_ENSURES) is violated.
+class contract_error : public std::logic_error {
+public:
+    explicit contract_error(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+    std::string text = std::string(kind) + " violated: (" + cond + ") at " +
+                       file + ":" + std::to_string(line);
+    if (!msg.empty()) {
+        text += " — " + msg;
+    }
+    throw contract_error(text);
+}
+
+} // namespace detail
+
+} // namespace quorum::util
+
+/// Precondition check: throws quorum::util::contract_error on failure.
+#define QUORUM_EXPECTS(cond)                                                   \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::quorum::util::detail::contract_fail("precondition", #cond,       \
+                                                  __FILE__, __LINE__, "");     \
+        }                                                                      \
+    } while (false)
+
+/// Precondition check with an explanatory message.
+#define QUORUM_EXPECTS_MSG(cond, msg)                                          \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::quorum::util::detail::contract_fail("precondition", #cond,       \
+                                                  __FILE__, __LINE__, (msg));  \
+        }                                                                      \
+    } while (false)
+
+/// Postcondition check: throws quorum::util::contract_error on failure.
+#define QUORUM_ENSURES(cond)                                                   \
+    do {                                                                       \
+        if (!(cond)) {                                                         \
+            ::quorum::util::detail::contract_fail("postcondition", #cond,      \
+                                                  __FILE__, __LINE__, "");     \
+        }                                                                      \
+    } while (false)
+
+#endif // QUORUM_UTIL_CONTRACTS_H

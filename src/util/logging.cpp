@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace quorum::util {
+
+namespace {
+
+std::atomic<log_level> g_level{log_level::warn};
+std::mutex g_write_mutex;
+
+const char* level_name(log_level level) {
+    switch (level) {
+    case log_level::debug:
+        return "DEBUG";
+    case log_level::info:
+        return "INFO ";
+    case log_level::warn:
+        return "WARN ";
+    case log_level::error:
+        return "ERROR";
+    case log_level::off:
+        return "OFF  ";
+    }
+    return "?????";
+}
+
+} // namespace
+
+void set_log_level(log_level level) noexcept { g_level.store(level); }
+
+log_level current_log_level() noexcept { return g_level.load(); }
+
+void log_message(log_level level, const std::string& message) {
+    if (static_cast<int>(level) < static_cast<int>(g_level.load())) {
+        return;
+    }
+    const std::scoped_lock lock(g_write_mutex);
+    std::cerr << "[quorum:" << level_name(level) << "] " << message << '\n';
+}
+
+} // namespace quorum::util

@@ -1,0 +1,53 @@
+// Leveled logging to stderr. Quiet by default so benches print clean tables;
+// examples turn on info-level progress reporting.
+#ifndef QUORUM_UTIL_LOGGING_H
+#define QUORUM_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace quorum::util {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Sets the global logging threshold (messages below it are dropped).
+void set_log_level(log_level level) noexcept;
+
+/// Current global logging threshold.
+[[nodiscard]] log_level current_log_level() noexcept;
+
+/// Writes one log line (thread-safe) if `level` passes the threshold.
+void log_message(log_level level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+    std::ostringstream out;
+    (out << ... << std::forward<Args>(args));
+    return out.str();
+}
+
+} // namespace detail
+
+/// Convenience wrappers: log_info("groups=", n, " done").
+template <typename... Args>
+void log_debug(Args&&... args) {
+    log_message(log_level::debug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+    log_message(log_level::info, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+    log_message(log_level::warn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+    log_message(log_level::error, detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace quorum::util
+
+#endif // QUORUM_UTIL_LOGGING_H

@@ -1,0 +1,129 @@
+#include "util/matrix.h"
+
+#include <cmath>
+
+namespace quorum::util {
+
+cmatrix cmatrix::identity(std::size_t n) {
+    cmatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) = 1.0;
+    }
+    return m;
+}
+
+cmatrix cmatrix::multiply(const cmatrix& rhs) const {
+    QUORUM_EXPECTS(cols_ == rhs.rows_);
+    cmatrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const value_type a = (*this)(i, k);
+            if (a == value_type{}) {
+                continue;
+            }
+            for (std::size_t j = 0; j < rhs.cols_; ++j) {
+                out(i, j) += a * rhs(k, j);
+            }
+        }
+    }
+    return out;
+}
+
+cmatrix cmatrix::adjoint() const {
+    cmatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            out(j, i) = std::conj((*this)(i, j));
+        }
+    }
+    return out;
+}
+
+cmatrix cmatrix::kron(const cmatrix& rhs) const {
+    cmatrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) {
+            const value_type a = (*this)(i, j);
+            if (a == value_type{}) {
+                continue;
+            }
+            for (std::size_t r = 0; r < rhs.rows_; ++r) {
+                for (std::size_t c = 0; c < rhs.cols_; ++c) {
+                    out(i * rhs.rows_ + r, j * rhs.cols_ + c) = a * rhs(r, c);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<cmatrix::value_type>
+cmatrix::apply(const std::vector<value_type>& vec) const {
+    QUORUM_EXPECTS(vec.size() == cols_);
+    std::vector<value_type> out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        value_type sum{};
+        for (std::size_t j = 0; j < cols_; ++j) {
+            sum += (*this)(i, j) * vec[j];
+        }
+        out[i] = sum;
+    }
+    return out;
+}
+
+cmatrix::value_type cmatrix::trace() const {
+    QUORUM_EXPECTS(rows_ == cols_);
+    value_type sum{};
+    for (std::size_t i = 0; i < rows_; ++i) {
+        sum += (*this)(i, i);
+    }
+    return sum;
+}
+
+double cmatrix::distance(const cmatrix& rhs) const {
+    QUORUM_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        sum += std::norm(data_[i] - rhs.data_[i]);
+    }
+    return std::sqrt(sum);
+}
+
+bool cmatrix::is_unitary(double tol) const {
+    if (rows_ != cols_) {
+        return false;
+    }
+    const cmatrix product = adjoint().multiply(*this);
+    return product.distance(identity(rows_)) <= tol;
+}
+
+bool cmatrix::equals_up_to_phase(const cmatrix& rhs, double tol) const {
+    QUORUM_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+    // Find the largest-magnitude entry of rhs to estimate the phase.
+    std::size_t best = 0;
+    double best_mag = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const double mag = std::abs(rhs.data_[i]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = i;
+        }
+    }
+    if (best_mag < tol) {
+        return distance(rhs) <= tol; // rhs is (numerically) zero
+    }
+    if (std::abs(data_[best]) < tol) {
+        return false;
+    }
+    const value_type phase = data_[best] / rhs.data_[best];
+    if (std::abs(std::abs(phase) - 1.0) > tol) {
+        return false;
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        sum += std::norm(data_[i] - phase * rhs.data_[i]);
+    }
+    return std::sqrt(sum) <= tol;
+}
+
+} // namespace quorum::util

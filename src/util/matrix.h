@@ -1,0 +1,90 @@
+// Small dense complex matrix for gate algebra, transpiler verification and
+// the density-matrix engine's Kraus operators. This is deliberately a simple
+// value type (Core Guidelines C.10): circuits we verify are <= 8 qubits, so
+// matrices stay tiny (<= 256x256) and clarity beats blocking/vectorisation.
+#ifndef QUORUM_UTIL_MATRIX_H
+#define QUORUM_UTIL_MATRIX_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace quorum::util {
+
+/// Dense row-major complex matrix.
+class cmatrix {
+public:
+    using value_type = std::complex<double>;
+
+    cmatrix() = default;
+
+    /// rows x cols zero matrix.
+    cmatrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+    /// Square matrix from a row-major initializer list.
+    static cmatrix from_rows(std::size_t rows, std::size_t cols,
+                             std::vector<value_type> values) {
+        QUORUM_EXPECTS(values.size() == rows * cols);
+        cmatrix m(rows, cols);
+        m.data_ = std::move(values);
+        return m;
+    }
+
+    /// n x n identity.
+    static cmatrix identity(std::size_t n);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+    value_type& operator()(std::size_t r, std::size_t c) {
+        QUORUM_EXPECTS(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+    const value_type& operator()(std::size_t r, std::size_t c) const {
+        QUORUM_EXPECTS(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    [[nodiscard]] const std::vector<value_type>& data() const noexcept {
+        return data_;
+    }
+
+    /// Matrix product this * rhs.
+    [[nodiscard]] cmatrix multiply(const cmatrix& rhs) const;
+
+    /// Conjugate transpose.
+    [[nodiscard]] cmatrix adjoint() const;
+
+    /// Kronecker product this ⊗ rhs.
+    [[nodiscard]] cmatrix kron(const cmatrix& rhs) const;
+
+    /// Matrix-vector product.
+    [[nodiscard]] std::vector<value_type>
+    apply(const std::vector<value_type>& vec) const;
+
+    /// Trace (square matrices only).
+    [[nodiscard]] value_type trace() const;
+
+    /// Frobenius-norm distance to another matrix of the same shape.
+    [[nodiscard]] double distance(const cmatrix& rhs) const;
+
+    /// True when U†U = I within `tol`.
+    [[nodiscard]] bool is_unitary(double tol = 1e-10) const;
+
+    /// True when the two matrices are equal up to a global phase, i.e.
+    /// A = e^{iφ} B for some φ, within `tol`.
+    [[nodiscard]] bool equals_up_to_phase(const cmatrix& rhs,
+                                          double tol = 1e-9) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<value_type> data_;
+};
+
+} // namespace quorum::util
+
+#endif // QUORUM_UTIL_MATRIX_H

@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "util/contracts.h"
+
+namespace quorum::util {
+
+thread_pool::thread_pool(std::size_t threads) {
+    const std::size_t count = threads == 0 ? 1 : threads;
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        workers_.emplace_back([this]() { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::scoped_lock lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void thread_pool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return; // stopping_ and drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void thread_pool::parallel_for(std::size_t count,
+                               const std::function<void(std::size_t)>& body) {
+    if (count == 0) {
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const std::size_t lanes = std::min(size(), count);
+    std::vector<std::future<void>> futures;
+    futures.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        futures.push_back(submit([&]() {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= count) {
+                    return;
+                }
+                try {
+                    body(i);
+                } catch (...) {
+                    const std::scoped_lock lock(error_mutex);
+                    if (!first_error) {
+                        first_error = std::current_exception();
+                    }
+                }
+            }
+        }));
+    }
+    for (auto& future : futures) {
+        future.wait();
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+}
+
+std::size_t default_thread_count() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+} // namespace quorum::util

@@ -1,0 +1,32 @@
+// Wall-clock timing for benches and progress reporting.
+#ifndef QUORUM_UTIL_TIMER_H
+#define QUORUM_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace quorum::util {
+
+/// Monotonic stopwatch started at construction.
+class timer {
+public:
+    timer() : start_(clock::now()) {}
+
+    /// Restarts the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction/reset.
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Elapsed milliseconds since construction/reset.
+    [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace quorum::util
+
+#endif // QUORUM_UTIL_TIMER_H

@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "baseline/isolation_forest.h"
+#include "baseline/zscore_detector.h"
+#include "data/generators.h"
+#include "metrics/confusion.h"
+#include "metrics/detection_curve.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::baseline;
+using quorum::data::dataset;
+
+TEST(AveragePathLength, KnownValues) {
+    EXPECT_DOUBLE_EQ(average_path_length(0), 0.0);
+    EXPECT_DOUBLE_EQ(average_path_length(1), 0.0);
+    EXPECT_DOUBLE_EQ(average_path_length(2), 1.0);
+    // c(n) grows logarithmically and monotonically.
+    EXPECT_GT(average_path_length(256), average_path_length(16));
+    EXPECT_NEAR(average_path_length(256),
+                2.0 * (std::log(255.0) + 0.5772156649) - 2.0 * 255.0 / 256.0,
+                1e-9);
+}
+
+TEST(IsolationForest, DetectsObviousOutlier) {
+    quorum::util::rng gen(3);
+    dataset d(101, 2);
+    for (std::size_t i = 0; i < 100; ++i) {
+        d.at(i, 0) = gen.normal(0.5, 0.02);
+        d.at(i, 1) = gen.normal(0.5, 0.02);
+    }
+    d.at(100, 0) = 0.99;
+    d.at(100, 1) = 0.01;
+    isolation_forest forest(iforest_config{});
+    forest.fit(d);
+    const auto scores = forest.score_all(d);
+    const auto max_it = std::max_element(scores.begin(), scores.end());
+    EXPECT_EQ(static_cast<std::size_t>(max_it - scores.begin()), 100u);
+    EXPECT_GT(*max_it, 0.55);
+}
+
+TEST(IsolationForest, ScoresWithinUnitInterval) {
+    quorum::util::rng gen(5);
+    const dataset d = quorum::data::make_pen_global(gen);
+    isolation_forest forest(iforest_config{});
+    forest.fit(d.without_labels());
+    for (const double s : forest.score_all(d.without_labels())) {
+        EXPECT_GT(s, 0.0);
+        EXPECT_LT(s, 1.0);
+    }
+}
+
+TEST(IsolationForest, BeatsRandomOnBenchmarkData) {
+    quorum::util::rng gen(7);
+    const dataset d = quorum::data::make_breast_cancer(gen);
+    isolation_forest forest(iforest_config{});
+    forest.fit(d.without_labels());
+    const auto scores = forest.score_all(d.without_labels());
+    const auto curve = quorum::metrics::detection_curve(d.labels(), scores);
+    EXPECT_GT(quorum::metrics::curve_auc(curve), 0.7);
+}
+
+TEST(IsolationForest, DeterministicForFixedSeed) {
+    quorum::util::rng gen(9);
+    const dataset d = quorum::data::make_power_plant(gen);
+    isolation_forest a(iforest_config{});
+    isolation_forest b(iforest_config{});
+    a.fit(d.without_labels());
+    b.fit(d.without_labels());
+    const auto sa = a.score_all(d.without_labels());
+    const auto sb = b.score_all(d.without_labels());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_DOUBLE_EQ(sa[i], sb[i]);
+    }
+}
+
+TEST(IsolationForest, ScoreBeforeFitThrows) {
+    isolation_forest forest(iforest_config{});
+    const std::vector<double> row{0.5, 0.5};
+    EXPECT_THROW(forest.score(row), quorum::util::contract_error);
+}
+
+TEST(IsolationForest, ConfigValidation) {
+    iforest_config bad;
+    bad.trees = 0;
+    EXPECT_THROW((isolation_forest{bad}), quorum::util::contract_error);
+    bad = iforest_config{};
+    bad.subsample = 1;
+    EXPECT_THROW((isolation_forest{bad}), quorum::util::contract_error);
+}
+
+TEST(IsolationForest, HandlesConstantData) {
+    dataset d(20, 2); // all zeros
+    isolation_forest forest(iforest_config{});
+    forest.fit(d);
+    const auto scores = forest.score_all(d);
+    // All identical points: identical scores, no crash.
+    for (const double s : scores) {
+        EXPECT_NEAR(s, scores.front(), 1e-9);
+    }
+}
+
+TEST(ZscoreDetector, FlagsGlobalOutlier) {
+    quorum::util::rng gen(11);
+    dataset d(51, 3);
+    for (std::size_t i = 0; i < 50; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            d.at(i, j) = gen.normal(0.0, 1.0);
+        }
+    }
+    for (std::size_t j = 0; j < 3; ++j) {
+        d.at(50, j) = 8.0;
+    }
+    const auto scores = zscore_scores(d);
+    const auto max_it = std::max_element(scores.begin(), scores.end());
+    EXPECT_EQ(static_cast<std::size_t>(max_it - scores.begin()), 50u);
+}
+
+TEST(ZscoreDetector, ConstantFeatureContributesNothing) {
+    dataset d(10, 2);
+    for (std::size_t i = 0; i < 10; ++i) {
+        d.at(i, 0) = 5.0; // constant
+        d.at(i, 1) = static_cast<double>(i);
+    }
+    const auto scores = zscore_scores(d);
+    // Scores driven only by feature 1; ends of the range score highest.
+    EXPECT_GT(scores[9], scores[5]);
+    EXPECT_GT(scores[0], scores[5]);
+}
+
+TEST(ZscoreDetector, BlindToCorrelationBreaks) {
+    // A point inside all marginal ranges but off the joint manifold gets a
+    // LOW z-score — exactly the failure mode Quorum's joint encoding fixes.
+    quorum::util::rng gen(13);
+    dataset d(101, 2);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const double t = gen.uniform();
+        d.at(i, 0) = t;
+        d.at(i, 1) = t; // perfectly correlated
+    }
+    d.at(100, 0) = 0.9;
+    d.at(100, 1) = 0.1; // breaks the correlation, in-range marginally
+    const auto scores = zscore_scores(d);
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        rank += scores[i] > scores[100] ? 1 : 0;
+    }
+    EXPECT_GT(rank, 10u); // many normal points outscore it
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "baseline/optimizer.h"
+
+namespace {
+
+using namespace quorum::baseline;
+
+std::vector<double> quadratic_gradient(const std::vector<double>& params,
+                                       const std::vector<double>& target) {
+    std::vector<double> grad(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        grad[i] = 2.0 * (params[i] - target[i]);
+    }
+    return grad;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+    std::vector<double> params{5.0, -3.0};
+    const std::vector<double> target{1.0, 2.0};
+    sgd_optimizer opt(0.1);
+    for (int step = 0; step < 200; ++step) {
+        opt.step(params, quadratic_gradient(params, target));
+    }
+    EXPECT_NEAR(params[0], 1.0, 1e-6);
+    EXPECT_NEAR(params[1], 2.0, 1e-6);
+}
+
+TEST(Sgd, SingleStepIsPlainDescent) {
+    std::vector<double> params{1.0};
+    sgd_optimizer opt(0.5);
+    const std::vector<double> grad{2.0};
+    opt.step(params, grad);
+    EXPECT_DOUBLE_EQ(params[0], 0.0);
+}
+
+TEST(Sgd, ValidatesInputs) {
+    EXPECT_THROW(sgd_optimizer(0.0), quorum::util::contract_error);
+    sgd_optimizer opt(0.1);
+    std::vector<double> params{1.0};
+    const std::vector<double> grad{1.0, 2.0};
+    EXPECT_THROW(opt.step(params, grad), quorum::util::contract_error);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+    std::vector<double> params{8.0, -8.0, 3.0};
+    const std::vector<double> target{-1.0, 0.5, 2.0};
+    adam_optimizer opt(0.1);
+    for (int step = 0; step < 500; ++step) {
+        opt.step(params, quadratic_gradient(params, target));
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        EXPECT_NEAR(params[i], target[i], 1e-3);
+    }
+}
+
+TEST(Adam, CountsIterations) {
+    adam_optimizer opt(0.01);
+    std::vector<double> params{1.0};
+    const std::vector<double> grad{0.5};
+    EXPECT_EQ(opt.iterations(), 0u);
+    opt.step(params, grad);
+    opt.step(params, grad);
+    EXPECT_EQ(opt.iterations(), 2u);
+}
+
+TEST(Adam, FirstStepIsBiasCorrected) {
+    // With bias correction, the very first Adam step moves by ~lr in the
+    // gradient direction regardless of gradient magnitude.
+    adam_optimizer opt(0.1);
+    std::vector<double> big{0.0};
+    const std::vector<double> big_grad{1000.0};
+    opt.step(big, big_grad);
+    EXPECT_NEAR(big[0], -0.1, 1e-6);
+
+    adam_optimizer opt2(0.1);
+    std::vector<double> small{0.0};
+    const std::vector<double> small_grad{1e-3};
+    opt2.step(small, small_grad);
+    EXPECT_NEAR(small[0], -0.1, 1e-3);
+}
+
+TEST(Adam, RejectsParameterCountChange) {
+    adam_optimizer opt(0.1);
+    std::vector<double> params{1.0, 2.0};
+    const std::vector<double> grad{0.1, 0.1};
+    opt.step(params, grad);
+    std::vector<double> shrunk{1.0};
+    const std::vector<double> grad1{0.1};
+    EXPECT_THROW(opt.step(shrunk, grad1), quorum::util::contract_error);
+}
+
+TEST(Adam, ValidatesHyperparameters) {
+    EXPECT_THROW(adam_optimizer(0.0), quorum::util::contract_error);
+    EXPECT_THROW(adam_optimizer(0.1, 1.0), quorum::util::contract_error);
+    EXPECT_THROW(adam_optimizer(0.1, 0.9, 1.0), quorum::util::contract_error);
+    EXPECT_THROW(adam_optimizer(0.1, 0.9, 0.999, 0.0),
+                 quorum::util::contract_error);
+}
+
+TEST(Adam, HandlesNoisyGradients) {
+    // Adam should still approach the optimum with sign-flipping noise.
+    std::vector<double> params{4.0};
+    const std::vector<double> target{0.0};
+    adam_optimizer opt(0.05);
+    unsigned state = 12345;
+    for (int step = 0; step < 2000; ++step) {
+        state = state * 1664525u + 1013904223u;
+        const double noise = ((state >> 16) % 1000) / 1000.0 - 0.5;
+        std::vector<double> grad = quadratic_gradient(params, target);
+        grad[0] += noise;
+        opt.step(params, grad);
+    }
+    EXPECT_NEAR(params[0], 0.0, 0.2);
+}
+
+} // namespace

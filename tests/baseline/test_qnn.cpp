@@ -1,0 +1,168 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "baseline/qnn.h"
+#include "data/generators.h"
+#include "metrics/confusion.h"
+#include "qml/parameter_shift.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::baseline;
+using quorum::data::dataset;
+
+dataset separable_dataset(std::size_t n, std::size_t anomalies,
+                          quorum::util::rng& gen) {
+    dataset d(n, 4);
+    std::vector<int> labels(n, 0);
+    const auto rows = gen.sample_without_replacement(n, anomalies);
+    for (const auto r : rows) {
+        labels[r] = 1;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            d.at(i, j) = labels[i] == 1 ? gen.uniform(0.75, 1.0)
+                                        : gen.uniform(0.0, 0.25);
+        }
+    }
+    d.set_labels(labels);
+    return d;
+}
+
+TEST(Qnn, RequiresLabels) {
+    qnn_config config;
+    config.epochs = 1;
+    qnn_classifier qnn(config);
+    quorum::util::rng gen(3);
+    const dataset unlabelled = separable_dataset(20, 2, gen).without_labels();
+    EXPECT_THROW(qnn.fit(unlabelled), quorum::util::contract_error);
+}
+
+TEST(Qnn, PredictBeforeFitThrows) {
+    qnn_classifier qnn(qnn_config{});
+    quorum::util::rng gen(5);
+    const dataset d = separable_dataset(10, 1, gen);
+    EXPECT_THROW(qnn.predict(d), quorum::util::contract_error);
+}
+
+TEST(Qnn, LossDecreasesDuringTraining) {
+    quorum::util::rng gen(7);
+    const dataset d = separable_dataset(60, 12, gen);
+    qnn_config config;
+    config.epochs = 15;
+    config.batch_size = 8;
+    qnn_classifier qnn(config);
+    const std::vector<double> losses = qnn.fit(d);
+    ASSERT_EQ(losses.size(), 15u);
+    EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Qnn, LearnsSeparableData) {
+    quorum::util::rng gen(9);
+    const dataset d = separable_dataset(80, 20, gen);
+    qnn_config config;
+    config.epochs = 25;
+    qnn_classifier qnn(config);
+    qnn.fit(d);
+    const auto flags = qnn.predict(d);
+    const auto counts =
+        quorum::metrics::evaluate_flags(d.labels(), flags);
+    EXPECT_GT(counts.f1(), 0.85);
+}
+
+TEST(Qnn, ProbabilitiesWithinUnitInterval) {
+    quorum::util::rng gen(11);
+    const dataset d = separable_dataset(40, 8, gen);
+    qnn_config config;
+    config.epochs = 5;
+    qnn_classifier qnn(config);
+    qnn.fit(d);
+    for (const double p : qnn.predict_proba(d)) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Qnn, ParameterCountMatchesArchitecture) {
+    quorum::util::rng gen(13);
+    const dataset d = separable_dataset(30, 6, gen);
+    qnn_config config;
+    config.n_qubits = 3;
+    config.layers = 2;
+    config.epochs = 1;
+    qnn_classifier qnn(config);
+    qnn.fit(d);
+    EXPECT_EQ(qnn.parameters().size(), 2u * 2u * 3u);
+    EXPECT_EQ(qnn.encoded_features().size(), 3u);
+}
+
+TEST(Qnn, DeterministicForFixedSeed) {
+    quorum::util::rng gen(17);
+    const dataset d = separable_dataset(40, 8, gen);
+    qnn_config config;
+    config.epochs = 4;
+    config.seed = 99;
+    qnn_classifier a(config);
+    qnn_classifier b(config);
+    a.fit(d);
+    b.fit(d);
+    EXPECT_EQ(a.parameters(), b.parameters());
+    EXPECT_EQ(a.predict(d), b.predict(d));
+}
+
+TEST(Qnn, ForwardGradientMatchesParameterShift) {
+    // The training loop's gradient source must be exact for the circuit.
+    quorum::util::rng gen(19);
+    const dataset d = separable_dataset(10, 2, gen);
+    qnn_config config;
+    config.n_qubits = 2;
+    config.layers = 1;
+    config.epochs = 1;
+    qnn_classifier qnn(config);
+    qnn.fit(d);
+    const std::vector<double> encoded{0.3, 0.8};
+    const auto evaluate = [&](std::span<const double> p) {
+        return qnn.forward(encoded, p);
+    };
+    std::vector<double> params(qnn.parameters());
+    const auto ps = quorum::qml::parameter_shift_gradient(evaluate, params);
+    const auto fd = quorum::qml::finite_difference_gradient(evaluate, params);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        EXPECT_NEAR(ps[i], fd[i], 1e-5);
+    }
+}
+
+TEST(Qnn, ConservativeOnImbalancedHardData) {
+    // Paper Fig. 8 mechanism: on hard, heavily imbalanced data the trained
+    // QNN flags little or nothing (high precision, low recall).
+    quorum::util::rng gen(23);
+    const quorum::data::dataset letter = quorum::data::make_letter(gen);
+    qnn_config config;
+    config.epochs = 8;
+    qnn_classifier qnn(config);
+    qnn.fit(letter);
+    const auto flags = qnn.predict(letter);
+    const std::size_t flagged =
+        static_cast<std::size_t>(std::count(flags.begin(), flags.end(), 1));
+    // Far fewer flags than the 33 true anomalies (often zero).
+    EXPECT_LT(flagged, 15u);
+}
+
+TEST(Qnn, ConfigValidation) {
+    qnn_config config;
+    config.n_qubits = 0;
+    EXPECT_THROW((qnn_classifier{config}), quorum::util::contract_error);
+    config = qnn_config{};
+    config.threshold = 1.5;
+    EXPECT_THROW((qnn_classifier{config}), quorum::util::contract_error);
+    config = qnn_config{};
+    config.learning_rate = -1.0;
+    EXPECT_THROW((qnn_classifier{config}), quorum::util::contract_error);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "baseline/trained_qae.h"
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "metrics/detection_curve.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::baseline;
+using quorum::data::dataset;
+
+dataset compressible_dataset(std::size_t n, std::size_t anomalies,
+                             quorum::util::rng& gen) {
+    // Normal rows live on a 1-D line in 7-feature space (highly
+    // compressible); anomalies scatter off it.
+    dataset d(n, 7);
+    std::vector<int> labels(n, 0);
+    const auto rows = gen.sample_without_replacement(n, anomalies);
+    for (const auto r : rows) {
+        labels[r] = 1;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (labels[i] == 1) {
+            for (std::size_t j = 0; j < 7; ++j) {
+                d.at(i, j) = gen.uniform();
+            }
+        } else {
+            const double t = gen.uniform();
+            for (std::size_t j = 0; j < 7; ++j) {
+                d.at(i, j) = std::clamp(
+                    0.2 + 0.6 * t + gen.normal(0.0, 0.02), 0.0, 1.0);
+            }
+        }
+    }
+    d.set_labels(labels);
+    return d;
+}
+
+trained_qae_config fast_config() {
+    trained_qae_config config;
+    config.epochs = 6;
+    config.batch_size = 16;
+    config.seed = 5;
+    return config;
+}
+
+TEST(TrainedQae, ConfigValidation) {
+    trained_qae_config bad = fast_config();
+    bad.trash_qubits = 3; // == n_qubits
+    EXPECT_THROW((trained_qae{bad}), quorum::util::contract_error);
+    bad = fast_config();
+    bad.n_qubits = 1;
+    EXPECT_THROW((trained_qae{bad}), quorum::util::contract_error);
+    bad = fast_config();
+    bad.learning_rate = 0.0;
+    EXPECT_THROW((trained_qae{bad}), quorum::util::contract_error);
+}
+
+TEST(TrainedQae, ScoreBeforeFitThrows) {
+    trained_qae qae(fast_config());
+    const std::vector<double> row(7, 0.5);
+    EXPECT_THROW((void)qae.score_row(row), quorum::util::contract_error);
+}
+
+TEST(TrainedQae, LossDecreasesOnCompressibleData) {
+    quorum::util::rng gen(3);
+    const dataset d = compressible_dataset(80, 0, gen);
+    trained_qae qae(fast_config());
+    const std::vector<double> losses = qae.fit(d);
+    ASSERT_EQ(losses.size(), 6u);
+    EXPECT_LT(losses.back(), losses.front());
+    EXPECT_GE(losses.back(), 0.0);
+}
+
+TEST(TrainedQae, CountsTrainingEvaluations) {
+    quorum::util::rng gen(5);
+    const dataset d = compressible_dataset(20, 0, gen);
+    trained_qae_config config = fast_config();
+    config.epochs = 2;
+    trained_qae qae(config);
+    qae.fit(d);
+    // 2 evals per parameter per sample per epoch, 12 params, 20 samples.
+    EXPECT_EQ(qae.training_circuit_evaluations(), 2u * 12u * 20u * 2u);
+}
+
+TEST(TrainedQae, DetectsOffManifoldAnomalies) {
+    quorum::util::rng gen(7);
+    const dataset d = compressible_dataset(120, 6, gen);
+    trained_qae_config config = fast_config();
+    config.epochs = 10;
+    trained_qae qae(config);
+    qae.fit(d.without_labels()); // unsupervised: no labels during training
+    const std::vector<double> scores = qae.score_all(d.without_labels());
+    const auto curve = quorum::metrics::detection_curve(d.labels(), scores);
+    EXPECT_GT(quorum::metrics::curve_auc(curve), 0.75);
+}
+
+TEST(TrainedQae, ScoresAreTrashPopulationsInRange) {
+    quorum::util::rng gen(9);
+    const dataset d = compressible_dataset(40, 2, gen);
+    trained_qae qae(fast_config());
+    qae.fit(d.without_labels());
+    for (const double s : qae.score_all(d.without_labels())) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, static_cast<double>(fast_config().trash_qubits) + 1e-12);
+    }
+}
+
+TEST(TrainedQae, DeterministicForFixedSeed) {
+    quorum::util::rng gen(11);
+    const dataset d = compressible_dataset(30, 2, gen);
+    trained_qae a(fast_config());
+    trained_qae b(fast_config());
+    a.fit(d.without_labels());
+    b.fit(d.without_labels());
+    const auto sa = a.score_all(d.without_labels());
+    const auto sb = b.score_all(d.without_labels());
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_DOUBLE_EQ(sa[i], sb[i]);
+    }
+}
+
+TEST(TrainedQae, ParameterShapeMatchesAnsatz) {
+    quorum::util::rng gen(13);
+    const dataset d = compressible_dataset(20, 1, gen);
+    trained_qae_config config = fast_config();
+    config.n_qubits = 4;
+    config.layers = 3;
+    config.trash_qubits = 2;
+    trained_qae qae(config);
+    qae.fit(d.without_labels());
+    EXPECT_EQ(qae.parameters().n_qubits, 4u);
+    EXPECT_EQ(qae.parameters().layers, 3u);
+    EXPECT_EQ(qae.parameters().size(), 2u * 3u * 4u);
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "core/anomaly_score.h"
+
+namespace {
+
+using namespace quorum::core;
+
+group_result make_group(std::vector<double> z, std::size_t bucket_size) {
+    group_result g;
+    g.run_count.assign(z.size(), 2);
+    g.abs_z_sum = std::move(z);
+    g.bucket_size = bucket_size;
+    return g;
+}
+
+TEST(AnomalyScore, AggregatesAcrossGroups) {
+    const std::vector<group_result> groups{
+        make_group({1.0, 2.0, 3.0}, 5),
+        make_group({0.5, 0.5, 0.5}, 5),
+    };
+    const score_report report = aggregate_groups(groups);
+    EXPECT_EQ(report.groups, 2u);
+    EXPECT_EQ(report.bucket_size, 5u);
+    EXPECT_DOUBLE_EQ(report.scores[0], 1.5);
+    EXPECT_DOUBLE_EQ(report.scores[2], 3.5);
+    EXPECT_EQ(report.run_counts[1], 4u);
+}
+
+TEST(AnomalyScore, EmptyGroupsRejected) {
+    EXPECT_THROW((aggregate_groups({})), quorum::util::contract_error);
+}
+
+TEST(AnomalyScore, InconsistentSizesRejected) {
+    const std::vector<group_result> groups{
+        make_group({1.0, 2.0}, 5),
+        make_group({1.0, 2.0, 3.0}, 5),
+    };
+    EXPECT_THROW(aggregate_groups(groups), quorum::util::contract_error);
+}
+
+TEST(AnomalyScore, RankingSortsDescending) {
+    score_report report;
+    report.scores = {0.2, 0.9, 0.5, 0.9};
+    const auto ranking = report.ranking();
+    EXPECT_EQ(ranking[0], 1u); // ties break by index
+    EXPECT_EQ(ranking[1], 3u);
+    EXPECT_EQ(ranking[2], 2u);
+    EXPECT_EQ(ranking[3], 0u);
+}
+
+TEST(AnomalyScore, TopTruncates) {
+    score_report report;
+    report.scores = {3.0, 1.0, 2.0};
+    EXPECT_EQ(report.top(2), (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(report.top(10).size(), 3u);
+}
+
+TEST(AnomalyScore, FlagTopMarksIndices) {
+    score_report report;
+    report.scores = {3.0, 1.0, 2.0, 0.5};
+    const auto flags = report.flag_top(2);
+    EXPECT_EQ(flags, (std::vector<int>{1, 0, 1, 0}));
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "core/config.h"
+
+namespace {
+
+using namespace quorum::core;
+
+TEST(Config, DefaultsAreValid) {
+    quorum_config config;
+    EXPECT_NO_THROW(config.validate());
+    EXPECT_EQ(config.n_qubits, 3u); // paper's primary configuration
+    EXPECT_EQ(config.shots, 4096u); // paper §V
+}
+
+TEST(Config, EffectiveCompressionLevelsDefault) {
+    quorum_config config;
+    config.n_qubits = 3;
+    EXPECT_EQ(config.effective_compression_levels(),
+              (std::vector<std::size_t>{1, 2}));
+    config.n_qubits = 4;
+    EXPECT_EQ(config.effective_compression_levels(),
+              (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(Config, ExplicitCompressionLevelsRespected) {
+    quorum_config config;
+    config.compression_levels = {2};
+    EXPECT_EQ(config.effective_compression_levels(),
+              (std::vector<std::size_t>{2}));
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, RejectsBadQubitCounts) {
+    quorum_config config;
+    config.n_qubits = 1;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.n_qubits = 11;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+}
+
+TEST(Config, RejectsBadBucketProbability) {
+    quorum_config config;
+    config.bucket_probability = 0.0;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.bucket_probability = 1.0;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+}
+
+TEST(Config, RejectsBadAnomalyRate) {
+    quorum_config config;
+    config.estimated_anomaly_rate = 0.0;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.estimated_anomaly_rate = 1.0;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+}
+
+TEST(Config, RejectsOutOfRangeCompression) {
+    quorum_config config;
+    config.n_qubits = 3;
+    config.compression_levels = {0};
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.compression_levels = {3};
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+}
+
+TEST(Config, RejectsZeroGroupsAndShots) {
+    quorum_config config;
+    config.ensemble_groups = 0;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config = quorum_config{};
+    config.mode = exec_mode::sampled;
+    config.shots = 0;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    // exact mode doesn't need shots.
+    config.mode = exec_mode::exact;
+    EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, ModeNames) {
+    EXPECT_STREQ(exec_mode_name(exec_mode::exact), "exact");
+    EXPECT_STREQ(exec_mode_name(exec_mode::sampled), "sampled");
+    EXPECT_STREQ(exec_mode_name(exec_mode::per_shot), "per_shot");
+    EXPECT_STREQ(exec_mode_name(exec_mode::noisy), "noisy");
+}
+
+
+TEST(Config, FeatureStrategyNames) {
+    EXPECT_STREQ(feature_strategy_name(feature_strategy::uniform_random),
+                 "uniform_random");
+    EXPECT_STREQ(feature_strategy_name(feature_strategy::top_variance),
+                 "top_variance");
+    quorum_config config;
+    EXPECT_EQ(config.features, feature_strategy::uniform_random);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "data/bucketing.h"
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::core;
+using quorum::data::dataset;
+
+dataset small_normalized_dataset(std::uint64_t seed) {
+    quorum::util::rng gen(seed);
+    quorum::data::generator_spec spec;
+    spec.samples = 60;
+    spec.anomalies = 4;
+    spec.features = 10;
+    spec.anomaly_shift = 0.35;
+    const dataset raw = quorum::data::generate_clustered(spec, gen);
+    return quorum::data::normalize_for_quorum(raw.without_labels());
+}
+
+TEST(Ensemble, DeterministicPerGroupIndex) {
+    const dataset d = small_normalized_dataset(3);
+    quorum_config config;
+    config.ensemble_groups = 4;
+    config.seed = 77;
+    const group_result a = run_ensemble_group(d, config, 2);
+    const group_result b = run_ensemble_group(d, config, 2);
+    EXPECT_EQ(a.abs_z_sum, b.abs_z_sum);
+    EXPECT_EQ(a.bucket_size, b.bucket_size);
+}
+
+TEST(Ensemble, DifferentGroupsDiffer) {
+    const dataset d = small_normalized_dataset(5);
+    quorum_config config;
+    config.seed = 77;
+    const group_result a = run_ensemble_group(d, config, 0);
+    const group_result b = run_ensemble_group(d, config, 1);
+    EXPECT_NE(a.abs_z_sum, b.abs_z_sum);
+}
+
+TEST(Ensemble, ScoresAreFiniteAndNonNegative) {
+    const dataset d = small_normalized_dataset(7);
+    quorum_config config;
+    const group_result result = run_ensemble_group(d, config, 0);
+    ASSERT_EQ(result.abs_z_sum.size(), d.num_samples());
+    for (const double z : result.abs_z_sum) {
+        EXPECT_TRUE(std::isfinite(z));
+        EXPECT_GE(z, 0.0);
+    }
+}
+
+TEST(Ensemble, RunCountsBoundedByBucketsTimesLevels) {
+    const dataset d = small_normalized_dataset(9);
+    quorum_config config;
+    config.n_qubits = 3; // levels 1 and 2
+    const group_result result = run_ensemble_group(d, config, 0);
+    for (const std::size_t runs : result.run_count) {
+        EXPECT_LE(runs, 2u); // one bucket membership per level
+    }
+}
+
+TEST(Ensemble, BucketSizeMatchesSolver) {
+    const dataset d = small_normalized_dataset(11);
+    quorum_config config;
+    config.estimated_anomaly_rate = 0.05;
+    config.bucket_probability = 0.75;
+    const group_result result = run_ensemble_group(d, config, 0);
+    const auto expected_anomalies = static_cast<std::size_t>(
+        std::lround(0.05 * static_cast<double>(d.num_samples())));
+    EXPECT_EQ(result.bucket_size,
+              quorum::data::solve_bucket_size(d.num_samples(),
+                                              expected_anomalies, 0.75));
+}
+
+TEST(Ensemble, SampledModeAddsShotNoiseOnly) {
+    const dataset d = small_normalized_dataset(13);
+    quorum_config exact_config;
+    exact_config.mode = exec_mode::exact;
+    quorum_config sampled_config;
+    sampled_config.mode = exec_mode::sampled;
+    sampled_config.shots = 1 << 16; // large: shot noise ~ 1/256
+    const group_result exact = run_ensemble_group(d, exact_config, 0);
+    const group_result sampled = run_ensemble_group(d, sampled_config, 0);
+    // z-scores are scale-free, so direct comparison is meaningful; with
+    // 65536 shots the per-sample deviation stays moderate.
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        max_delta = std::max(max_delta,
+                             std::abs(exact.abs_z_sum[i] - sampled.abs_z_sum[i]));
+    }
+    EXPECT_LT(max_delta, 2.5);
+}
+
+TEST(Ensemble, FullCircuitPathMatchesAnalytic) {
+    const dataset d = small_normalized_dataset(15);
+    quorum_config analytic_config;
+    analytic_config.mode = exec_mode::exact;
+    analytic_config.use_full_circuit = false;
+    quorum_config circuit_config = analytic_config;
+    circuit_config.use_full_circuit = true;
+    const group_result fast = run_ensemble_group(d, analytic_config, 0);
+    const group_result full = run_ensemble_group(d, circuit_config, 0);
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        EXPECT_NEAR(fast.abs_z_sum[i], full.abs_z_sum[i], 1e-8);
+    }
+}
+
+TEST(Ensemble, SingleCompressionLevelHalvesRuns) {
+    const dataset d = small_normalized_dataset(17);
+    quorum_config both;
+    quorum_config single;
+    single.compression_levels = {1};
+    const group_result two_levels = run_ensemble_group(d, both, 0);
+    const group_result one_level = run_ensemble_group(d, single, 0);
+    std::size_t runs_two = 0;
+    std::size_t runs_one = 0;
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        runs_two += two_levels.run_count[i];
+        runs_one += one_level.run_count[i];
+    }
+    EXPECT_GT(runs_two, runs_one);
+}
+
+TEST(Ensemble, TinyDatasetStillWorks) {
+    // Two samples: one bucket, both in it.
+    dataset d(2, 3);
+    d.at(0, 0) = 0.1;
+    d.at(1, 0) = 0.3;
+    const dataset normalized = quorum::data::normalize_for_quorum(d);
+    quorum_config config;
+    config.estimated_anomaly_rate = 0.4;
+    const group_result result = run_ensemble_group(normalized, config, 0);
+    EXPECT_EQ(result.abs_z_sum.size(), 2u);
+}
+
+
+TEST(Ensemble, TopVarianceStrategyIsDeterministicAcrossGroups) {
+    const dataset d = small_normalized_dataset(19);
+    quorum_config config;
+    config.features = feature_strategy::top_variance;
+    const group_result a = run_ensemble_group(d, config, 0);
+    const group_result b = run_ensemble_group(d, config, 1);
+    // Different groups still differ (angles/buckets change)...
+    EXPECT_NE(a.abs_z_sum, b.abs_z_sum);
+    // ...but scores stay finite and well-formed.
+    for (const double z : a.abs_z_sum) {
+        EXPECT_TRUE(std::isfinite(z));
+    }
+}
+
+TEST(Ensemble, StrategiesDiverge) {
+    const dataset d = small_normalized_dataset(21);
+    quorum_config random_config;
+    random_config.features = feature_strategy::uniform_random;
+    quorum_config variance_config;
+    variance_config.features = feature_strategy::top_variance;
+    const group_result random_result = run_ensemble_group(d, random_config, 0);
+    const group_result variance_result =
+        run_ensemble_group(d, variance_config, 0);
+    EXPECT_NE(random_result.abs_z_sum, variance_result.abs_z_sum);
+}
+
+} // namespace

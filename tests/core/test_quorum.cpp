@@ -1,0 +1,227 @@
+#include <atomic>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/confusion.h"
+#include "metrics/detection_curve.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::core;
+using quorum::data::dataset;
+
+dataset planted_dataset(std::uint64_t seed, std::size_t samples = 120,
+                        std::size_t anomalies = 6) {
+    quorum::util::rng gen(seed);
+    quorum::data::generator_spec spec;
+    spec.samples = samples;
+    spec.anomalies = anomalies;
+    spec.features = 12;
+    spec.anomaly_shift = 0.35;
+    spec.anomaly_feature_fraction = 0.5;
+    return quorum::data::generate_clustered(spec, gen);
+}
+
+quorum_config fast_config() {
+    quorum_config config;
+    config.ensemble_groups = 40;
+    config.estimated_anomaly_rate = 0.05;
+    config.seed = 11;
+    return config;
+}
+
+TEST(QuorumDetector, ValidatesConfigAtConstruction) {
+    quorum_config bad;
+    bad.n_qubits = 0;
+    EXPECT_THROW((quorum_detector{bad}), quorum::util::contract_error);
+}
+
+TEST(QuorumDetector, ScoresEverySample) {
+    const dataset d = planted_dataset(3);
+    quorum_detector detector(fast_config());
+    const score_report report = detector.score(d);
+    EXPECT_EQ(report.scores.size(), d.num_samples());
+    EXPECT_EQ(report.groups, 40u);
+    for (const double s : report.scores) {
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_GE(s, 0.0);
+    }
+}
+
+TEST(QuorumDetector, SeparatesPlantedAnomalies) {
+    const dataset d = planted_dataset(5);
+    quorum_detector detector(fast_config());
+    const score_report report = detector.score(d);
+    const double rate = quorum::metrics::detection_rate_at(
+        d.labels(), report.scores, 0.2);
+    // Random ranking would find ~20%; require clear signal.
+    EXPECT_GT(rate, 0.5);
+}
+
+TEST(QuorumDetector, LabelsNeverInfluenceScores) {
+    // Unsupervised guarantee: identical scores with and without labels.
+    const dataset labelled = planted_dataset(7);
+    const dataset unlabelled = labelled.without_labels();
+    quorum_detector detector(fast_config());
+    const score_report with_labels = detector.score(labelled);
+    const score_report without_labels = detector.score(unlabelled);
+    EXPECT_EQ(with_labels.scores, without_labels.scores);
+}
+
+TEST(QuorumDetector, DeterministicAcrossThreadCounts) {
+    const dataset d = planted_dataset(9, 80, 4);
+    quorum_config config = fast_config();
+    config.ensemble_groups = 16;
+    config.threads = 1;
+    quorum_detector serial(config);
+    const score_report serial_report = serial.score(d);
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+        config.threads = threads;
+        quorum_detector parallel_detector(config);
+        const score_report parallel_report = parallel_detector.score(d);
+        ASSERT_EQ(parallel_report.scores.size(), serial_report.scores.size());
+        for (std::size_t i = 0; i < serial_report.scores.size(); ++i) {
+            ASSERT_DOUBLE_EQ(parallel_report.scores[i],
+                             serial_report.scores[i])
+                << "threads=" << threads << " sample=" << i;
+        }
+    }
+}
+
+TEST(QuorumDetector, DeterministicAcrossRepeats) {
+    const dataset d = planted_dataset(11, 60, 3);
+    quorum_detector detector(fast_config());
+    const score_report a = detector.score(d);
+    const score_report b = detector.score(d);
+    EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST(QuorumDetector, SeedChangesScoresButNotQuality) {
+    const dataset d = planted_dataset(13);
+    quorum_config config = fast_config();
+    quorum_detector first(config);
+    config.seed = 9999;
+    quorum_detector second(config);
+    const score_report a = first.score(d);
+    const score_report b = second.score(d);
+    EXPECT_NE(a.scores, b.scores);
+    // Both seeds must still detect signal.
+    EXPECT_GT(quorum::metrics::detection_rate_at(d.labels(), a.scores, 0.2),
+              0.4);
+    EXPECT_GT(quorum::metrics::detection_rate_at(d.labels(), b.scores, 0.2),
+              0.4);
+}
+
+TEST(QuorumDetector, SampledModeCloseToExact) {
+    const dataset d = planted_dataset(15, 80, 4);
+    quorum_config config = fast_config();
+    config.ensemble_groups = 30;
+    quorum_detector exact_detector(config);
+    config.mode = exec_mode::sampled;
+    config.shots = 4096; // paper's shot count
+    quorum_detector sampled_detector(config);
+    const score_report exact = exact_detector.score(d);
+    const score_report sampled = sampled_detector.score(d);
+    // Rankings should agree broadly: compare top-10% overlap.
+    const auto top_exact = quorum::metrics::top_k_indices(exact.scores, 8);
+    const auto top_sampled = quorum::metrics::top_k_indices(sampled.scores, 8);
+    std::size_t overlap = 0;
+    for (const auto i : top_exact) {
+        for (const auto j : top_sampled) {
+            overlap += i == j ? 1 : 0;
+        }
+    }
+    EXPECT_GE(overlap, 4u);
+}
+
+TEST(QuorumDetector, DetectReturnsFlagCountIndices) {
+    const dataset d = planted_dataset(17);
+    quorum_config config = fast_config();
+    config.estimated_anomaly_rate = 0.05;
+    quorum_detector detector(config);
+    const auto detected = detector.detect(d);
+    EXPECT_EQ(detected.size(), detector.flag_count(d.num_samples()));
+    EXPECT_EQ(detector.flag_count(120), 6u); // ceil(0.05 * 120)
+    EXPECT_EQ(detector.flag_count(10), 1u);  // ceil(0.5) floor of 1
+}
+
+TEST(QuorumDetector, ProgressCallbackSeesEveryGroup) {
+    const dataset d = planted_dataset(19, 40, 2);
+    quorum_config config = fast_config();
+    config.ensemble_groups = 10;
+    quorum_detector detector(config);
+    std::atomic<std::size_t> calls{0};
+    std::atomic<std::size_t> final_done{0};
+    detector.set_progress_callback([&](std::size_t done, std::size_t total) {
+        calls.fetch_add(1);
+        EXPECT_EQ(total, 10u);
+        final_done.store(std::max(final_done.load(), done));
+    });
+    (void)detector.score(d);
+    EXPECT_EQ(calls.load(), 10u);
+    EXPECT_EQ(final_done.load(), 10u);
+}
+
+TEST(QuorumDetector, RejectsDegenerateDatasets) {
+    quorum_detector detector(fast_config());
+    dataset single(1, 4);
+    EXPECT_THROW(detector.score(single), quorum::util::contract_error);
+}
+
+TEST(QuorumDetector, WorksWithFewerFeaturesThanRegister) {
+    // Power-plant case: 5 features < 2^3 - 1 slots.
+    quorum::util::rng gen(23);
+    const dataset plant = quorum::data::make_power_plant(gen);
+    quorum_config config = fast_config();
+    config.ensemble_groups = 20;
+    config.estimated_anomaly_rate = 0.03;
+    quorum_detector detector(config);
+    const score_report report = detector.score(plant);
+    EXPECT_GT(quorum::metrics::detection_rate_at(plant.labels(), report.scores,
+                                                 0.2),
+              0.4);
+}
+
+TEST(QuorumDetector, FourQubitEncodingRuns) {
+    // §IV-F scalability: larger encodings add compression levels ("moments").
+    const dataset d = planted_dataset(25, 60, 3);
+    quorum_config config = fast_config();
+    config.n_qubits = 4;
+    config.ensemble_groups = 10;
+    quorum_detector detector(config);
+    const score_report report = detector.score(d);
+    EXPECT_EQ(report.scores.size(), 60u);
+    for (const double s : report.scores) {
+        EXPECT_TRUE(std::isfinite(s));
+    }
+}
+
+class QuorumModeSweep : public ::testing::TestWithParam<exec_mode> {};
+
+TEST_P(QuorumModeSweep, AllModesProduceFiniteScores) {
+    const dataset d = planted_dataset(27, 24, 2);
+    quorum_config config = fast_config();
+    config.ensemble_groups = 2;
+    config.mode = GetParam();
+    config.shots = GetParam() == exec_mode::per_shot ? 64 : 512;
+    quorum_detector detector(config);
+    const score_report report = detector.score(d);
+    for (const double s : report.scores) {
+        ASSERT_TRUE(std::isfinite(s));
+        ASSERT_GE(s, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, QuorumModeSweep,
+                         ::testing::Values(exec_mode::exact,
+                                           exec_mode::sampled,
+                                           exec_mode::per_shot,
+                                           exec_mode::noisy));
+
+} // namespace

@@ -1,0 +1,157 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "data/bucketing.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::data;
+
+TEST(Bucketing, ProbabilityEdgeCases) {
+    EXPECT_DOUBLE_EQ(prob_bucket_contains_anomaly(100, 0, 10), 0.0);
+    // Bucket bigger than the normal population: pigeonhole guarantees 1.
+    EXPECT_DOUBLE_EQ(prob_bucket_contains_anomaly(100, 5, 96), 1.0);
+    // Whole dataset in one bucket with at least one anomaly.
+    EXPECT_DOUBLE_EQ(prob_bucket_contains_anomaly(100, 1, 100), 1.0);
+}
+
+TEST(Bucketing, ProbabilityClosedFormSmallCase) {
+    // N=4, A=1, s=2: P = 1 - C(3,2)/C(4,2) = 1 - 3/6 = 0.5.
+    EXPECT_NEAR(prob_bucket_contains_anomaly(4, 1, 2), 0.5, 1e-12);
+    // N=5, A=2, s=2: P = 1 - C(3,2)/C(5,2) = 1 - 3/10 = 0.7.
+    EXPECT_NEAR(prob_bucket_contains_anomaly(5, 2, 2), 0.7, 1e-12);
+}
+
+TEST(Bucketing, ProbabilityMatchesMonteCarlo) {
+    quorum::util::rng gen(3);
+    const std::size_t population = 60;
+    const std::size_t anomalies = 7;
+    const std::size_t bucket_size = 9;
+    const double analytic =
+        prob_bucket_contains_anomaly(population, anomalies, bucket_size);
+    std::size_t hits = 0;
+    const std::size_t trials = 20000;
+    for (std::size_t t = 0; t < trials; ++t) {
+        const auto sample =
+            gen.sample_without_replacement(population, bucket_size);
+        bool contains = false;
+        for (const std::size_t s : sample) {
+            if (s < anomalies) { // treat the first A indices as anomalies
+                contains = true;
+                break;
+            }
+        }
+        hits += contains ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(trials),
+                analytic, 0.01);
+}
+
+TEST(Bucketing, ProbabilityMonotoneInBucketSize) {
+    double previous = 0.0;
+    for (std::size_t s = 1; s <= 50; ++s) {
+        const double p = prob_bucket_contains_anomaly(200, 6, s);
+        EXPECT_GE(p, previous - 1e-12);
+        previous = p;
+    }
+}
+
+TEST(Bucketing, SolverFindsMinimalSize) {
+    const std::size_t size = solve_bucket_size(200, 6, 0.75);
+    EXPECT_GE(prob_bucket_contains_anomaly(200, 6, size), 0.75);
+    if (size > 1) {
+        EXPECT_LT(prob_bucket_contains_anomaly(200, 6, size - 1), 0.75);
+    }
+}
+
+TEST(Bucketing, SolverZeroAnomaliesFallsBackToPopulation) {
+    EXPECT_EQ(solve_bucket_size(100, 0, 0.75), 100u);
+}
+
+TEST(Bucketing, SolverRejectsBadTargets) {
+    EXPECT_THROW(solve_bucket_size(100, 5, 0.0), quorum::util::contract_error);
+    EXPECT_THROW(solve_bucket_size(100, 5, 1.0), quorum::util::contract_error);
+}
+
+TEST(Bucketing, SolverTableOneConfigurations) {
+    // Paper Table I: check the solver produces sane sizes for each dataset's
+    // (N, A, p) triple; higher p must never shrink the bucket.
+    struct table_row {
+        std::size_t n;
+        std::size_t a;
+        double p;
+    };
+    const table_row rows[] = {
+        {367, 10, 0.75}, {809, 90, 0.60}, {533, 33, 0.95}, {1000, 30, 0.75}};
+    for (const auto& row : rows) {
+        const std::size_t size = solve_bucket_size(row.n, row.a, row.p);
+        EXPECT_GE(size, 2u);
+        EXPECT_LT(size, row.n);
+        EXPECT_GE(prob_bucket_contains_anomaly(row.n, row.a, size), row.p);
+    }
+    EXPECT_LE(solve_bucket_size(533, 33, 0.60), solve_bucket_size(533, 33, 0.95));
+}
+
+TEST(Bucketing, MakeBucketsPartitionsEverything) {
+    quorum::util::rng gen(5);
+    const auto buckets = make_buckets(103, 10, gen);
+    std::set<std::size_t> seen;
+    for (const auto& bucket : buckets) {
+        for (const std::size_t index : bucket) {
+            EXPECT_TRUE(seen.insert(index).second) << "duplicate " << index;
+            EXPECT_LT(index, 103u);
+        }
+    }
+    EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(Bucketing, BucketSizesDifferByAtMostOne) {
+    quorum::util::rng gen(7);
+    const auto buckets = make_buckets(103, 10, gen);
+    std::size_t smallest = 1000;
+    std::size_t largest = 0;
+    for (const auto& bucket : buckets) {
+        smallest = std::min(smallest, bucket.size());
+        largest = std::max(largest, bucket.size());
+    }
+    EXPECT_LE(largest - smallest, 1u);
+}
+
+TEST(Bucketing, BucketCountMatchesCeilDivision) {
+    quorum::util::rng gen(9);
+    EXPECT_EQ(make_buckets(100, 10, gen).size(), 10u);
+    EXPECT_EQ(make_buckets(101, 10, gen).size(), 11u);
+    EXPECT_EQ(make_buckets(9, 10, gen).size(), 1u);
+    EXPECT_EQ(make_buckets(1, 1, gen).size(), 1u);
+}
+
+TEST(Bucketing, ShufflesAcrossCalls) {
+    quorum::util::rng gen(11);
+    const auto first = make_buckets(50, 10, gen);
+    const auto second = make_buckets(50, 10, gen);
+    // Same sizes but (overwhelmingly likely) different contents.
+    EXPECT_EQ(first.size(), second.size());
+    bool any_different = false;
+    for (std::size_t b = 0; b < first.size() && !any_different; ++b) {
+        any_different = first[b] != second[b];
+    }
+    EXPECT_TRUE(any_different);
+}
+
+class BucketProbabilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BucketProbabilitySweep, SolverSatisfiesEveryTarget) {
+    const double target = GetParam();
+    const std::size_t size = solve_bucket_size(533, 33, target);
+    EXPECT_GE(prob_bucket_contains_anomaly(533, 33, size), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperTargets, BucketProbabilitySweep,
+                         ::testing::Values(0.5, 0.6, 0.75, 0.95, 0.98));
+
+} // namespace

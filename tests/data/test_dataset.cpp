@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "data/dataset.h"
+
+namespace {
+
+using quorum::data::dataset;
+
+TEST(Dataset, ShapeAndZeroInit) {
+    dataset d(5, 3);
+    EXPECT_EQ(d.num_samples(), 5u);
+    EXPECT_EQ(d.num_features(), 3u);
+    EXPECT_DOUBLE_EQ(d.at(4, 2), 0.0);
+    EXPECT_FALSE(d.has_labels());
+}
+
+TEST(Dataset, RejectsEmptyShape) {
+    EXPECT_THROW(dataset(0, 3), quorum::util::contract_error);
+    EXPECT_THROW(dataset(3, 0), quorum::util::contract_error);
+}
+
+TEST(Dataset, FromRowsCopiesValues) {
+    const dataset d = dataset::from_rows({{1.0, 2.0}, {3.0, 4.0}}, {0, 1});
+    EXPECT_EQ(d.num_samples(), 2u);
+    EXPECT_EQ(d.num_features(), 2u);
+    EXPECT_DOUBLE_EQ(d.at(1, 0), 3.0);
+    EXPECT_EQ(d.label(0), 0);
+    EXPECT_EQ(d.label(1), 1);
+}
+
+TEST(Dataset, FromRowsRejectsRagged) {
+    EXPECT_THROW((dataset::from_rows({{1.0, 2.0}, {3.0}})), quorum::util::contract_error);
+    EXPECT_THROW((dataset::from_rows({})), quorum::util::contract_error);
+}
+
+TEST(Dataset, RowSpanViewsData) {
+    dataset d(2, 3);
+    d.at(1, 0) = 7.0;
+    d.at(1, 2) = 9.0;
+    const auto row = d.row(1);
+    ASSERT_EQ(row.size(), 3u);
+    EXPECT_DOUBLE_EQ(row[0], 7.0);
+    EXPECT_DOUBLE_EQ(row[2], 9.0);
+}
+
+TEST(Dataset, LabelValidation) {
+    dataset d(3, 1);
+    EXPECT_THROW((d.set_labels({0, 1})), quorum::util::contract_error);
+    EXPECT_THROW((d.set_labels({0, 1, 2})), quorum::util::contract_error);
+    d.set_labels({0, 1, 0});
+    EXPECT_TRUE(d.has_labels());
+    EXPECT_EQ(d.num_anomalies(), 1u);
+}
+
+TEST(Dataset, SetSingleLabelInitialisesVector) {
+    dataset d(3, 1);
+    d.set_label(2, 1);
+    EXPECT_TRUE(d.has_labels());
+    EXPECT_EQ(d.label(0), 0);
+    EXPECT_EQ(d.label(2), 1);
+    EXPECT_THROW(d.set_label(0, 5), quorum::util::contract_error);
+}
+
+TEST(Dataset, LabelAccessOnUnlabelledThrows) {
+    dataset d(2, 2);
+    EXPECT_THROW(d.label(0), quorum::util::contract_error);
+}
+
+TEST(Dataset, WithoutLabelsStripsOnlyLabels) {
+    dataset d = dataset::from_rows({{1.0}, {2.0}}, {1, 0});
+    d.set_name("named");
+    const dataset stripped = d.without_labels();
+    EXPECT_FALSE(stripped.has_labels());
+    EXPECT_EQ(stripped.num_anomalies(), 0u);
+    EXPECT_DOUBLE_EQ(stripped.at(0, 0), 1.0);
+    EXPECT_EQ(stripped.name(), "named");
+    EXPECT_TRUE(d.has_labels()); // original untouched
+}
+
+TEST(Dataset, FeatureNamesValidated) {
+    dataset d(2, 2);
+    EXPECT_THROW((d.set_feature_names({"a"})), quorum::util::contract_error);
+    d.set_feature_names({"a", "b"});
+    EXPECT_EQ(d.feature_names()[1], "b");
+}
+
+TEST(Dataset, OutOfRangeAccessThrows) {
+    dataset d(2, 2);
+    EXPECT_THROW(d.at(2, 0), quorum::util::contract_error);
+    EXPECT_THROW(d.at(0, 2), quorum::util::contract_error);
+    EXPECT_THROW(d.row(2), quorum::util::contract_error);
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "data/feature_select.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::data;
+
+TEST(FeatureSelect, ReturnsDistinctInRangeIndices) {
+    quorum::util::rng gen(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto selected = select_features(30, 7, gen);
+        ASSERT_EQ(selected.size(), 7u);
+        std::set<std::size_t> seen(selected.begin(), selected.end());
+        EXPECT_EQ(seen.size(), 7u);
+        for (const std::size_t j : selected) {
+            EXPECT_LT(j, 30u);
+        }
+    }
+}
+
+TEST(FeatureSelect, AllFeaturesWhenCountExceedsTotal) {
+    quorum::util::rng gen(5);
+    // Power-plant case: 5 features, m = 7 slots.
+    const auto selected = select_features(5, 7, gen);
+    EXPECT_EQ(selected, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+    const auto exact = select_features(4, 4, gen);
+    EXPECT_EQ(exact, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(FeatureSelect, CoverageIsUniformish) {
+    quorum::util::rng gen(7);
+    std::vector<int> hits(20, 0);
+    const int trials = 20000;
+    for (int t = 0; t < trials; ++t) {
+        for (const std::size_t j : select_features(20, 5, gen)) {
+            ++hits[j];
+        }
+    }
+    // Each feature expected trials * 5/20 = 5000 times, +-10%.
+    for (const int count : hits) {
+        EXPECT_NEAR(count, 5000, 500);
+    }
+}
+
+TEST(FeatureSelect, GatherPullsCorrectValues) {
+    const std::vector<double> row{10.0, 11.0, 12.0, 13.0};
+    const std::vector<std::size_t> indices{3, 0, 2};
+    const std::vector<double> gathered = gather_features(row, indices);
+    EXPECT_EQ(gathered, (std::vector<double>{13.0, 10.0, 12.0}));
+}
+
+TEST(FeatureSelect, GatherRejectsOutOfRange) {
+    const std::vector<double> row{1.0, 2.0};
+    const std::vector<std::size_t> indices{0, 2};
+    EXPECT_THROW(gather_features(row, indices), quorum::util::contract_error);
+}
+
+TEST(FeatureSelect, ZeroTotalRejected) {
+    quorum::util::rng gen(9);
+    EXPECT_THROW(select_features(0, 3, gen), quorum::util::contract_error);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "data/generators.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace quorum::data;
+
+/// Mean distance of rows from the dataset's global centroid, split by label.
+struct separation {
+    double normal_distance = 0.0;
+    double anomaly_distance = 0.0;
+};
+
+separation measure_separation(const dataset& d) {
+    std::vector<double> centroid(d.num_features(), 0.0);
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        for (std::size_t j = 0; j < d.num_features(); ++j) {
+            centroid[j] += d.at(i, j);
+        }
+    }
+    for (double& c : centroid) {
+        c /= static_cast<double>(d.num_samples());
+    }
+    separation out;
+    std::size_t normals = 0;
+    std::size_t anomalies = 0;
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        double dist = 0.0;
+        for (std::size_t j = 0; j < d.num_features(); ++j) {
+            const double delta = d.at(i, j) - centroid[j];
+            dist += delta * delta;
+        }
+        dist = std::sqrt(dist);
+        if (d.label(i) == 1) {
+            out.anomaly_distance += dist;
+            ++anomalies;
+        } else {
+            out.normal_distance += dist;
+            ++normals;
+        }
+    }
+    out.normal_distance /= static_cast<double>(normals);
+    out.anomaly_distance /= static_cast<double>(anomalies);
+    return out;
+}
+
+TEST(Generators, TableOneShapes) {
+    quorum::util::rng gen(1);
+    const dataset breast = make_breast_cancer(gen);
+    EXPECT_EQ(breast.num_samples(), 367u);
+    EXPECT_EQ(breast.num_anomalies(), 10u);
+    EXPECT_EQ(breast.num_features(), 30u);
+
+    quorum::util::rng gen2(2);
+    const dataset pen = make_pen_global(gen2);
+    EXPECT_EQ(pen.num_samples(), 809u);
+    EXPECT_EQ(pen.num_anomalies(), 90u);
+    EXPECT_EQ(pen.num_features(), 16u);
+
+    quorum::util::rng gen3(3);
+    const dataset letter = make_letter(gen3);
+    EXPECT_EQ(letter.num_samples(), 533u);
+    EXPECT_EQ(letter.num_anomalies(), 33u);
+    EXPECT_EQ(letter.num_features(), 32u);
+
+    quorum::util::rng gen4(4);
+    const dataset plant = make_power_plant(gen4);
+    EXPECT_EQ(plant.num_samples(), 1000u);
+    EXPECT_EQ(plant.num_anomalies(), 30u);
+    EXPECT_EQ(plant.num_features(), 5u);
+}
+
+TEST(Generators, ValuesInUnitRange) {
+    quorum::util::rng gen(7);
+    for (const auto& d :
+         {make_breast_cancer(gen), make_pen_global(gen), make_letter(gen),
+          make_power_plant(gen)}) {
+        for (std::size_t i = 0; i < d.num_samples(); ++i) {
+            for (std::size_t j = 0; j < d.num_features(); ++j) {
+                ASSERT_GE(d.at(i, j), 0.0);
+                ASSERT_LE(d.at(i, j), 1.0);
+            }
+        }
+    }
+}
+
+TEST(Generators, AnomaliesSitFartherFromCentroid) {
+    quorum::util::rng gen(11);
+    const dataset breast = make_breast_cancer(gen);
+    const separation s = measure_separation(breast);
+    EXPECT_GT(s.anomaly_distance, s.normal_distance * 1.1);
+}
+
+TEST(Generators, PowerPlantAnomaliesBreakCorrelations) {
+    quorum::util::rng gen(13);
+    const dataset plant = make_power_plant(gen);
+    // Normal rows: temperature (f0) and power (f4) strongly anti-correlated.
+    quorum::util::welford_accumulator temp_acc;
+    quorum::util::welford_accumulator power_acc;
+    for (std::size_t i = 0; i < plant.num_samples(); ++i) {
+        if (plant.label(i) == 0) {
+            temp_acc.add(plant.at(i, 0));
+            power_acc.add(plant.at(i, 4));
+        }
+    }
+    double covariance = 0.0;
+    std::size_t normals = 0;
+    for (std::size_t i = 0; i < plant.num_samples(); ++i) {
+        if (plant.label(i) == 0) {
+            covariance += (plant.at(i, 0) - temp_acc.mean()) *
+                          (plant.at(i, 4) - power_acc.mean());
+            ++normals;
+        }
+    }
+    covariance /= static_cast<double>(normals);
+    const double correlation = covariance / (temp_acc.stddev_population() *
+                                             power_acc.stddev_population());
+    EXPECT_LT(correlation, -0.9); // tight anti-correlated manifold
+}
+
+TEST(Generators, ClusteredSpecValidation) {
+    quorum::util::rng gen(17);
+    generator_spec spec;
+    spec.samples = 10;
+    spec.anomalies = 10; // not strictly fewer than samples
+    EXPECT_THROW(generate_clustered(spec, gen), quorum::util::contract_error);
+    spec.anomalies = 2;
+    spec.anomaly_feature_fraction = 0.0;
+    EXPECT_THROW(generate_clustered(spec, gen), quorum::util::contract_error);
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+    quorum::util::rng a(21);
+    quorum::util::rng b(21);
+    const dataset da = make_letter(a);
+    const dataset db = make_letter(b);
+    for (std::size_t i = 0; i < da.num_samples(); ++i) {
+        for (std::size_t j = 0; j < da.num_features(); ++j) {
+            ASSERT_DOUBLE_EQ(da.at(i, j), db.at(i, j));
+        }
+    }
+    EXPECT_EQ(da.labels(), db.labels());
+}
+
+TEST(Generators, BenchmarkSuiteMatchesTableOne) {
+    const auto suite = make_benchmark_suite(2025);
+    ASSERT_EQ(suite.size(), 4u);
+    EXPECT_EQ(suite[0].name, "breast_cancer");
+    EXPECT_DOUBLE_EQ(suite[0].bucket_probability, 0.75);
+    EXPECT_EQ(suite[1].name, "pen_global");
+    EXPECT_DOUBLE_EQ(suite[1].bucket_probability, 0.60);
+    EXPECT_EQ(suite[2].name, "letter");
+    EXPECT_DOUBLE_EQ(suite[2].bucket_probability, 0.95);
+    EXPECT_EQ(suite[3].name, "power_plant");
+    EXPECT_DOUBLE_EQ(suite[3].bucket_probability, 0.75);
+}
+
+TEST(Generators, BenchmarkSuiteDeterministic) {
+    const auto a = make_benchmark_suite(99);
+    const auto b = make_benchmark_suite(99);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        ASSERT_EQ(a[k].data.num_samples(), b[k].data.num_samples());
+        for (std::size_t i = 0; i < a[k].data.num_samples(); i += 37) {
+            ASSERT_DOUBLE_EQ(a[k].data.at(i, 0), b[k].data.at(i, 0));
+        }
+    }
+}
+
+TEST(Generators, LabelPlacementIsScattered) {
+    quorum::util::rng gen(23);
+    const dataset pen = make_pen_global(gen);
+    // Anomalies must not be bunched at the start/end (they are sampled
+    // uniformly over row indices).
+    std::size_t first_half = 0;
+    for (std::size_t i = 0; i < pen.num_samples() / 2; ++i) {
+        first_half += static_cast<std::size_t>(pen.label(i) == 1);
+    }
+    EXPECT_GT(first_half, 20u);
+    EXPECT_LT(first_half, 70u);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "data/generators.h"
+#include "data/split.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::data;
+
+dataset labelled_dataset(std::uint64_t seed) {
+    quorum::util::rng gen(seed);
+    generator_spec spec;
+    spec.samples = 100;
+    spec.anomalies = 10;
+    spec.features = 5;
+    return generate_clustered(spec, gen);
+}
+
+TEST(Split, StratifiedPreservesClassBalance) {
+    const dataset d = labelled_dataset(3);
+    quorum::util::rng gen(7);
+    const split_result split = stratified_split(d, 0.6, gen);
+    EXPECT_EQ(split.train.num_samples() + split.test.num_samples(), 100u);
+    EXPECT_EQ(split.train.num_anomalies(), 6u);
+    EXPECT_EQ(split.test.num_anomalies(), 4u);
+    EXPECT_EQ(split.train.num_samples(), 60u);
+}
+
+TEST(Split, PartitionIsExactAndDisjoint) {
+    const dataset d = labelled_dataset(5);
+    quorum::util::rng gen(9);
+    const split_result split = stratified_split(d, 0.5, gen);
+    std::set<std::size_t> seen(split.train_indices.begin(),
+                               split.train_indices.end());
+    for (const std::size_t i : split.test_indices) {
+        EXPECT_TRUE(seen.insert(i).second) << "row " << i << " duplicated";
+    }
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Split, RowsMatchOriginalData) {
+    const dataset d = labelled_dataset(7);
+    quorum::util::rng gen(11);
+    const split_result split = stratified_split(d, 0.7, gen);
+    for (std::size_t k = 0; k < split.train.num_samples(); ++k) {
+        const std::size_t original = split.train_indices[k];
+        for (std::size_t j = 0; j < d.num_features(); ++j) {
+            ASSERT_DOUBLE_EQ(split.train.at(k, j), d.at(original, j));
+        }
+        ASSERT_EQ(split.train.label(k), d.label(original));
+    }
+}
+
+TEST(Split, StratifiedKeepsBothClassesEvenWhenRounding) {
+    // 3 anomalies, large train fraction: test part must still get one.
+    quorum::util::rng data_gen(13);
+    generator_spec spec;
+    spec.samples = 40;
+    spec.anomalies = 3;
+    spec.features = 4;
+    const dataset d = generate_clustered(spec, data_gen);
+    quorum::util::rng gen(17);
+    const split_result split = stratified_split(d, 0.9, gen);
+    EXPECT_GE(split.train.num_anomalies(), 1u);
+    EXPECT_GE(split.test.num_anomalies(), 1u);
+}
+
+TEST(Split, StratifiedRequiresLabels) {
+    const dataset d = labelled_dataset(19).without_labels();
+    quorum::util::rng gen(21);
+    EXPECT_THROW((void)stratified_split(d, 0.5, gen),
+                 quorum::util::contract_error);
+}
+
+TEST(Split, FractionValidated) {
+    const dataset d = labelled_dataset(23);
+    quorum::util::rng gen(25);
+    EXPECT_THROW((void)stratified_split(d, 0.0, gen),
+                 quorum::util::contract_error);
+    EXPECT_THROW((void)stratified_split(d, 1.0, gen),
+                 quorum::util::contract_error);
+}
+
+TEST(Split, RandomSplitWorksUnlabelled) {
+    const dataset d = labelled_dataset(27).without_labels();
+    quorum::util::rng gen(29);
+    const split_result split = random_split(d, 0.25, gen);
+    EXPECT_EQ(split.train.num_samples(), 25u);
+    EXPECT_EQ(split.test.num_samples(), 75u);
+    EXPECT_FALSE(split.train.has_labels());
+}
+
+TEST(Split, DeterministicForFixedSeed) {
+    const dataset d = labelled_dataset(31);
+    quorum::util::rng a(33);
+    quorum::util::rng b(33);
+    const split_result sa = stratified_split(d, 0.5, a);
+    const split_result sb = stratified_split(d, 0.5, b);
+    EXPECT_EQ(sa.train_indices, sb.train_indices);
+    EXPECT_EQ(sa.test_indices, sb.test_indices);
+}
+
+TEST(Split, MetadataCarriedOver) {
+    dataset d = labelled_dataset(35);
+    d.set_name("meta");
+    d.set_feature_names({"a", "b", "c", "d", "e"});
+    quorum::util::rng gen(37);
+    const split_result split = stratified_split(d, 0.5, gen);
+    EXPECT_EQ(split.train.name(), "meta");
+    EXPECT_EQ(split.test.feature_names().size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "metrics/confusion.h"
+
+namespace {
+
+using namespace quorum::metrics;
+
+TEST(Confusion, CountsFromFlags) {
+    const std::vector<int> labels{1, 0, 1, 0, 0};
+    const std::vector<int> flags{1, 1, 0, 0, 0};
+    const confusion_counts c = evaluate_flags(labels, flags);
+    EXPECT_EQ(c.true_positive, 1u);
+    EXPECT_EQ(c.false_positive, 1u);
+    EXPECT_EQ(c.false_negative, 1u);
+    EXPECT_EQ(c.true_negative, 2u);
+}
+
+TEST(Confusion, DerivedMetrics) {
+    confusion_counts c;
+    c.true_positive = 3;
+    c.false_positive = 1;
+    c.false_negative = 2;
+    c.true_negative = 4;
+    EXPECT_DOUBLE_EQ(c.precision(), 0.75);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.6);
+    EXPECT_NEAR(c.f1(), 2.0 * 0.75 * 0.6 / 1.35, 1e-12);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.7);
+}
+
+TEST(Confusion, ZeroFlaggedGivesZeroPrecisionAndF1) {
+    // The paper's QNN-on-letter case: nothing flagged -> P = R = F1 = 0.
+    const std::vector<int> labels{1, 1, 0, 0};
+    const std::vector<int> flags{0, 0, 0, 0};
+    const confusion_counts c = evaluate_flags(labels, flags);
+    EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(Confusion, NoAnomaliesEdgeCase) {
+    const std::vector<int> labels{0, 0, 0};
+    const std::vector<int> flags{1, 0, 0};
+    const confusion_counts c = evaluate_flags(labels, flags);
+    EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+}
+
+TEST(Confusion, EmptyInputs) {
+    const confusion_counts c = evaluate_flags({}, {});
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+TEST(Confusion, MismatchedLengthsThrow) {
+    const std::vector<int> labels{1, 0};
+    const std::vector<int> flags{1};
+    EXPECT_THROW(evaluate_flags(labels, flags), quorum::util::contract_error);
+}
+
+TEST(Confusion, TopKFlagsHighestScores) {
+    const std::vector<int> labels{1, 0, 1, 0};
+    const std::vector<double> scores{9.0, 1.0, 8.0, 2.0};
+    const confusion_counts c = evaluate_top_k(labels, scores, 2);
+    EXPECT_EQ(c.true_positive, 2u);
+    EXPECT_EQ(c.false_positive, 0u);
+    EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+}
+
+TEST(Confusion, TopKTiesBreakByIndex) {
+    const std::vector<double> scores{5.0, 5.0, 5.0};
+    const auto top = top_k_indices(scores, 2);
+    EXPECT_EQ(top, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Confusion, TopKLargerThanDataset) {
+    const std::vector<int> labels{1, 0};
+    const std::vector<double> scores{1.0, 2.0};
+    const confusion_counts c = evaluate_top_k(labels, scores, 10);
+    EXPECT_EQ(c.true_positive + c.false_positive, 2u);
+}
+
+TEST(Confusion, TopFractionRounds) {
+    const std::vector<int> labels{1, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+    std::vector<double> scores(10, 0.0);
+    scores[0] = 1.0;
+    const confusion_counts c = evaluate_top_fraction(labels, scores, 0.1);
+    EXPECT_EQ(c.true_positive, 1u);
+    EXPECT_EQ(c.false_positive, 0u);
+    EXPECT_THROW(evaluate_top_fraction(labels, scores, 1.5),
+                 quorum::util::contract_error);
+}
+
+TEST(Confusion, PerfectDetectorScoresOne) {
+    const std::vector<int> labels{0, 1, 0, 1, 0};
+    const std::vector<double> scores{0.1, 0.9, 0.2, 0.8, 0.3};
+    const confusion_counts c = evaluate_top_k(labels, scores, 2);
+    EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(Confusion, TopKIndicesOrderedByScore) {
+    const std::vector<double> scores{0.5, 3.0, 1.0, 2.0};
+    const auto top = top_k_indices(scores, 3);
+    EXPECT_EQ(top, (std::vector<std::size_t>{1, 3, 2}));
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "metrics/detection_curve.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::metrics;
+
+TEST(DetectionCurve, EndpointsAreZeroAndOne) {
+    const std::vector<int> labels{1, 0, 1, 0, 0, 0};
+    const std::vector<double> scores{6, 5, 4, 3, 2, 1};
+    const auto curve = detection_curve(labels, scores, 11);
+    ASSERT_EQ(curve.size(), 11u);
+    EXPECT_DOUBLE_EQ(curve.front().fraction_of_dataset, 0.0);
+    EXPECT_DOUBLE_EQ(curve.front().fraction_of_anomalies_detected, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().fraction_of_dataset, 1.0);
+    EXPECT_DOUBLE_EQ(curve.back().fraction_of_anomalies_detected, 1.0);
+}
+
+TEST(DetectionCurve, MonotoneNonDecreasing) {
+    quorum::util::rng gen(3);
+    std::vector<int> labels(200);
+    std::vector<double> scores(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+        labels[i] = gen.bernoulli(0.1) ? 1 : 0;
+        scores[i] = gen.uniform();
+    }
+    const auto curve = detection_curve(labels, scores);
+    for (std::size_t p = 1; p < curve.size(); ++p) {
+        EXPECT_GE(curve[p].fraction_of_anomalies_detected,
+                  curve[p - 1].fraction_of_anomalies_detected - 1e-12);
+    }
+}
+
+TEST(DetectionCurve, PerfectScorerDetectsEarly) {
+    // 2 anomalies with top scores out of 10 samples.
+    const std::vector<int> labels{1, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+    const std::vector<double> scores{10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+    EXPECT_DOUBLE_EQ(detection_rate_at(labels, scores, 0.2), 1.0);
+    const auto curve = detection_curve(labels, scores, 11);
+    EXPECT_NEAR(curve_auc(curve), 1.0, 0.1);
+}
+
+TEST(DetectionCurve, WorstScorerDetectsLate) {
+    const std::vector<int> labels{1, 1, 0, 0, 0, 0, 0, 0, 0, 0};
+    const std::vector<double> scores{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    EXPECT_DOUBLE_EQ(detection_rate_at(labels, scores, 0.5), 0.0);
+    const auto curve = detection_curve(labels, scores, 11);
+    EXPECT_LT(curve_auc(curve), 0.2);
+}
+
+TEST(DetectionCurve, RandomScorerNearDiagonal) {
+    quorum::util::rng gen(7);
+    std::vector<int> labels(2000, 0);
+    std::vector<double> scores(2000);
+    for (std::size_t i = 0; i < 2000; ++i) {
+        labels[i] = i < 200 ? 1 : 0;
+        scores[i] = gen.uniform();
+    }
+    const auto curve = detection_curve(labels, scores);
+    EXPECT_NEAR(curve_auc(curve), 0.5, 0.07);
+}
+
+TEST(DetectionCurve, NoAnomaliesGivesFlatZero) {
+    const std::vector<int> labels{0, 0, 0};
+    const std::vector<double> scores{3, 2, 1};
+    const auto curve = detection_curve(labels, scores, 5);
+    for (const auto& point : curve) {
+        EXPECT_DOUBLE_EQ(point.fraction_of_anomalies_detected, 0.0);
+    }
+}
+
+TEST(DetectionCurve, DetectionRateAtBounds) {
+    const std::vector<int> labels{1, 0};
+    const std::vector<double> scores{2, 1};
+    EXPECT_DOUBLE_EQ(detection_rate_at(labels, scores, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(detection_rate_at(labels, scores, 1.0), 1.0);
+    EXPECT_THROW(detection_rate_at(labels, scores, -0.1),
+                 quorum::util::contract_error);
+}
+
+TEST(DetectionCurve, InputValidation) {
+    const std::vector<int> labels{1, 0};
+    const std::vector<double> scores{1.0};
+    EXPECT_THROW(detection_curve(labels, scores),
+                 quorum::util::contract_error);
+    const std::vector<double> ok{1.0, 2.0};
+    EXPECT_THROW(detection_curve(labels, ok, 1),
+                 quorum::util::contract_error);
+}
+
+TEST(DetectionCurve, AucRequiresTwoPoints) {
+    const std::vector<curve_point> single{{0.0, 0.0}};
+    EXPECT_THROW(curve_auc(single), quorum::util::contract_error);
+}
+
+} // namespace

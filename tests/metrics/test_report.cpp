@@ -1,0 +1,54 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "metrics/report.h"
+
+namespace {
+
+using quorum::metrics::table_printer;
+
+TEST(Report, PrintsHeadersRuleAndRows) {
+    table_printer table({"name", "value"});
+    table.add_row({"alpha", "1.0"});
+    table.add_row({"beta", "2.0"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Report, ColumnsAligned) {
+    table_printer table({"x", "y"});
+    table.add_row({"longer_cell", "1"});
+    std::ostringstream out;
+    table.print(out);
+    // Header row must be padded to the widest cell + separator.
+    const std::string text = out.str();
+    const std::size_t first_newline = text.find('\n');
+    ASSERT_NE(first_newline, std::string::npos);
+    const std::string header = text.substr(0, first_newline);
+    EXPECT_GE(header.size(), std::string("longer_cell  y").size());
+}
+
+TEST(Report, RowWidthValidated) {
+    table_printer table({"a", "b"});
+    EXPECT_THROW((table.add_row({"only_one"})), quorum::util::contract_error);
+}
+
+TEST(Report, EmptyHeadersRejected) {
+    EXPECT_THROW((table_printer({})), quorum::util::contract_error);
+}
+
+TEST(Report, FmtFixedPrecision) {
+    EXPECT_EQ(table_printer::fmt(0.123456, 3), "0.123");
+    EXPECT_EQ(table_printer::fmt(2.0, 1), "2.0");
+    EXPECT_EQ(table_printer::fmt(-1.5, 2), "-1.50");
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "metrics/roc.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::metrics;
+
+TEST(Roc, PerfectDetectorAucOne) {
+    const std::vector<int> labels{1, 1, 0, 0, 0};
+    const std::vector<double> scores{5, 4, 3, 2, 1};
+    EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 1.0);
+}
+
+TEST(Roc, InvertedDetectorAucZero) {
+    const std::vector<int> labels{1, 1, 0, 0, 0};
+    const std::vector<double> scores{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.0);
+}
+
+TEST(Roc, AllTiedScoresAucHalf) {
+    const std::vector<int> labels{1, 0, 1, 0};
+    const std::vector<double> scores{2, 2, 2, 2};
+    EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.5);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+    quorum::util::rng gen(7);
+    std::vector<int> labels(4000);
+    std::vector<double> scores(4000);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = i < 400 ? 1 : 0;
+        scores[i] = gen.uniform();
+    }
+    EXPECT_NEAR(roc_auc(labels, scores), 0.5, 0.05);
+}
+
+TEST(Roc, MatchesMannWhitneyOnSmallCase) {
+    // labels:  1     0     1     0
+    // scores:  0.9   0.8   0.7   0.1
+    // pairs (anomaly, normal): (0.9,0.8)+ (0.9,0.1)+ (0.7,0.8)- (0.7,0.1)+
+    // => 3 of 4 correctly ordered => AUC = 0.75.
+    const std::vector<int> labels{1, 0, 1, 0};
+    const std::vector<double> scores{0.9, 0.8, 0.7, 0.1};
+    EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.75);
+}
+
+TEST(Roc, TiesCountHalf) {
+    // anomaly at 0.5 ties the normal at 0.5 => that pair contributes 1/2.
+    const std::vector<int> labels{1, 0};
+    const std::vector<double> scores{0.5, 0.5};
+    EXPECT_DOUBLE_EQ(roc_auc(labels, scores), 0.5);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+    quorum::util::rng gen(9);
+    std::vector<int> labels(300);
+    std::vector<double> scores(300);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        labels[i] = gen.bernoulli(0.2) ? 1 : 0;
+        scores[i] = gen.uniform() + 0.3 * labels[i];
+    }
+    labels[0] = 1; // ensure both classes
+    labels[1] = 0;
+    const auto curve = roc_curve(labels, scores);
+    EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+    EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+    EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].false_positive_rate,
+                  curve[i - 1].false_positive_rate);
+        EXPECT_GE(curve[i].true_positive_rate,
+                  curve[i - 1].true_positive_rate);
+    }
+}
+
+TEST(Roc, SingleClassRejected) {
+    const std::vector<int> all_normal{0, 0, 0};
+    const std::vector<double> scores{1, 2, 3};
+    EXPECT_THROW((void)roc_auc(all_normal, scores),
+                 quorum::util::contract_error);
+    const std::vector<int> all_anomalous{1, 1, 1};
+    EXPECT_THROW((void)roc_auc(all_anomalous, scores),
+                 quorum::util::contract_error);
+}
+
+TEST(Roc, MismatchedSizesRejected) {
+    const std::vector<int> labels{1, 0};
+    const std::vector<double> scores{1.0};
+    EXPECT_THROW((void)roc_curve(labels, scores),
+                 quorum::util::contract_error);
+}
+
+} // namespace

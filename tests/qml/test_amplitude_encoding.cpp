@@ -1,0 +1,116 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qml/amplitude_encoding.h"
+#include "qsim/statevector.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qml;
+using quorum::qsim::statevector;
+
+TEST(AmplitudeEncoding, CapacityConstants) {
+    EXPECT_EQ(max_features(3), 7u);
+    EXPECT_EQ(overflow_index(3), 7u);
+    EXPECT_EQ(max_features(4), 15u);
+}
+
+TEST(AmplitudeEncoding, FeaturesBecomeAmplitudes) {
+    const std::vector<double> features{0.1, 0.2, 0.3};
+    const std::vector<double> amps = to_amplitudes(features, 3);
+    ASSERT_EQ(amps.size(), 8u);
+    EXPECT_NEAR(amps[0], 0.1, 1e-9);
+    EXPECT_NEAR(amps[1], 0.2, 1e-9);
+    EXPECT_NEAR(amps[2], 0.3, 1e-9);
+    EXPECT_NEAR(amps[3], 0.0, 1e-12);
+}
+
+TEST(AmplitudeEncoding, OverflowAbsorbsResidualMass) {
+    const std::vector<double> features{0.3, 0.4};
+    const std::vector<double> amps = to_amplitudes(features, 2);
+    // overflow^2 = 1 - 0.09 - 0.16 = 0.75.
+    EXPECT_NEAR(amps[3] * amps[3], 0.75, 1e-9);
+    double norm = 0.0;
+    for (const double a : amps) {
+        norm += a * a;
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(AmplitudeEncoding, EmptyFeatureListIsPureOverflow) {
+    const std::vector<double> amps = to_amplitudes({}, 2);
+    EXPECT_NEAR(amps[3], 1.0, 1e-12);
+}
+
+TEST(AmplitudeEncoding, PaperNormalisationAlwaysFits) {
+    // Features normalised to [0, 1/M] (paper §IV-A) can never exceed unit
+    // probability mass, for any M and any subset size <= 2^n - 1.
+    quorum::util::rng gen(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t m = 1 + gen.uniform_index(30);
+        std::vector<double> features(std::min<std::size_t>(7, m));
+        for (double& f : features) {
+            f = gen.uniform() / static_cast<double>(m);
+        }
+        EXPECT_NO_THROW(to_amplitudes(features, 3));
+    }
+}
+
+TEST(AmplitudeEncoding, RejectsTooManyFeatures) {
+    const std::vector<double> features(8, 0.1);
+    EXPECT_THROW(to_amplitudes(features, 3), quorum::util::contract_error);
+}
+
+TEST(AmplitudeEncoding, RejectsNegativeFeatures) {
+    const std::vector<double> features{0.2, -0.3};
+    EXPECT_THROW(to_amplitudes(features, 2), quorum::util::contract_error);
+}
+
+TEST(AmplitudeEncoding, RejectsOverUnitMass) {
+    const std::vector<double> features{0.8, 0.8}; // 0.64 + 0.64 > 1
+    EXPECT_THROW(to_amplitudes(features, 2), quorum::util::contract_error);
+}
+
+TEST(AmplitudeEncoding, EncodeStateMatchesAmplitudes) {
+    const std::vector<double> features{0.25, 0.1, 0.05};
+    const statevector state = encode_state(features, 3);
+    const std::vector<double> amps = to_amplitudes(features, 3);
+    for (std::size_t j = 0; j < amps.size(); ++j) {
+        EXPECT_NEAR(state.amplitudes()[j].real(), amps[j], 1e-12);
+    }
+    EXPECT_NEAR(state.norm_squared(), 1.0, 1e-12);
+}
+
+class EncodingCircuitSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EncodingCircuitSweep, SynthesisedCircuitMatchesExactState) {
+    const std::size_t n = GetParam();
+    quorum::util::rng gen(n * 7 + 1);
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::size_t m = 1 + gen.uniform_index(max_features(n));
+        std::vector<double> features(m);
+        for (double& f : features) {
+            f = gen.uniform() * 0.4; // keep total mass under 1
+        }
+        const statevector exact = encode_state(features, n);
+        const quorum::qsim::circuit prep = encoding_circuit(features, n);
+        statevector synthesised(n);
+        for (const auto& op : prep.ops()) {
+            synthesised.apply_gate(op.gate, op.qubits, op.params);
+        }
+        for (std::size_t j = 0; j < exact.dim(); ++j) {
+            EXPECT_NEAR(std::abs(exact.amplitudes()[j] -
+                                 synthesised.amplitudes()[j]),
+                        0.0, 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EncodingCircuitSweep,
+                         ::testing::Values(2u, 3u, 4u));
+
+} // namespace

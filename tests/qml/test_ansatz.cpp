@@ -1,0 +1,130 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qml/ansatz.h"
+#include "qsim/circuit.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qml;
+using namespace quorum::qsim;
+
+TEST(Ansatz, RandomParamsShapeAndRange) {
+    quorum::util::rng gen(3);
+    const ansatz_params params = random_ansatz_params(3, 2, gen);
+    EXPECT_EQ(params.n_qubits, 3u);
+    EXPECT_EQ(params.layers, 2u);
+    EXPECT_EQ(params.rx_angles.size(), 6u);
+    EXPECT_EQ(params.rz_angles.size(), 6u);
+    EXPECT_EQ(params.size(), 12u);
+    for (const double theta : params.rx_angles) {
+        EXPECT_GE(theta, 0.0);
+        EXPECT_LT(theta, 2.0 * 3.14159265358979323846);
+    }
+}
+
+TEST(Ansatz, DeterministicForFixedSeed) {
+    quorum::util::rng a(42);
+    quorum::util::rng b(42);
+    const ansatz_params pa = random_ansatz_params(3, 2, a);
+    const ansatz_params pb = random_ansatz_params(3, 2, b);
+    EXPECT_EQ(pa.rx_angles, pb.rx_angles);
+    EXPECT_EQ(pa.rz_angles, pb.rz_angles);
+}
+
+TEST(Ansatz, EncoderStructureMatchesFig5) {
+    quorum::util::rng gen(5);
+    const ansatz_params params = random_ansatz_params(3, 2, gen);
+    circuit c(3);
+    const qubit_t reg[] = {0, 1, 2};
+    append_encoder(c, params, reg);
+    // Per layer: 3 rx + 3 rz + 2 cx = 8 gates; 2 layers = 16.
+    EXPECT_EQ(c.gate_count(), 16u);
+    EXPECT_EQ(c.count_kind(gate_kind::rx), 6u);
+    EXPECT_EQ(c.count_kind(gate_kind::rz), 6u);
+    EXPECT_EQ(c.count_kind(gate_kind::cx), 4u);
+}
+
+TEST(Ansatz, DecoderInvertsEncoder) {
+    quorum::util::rng gen(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 2 + gen.uniform_index(3); // 2..4 qubits
+        const std::size_t layers = 1 + gen.uniform_index(3);
+        const ansatz_params params =
+            random_ansatz_params(n, layers, gen);
+        circuit c(n);
+        std::vector<qubit_t> reg(n);
+        for (std::size_t q = 0; q < n; ++q) {
+            reg[q] = static_cast<qubit_t>(q);
+        }
+        append_encoder(c, params, reg);
+        append_decoder(c, params, reg);
+        const quorum::util::cmatrix u = circuit_unitary(c);
+        EXPECT_TRUE(u.equals_up_to_phase(
+            quorum::util::cmatrix::identity(std::size_t{1} << n), 1e-9));
+    }
+}
+
+TEST(Ansatz, EncoderOnMappedRegister) {
+    quorum::util::rng gen(9);
+    const ansatz_params params = random_ansatz_params(2, 1, gen);
+    circuit c(5);
+    const qubit_t reg[] = {3, 4};
+    append_encoder(c, params, reg);
+    for (const auto& op : c.ops()) {
+        for (const qubit_t q : op.qubits) {
+            EXPECT_GE(q, 3u);
+        }
+    }
+}
+
+TEST(Ansatz, SingleQubitAnsatzHasNoCx) {
+    quorum::util::rng gen(11);
+    const ansatz_params params = random_ansatz_params(1, 2, gen);
+    circuit c(1);
+    const qubit_t reg[] = {0};
+    append_encoder(c, params, reg);
+    EXPECT_EQ(c.count_kind(gate_kind::cx), 0u);
+    EXPECT_EQ(c.gate_count(), 4u); // 2 layers x (rx + rz)
+}
+
+TEST(Ansatz, RegisterSizeMismatchThrows) {
+    quorum::util::rng gen(13);
+    const ansatz_params params = random_ansatz_params(3, 1, gen);
+    circuit c(3);
+    const qubit_t reg[] = {0, 1};
+    EXPECT_THROW(append_encoder(c, params, reg),
+                 quorum::util::contract_error);
+    EXPECT_THROW(append_decoder(c, params, reg),
+                 quorum::util::contract_error);
+}
+
+TEST(Ansatz, InvalidConstructionRejected) {
+    quorum::util::rng gen(15);
+    EXPECT_THROW(random_ansatz_params(0, 1, gen),
+                 quorum::util::contract_error);
+    EXPECT_THROW(random_ansatz_params(3, 0, gen),
+                 quorum::util::contract_error);
+}
+
+class AnsatzLayerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AnsatzLayerSweep, InverseHoldsForAllDepths) {
+    quorum::util::rng gen(GetParam() * 17 + 1);
+    const ansatz_params params = random_ansatz_params(3, GetParam(), gen);
+    circuit c(3);
+    const qubit_t reg[] = {0, 1, 2};
+    append_encoder(c, params, reg);
+    append_decoder(c, params, reg);
+    EXPECT_TRUE(circuit_unitary(c).equals_up_to_phase(
+        quorum::util::cmatrix::identity(8), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, AnsatzLayerSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u));
+
+} // namespace

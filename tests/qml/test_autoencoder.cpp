@@ -1,0 +1,162 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qml/amplitude_encoding.h"
+#include "qml/autoencoder.h"
+#include "qsim/statevector_runner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qml;
+using namespace quorum::qsim;
+
+std::vector<double> random_amplitudes(std::size_t n, quorum::util::rng& gen) {
+    std::vector<double> features(max_features(n));
+    for (double& f : features) {
+        f = gen.uniform() * 0.3;
+    }
+    return to_amplitudes(features, n);
+}
+
+TEST(Autoencoder, LayoutConventions) {
+    const autoencoder_layout layout{3};
+    EXPECT_EQ(layout.reg_a(), (std::vector<qubit_t>{0, 1, 2}));
+    EXPECT_EQ(layout.reg_b(), (std::vector<qubit_t>{3, 4, 5}));
+    EXPECT_EQ(layout.ancilla(), 6u);
+    EXPECT_EQ(layout.total_qubits(), 7u);
+}
+
+TEST(Autoencoder, CircuitUsesTwoNPlusOneQubits) {
+    quorum::util::rng gen(3);
+    const ansatz_params params = random_ansatz_params(3, 2, gen);
+    const std::vector<double> amps = random_amplitudes(3, gen);
+    const circuit c = build_autoencoder_circuit(amps, params, 1);
+    EXPECT_EQ(c.num_qubits(), 7u); // paper: 3-qubit encodings -> 7-qubit circuits
+    EXPECT_EQ(c.num_clbits(), 1u);
+    std::size_t resets = 0;
+    for (const auto& op : c.ops()) {
+        resets += op.kind == op_kind::reset ? 1 : 0;
+    }
+    EXPECT_EQ(resets, 1u);
+    EXPECT_EQ(c.count_kind(gate_kind::cswap), 3u);
+}
+
+TEST(Autoencoder, CompressionCountsResets) {
+    quorum::util::rng gen(5);
+    const ansatz_params params = random_ansatz_params(4, 2, gen);
+    std::vector<double> features(max_features(4), 0.1);
+    const std::vector<double> amps = to_amplitudes(features, 4);
+    for (std::size_t compression = 0; compression < 4; ++compression) {
+        const circuit c = build_autoencoder_circuit(amps, params, compression);
+        std::size_t resets = 0;
+        for (const auto& op : c.ops()) {
+            resets += op.kind == op_kind::reset ? 1 : 0;
+        }
+        EXPECT_EQ(resets, compression);
+    }
+}
+
+TEST(Autoencoder, CompressionMustLeaveAQubit) {
+    quorum::util::rng gen(7);
+    const ansatz_params params = random_ansatz_params(3, 2, gen);
+    const std::vector<double> amps = random_amplitudes(3, gen);
+    EXPECT_THROW(build_autoencoder_circuit(amps, params, 3),
+                 quorum::util::contract_error);
+    EXPECT_THROW(analytic_swap_p1(amps, params, 3),
+                 quorum::util::contract_error);
+}
+
+TEST(Autoencoder, ZeroCompressionIsPerfectReconstruction) {
+    // Without the bottleneck, D(θ)E(θ) = identity, so the SWAP test sees
+    // identical states: P(1) = 0 exactly.
+    quorum::util::rng gen(9);
+    for (int trial = 0; trial < 10; ++trial) {
+        const ansatz_params params = random_ansatz_params(3, 2, gen);
+        const std::vector<double> amps = random_amplitudes(3, gen);
+        EXPECT_NEAR(analytic_swap_p1(amps, params, 0), 0.0, 1e-10);
+        const circuit c = build_autoencoder_circuit(amps, params, 0);
+        EXPECT_NEAR(statevector_runner::run_exact(c).cbit_probability_one(
+                        swap_result_cbit),
+                    0.0, 1e-10);
+    }
+}
+
+TEST(Autoencoder, AnalyticMatchesFullCircuit) {
+    // The register-A shortcut and the real 2n+1-qubit circuit must agree
+    // to numerical precision — this validates the entire fast path.
+    quorum::util::rng gen(11);
+    for (int trial = 0; trial < 12; ++trial) {
+        const std::size_t n = 2 + gen.uniform_index(2); // 2..3 qubits
+        const std::size_t compression = 1 + gen.uniform_index(n - 1);
+        const ansatz_params params = random_ansatz_params(n, 2, gen);
+        const std::vector<double> amps = random_amplitudes(n, gen);
+        const double analytic = analytic_swap_p1(amps, params, compression);
+        const circuit c = build_autoencoder_circuit(amps, params, compression);
+        const double full = statevector_runner::run_exact(c)
+                                .cbit_probability_one(swap_result_cbit);
+        EXPECT_NEAR(analytic, full, 1e-10);
+    }
+}
+
+TEST(Autoencoder, P1WithinPhysicalBounds) {
+    quorum::util::rng gen(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        const ansatz_params params = random_ansatz_params(3, 2, gen);
+        const std::vector<double> amps = random_amplitudes(3, gen);
+        for (std::size_t level = 1; level <= 2; ++level) {
+            const double p1 = analytic_swap_p1(amps, params, level);
+            EXPECT_GE(p1, -1e-12);
+            EXPECT_LE(p1, 0.5 + 1e-12);
+        }
+    }
+}
+
+TEST(Autoencoder, DifferentSamplesGiveDifferentSignals) {
+    // The deviation signal must depend on the data, not only on θ.
+    quorum::util::rng gen(17);
+    const ansatz_params params = random_ansatz_params(3, 2, gen);
+    const std::vector<double> normal{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+    const std::vector<double> outlier{0.3, 0.0, 0.3, 0.0, 0.3, 0.0, 0.3};
+    const double p_normal =
+        analytic_swap_p1(to_amplitudes(normal, 3), params, 1);
+    const double p_outlier =
+        analytic_swap_p1(to_amplitudes(outlier, 3), params, 1);
+    EXPECT_GT(std::abs(p_normal - p_outlier), 1e-6);
+}
+
+TEST(Autoencoder, DeterministicInParams) {
+    quorum::util::rng gen(19);
+    const ansatz_params params = random_ansatz_params(3, 2, gen);
+    const std::vector<double> amps = random_amplitudes(3, gen);
+    const double a = analytic_swap_p1(amps, params, 2);
+    const double b = analytic_swap_p1(amps, params, 2);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+class CompressionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompressionSweep, AnalyticEqualsCircuitForEveryLevel) {
+    quorum::util::rng gen(GetParam() * 31 + 3);
+    const std::size_t n = 4;
+    const std::size_t compression = GetParam();
+    const ansatz_params params = random_ansatz_params(n, 2, gen);
+    std::vector<double> features(max_features(n));
+    for (double& f : features) {
+        f = gen.uniform() * 0.2;
+    }
+    const std::vector<double> amps = to_amplitudes(features, n);
+    const double analytic = analytic_swap_p1(amps, params, compression);
+    const circuit c = build_autoencoder_circuit(amps, params, compression);
+    const double full = statevector_runner::run_exact(c).cbit_probability_one(
+        swap_result_cbit);
+    EXPECT_NEAR(analytic, full, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CompressionSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u));
+
+} // namespace

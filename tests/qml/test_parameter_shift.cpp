@@ -1,0 +1,102 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qml/observables.h"
+#include "qml/parameter_shift.h"
+#include "qsim/statevector.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qml;
+using namespace quorum::qsim;
+
+/// <Z_0> of a small parameterised circuit: ry(p0) rz(p1) on q0,
+/// ry(p2) on q1, cx(0,1).
+double toy_expectation(std::span<const double> params) {
+    statevector state(2);
+    const qubit_t q0[] = {0};
+    const qubit_t q1[] = {1};
+    const double p0[] = {params[0]};
+    state.apply_gate(gate_kind::ry, q0, p0);
+    const double p1[] = {params[1]};
+    state.apply_gate(gate_kind::rz, q0, p1);
+    const double p2[] = {params[2]};
+    state.apply_gate(gate_kind::ry, q1, p2);
+    const qubit_t cx01[] = {0, 1};
+    state.apply_gate(gate_kind::cx, cx01);
+    return z_expectation(state, 0);
+}
+
+TEST(ParameterShift, MatchesFiniteDifference) {
+    quorum::util::rng gen(3);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::vector<double> params{gen.angle(), gen.angle(), gen.angle()};
+        const std::vector<double> ps =
+            parameter_shift_gradient(toy_expectation, params);
+        const std::vector<double> fd =
+            finite_difference_gradient(toy_expectation, params);
+        ASSERT_EQ(ps.size(), 3u);
+        for (std::size_t i = 0; i < 3; ++i) {
+            EXPECT_NEAR(ps[i], fd[i], 1e-5);
+        }
+    }
+}
+
+TEST(ParameterShift, AnalyticSingleQubitCase) {
+    // <Z> after ry(theta) is cos(theta); gradient is -sin(theta).
+    const auto evaluate = [](std::span<const double> p) {
+        statevector state(1);
+        const qubit_t q0[] = {0};
+        const double theta[] = {p[0]};
+        state.apply_gate(gate_kind::ry, q0, theta);
+        return z_expectation(state, 0);
+    };
+    for (const double theta : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+        const std::vector<double> params{theta};
+        const std::vector<double> grad =
+            parameter_shift_gradient(evaluate, params);
+        EXPECT_NEAR(grad[0], -std::sin(theta), 1e-10);
+    }
+}
+
+TEST(ParameterShift, DoesNotMutateParams) {
+    const std::vector<double> params{0.3, 0.7, 1.1};
+    const std::vector<double> copy = params;
+    (void)parameter_shift_gradient(toy_expectation, params);
+    EXPECT_EQ(params, copy);
+}
+
+TEST(ParameterShift, ZeroShiftRejected) {
+    const std::vector<double> params{0.1};
+    EXPECT_THROW(
+        parameter_shift_gradient(toy_expectation, params, 0.0),
+        quorum::util::contract_error);
+}
+
+TEST(FiniteDifference, StepMustBePositive) {
+    const std::vector<double> params{0.1, 0.2, 0.3};
+    EXPECT_THROW(finite_difference_gradient(toy_expectation, params, 0.0),
+                 quorum::util::contract_error);
+}
+
+TEST(Observables, ZExpectationBounds) {
+    statevector state(1);
+    EXPECT_NEAR(z_expectation(state, 0), 1.0, 1e-12); // |0>
+    const qubit_t q0[] = {0};
+    state.apply_gate(gate_kind::x, q0);
+    EXPECT_NEAR(z_expectation(state, 0), -1.0, 1e-12); // |1>
+    state.apply_gate(gate_kind::h, q0);
+    EXPECT_NEAR(z_expectation(state, 0), 0.0, 1e-10); // |->
+}
+
+TEST(Observables, ZToProbabilityMapping) {
+    EXPECT_DOUBLE_EQ(z_to_probability(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(z_to_probability(-1.0), 1.0);
+    EXPECT_DOUBLE_EQ(z_to_probability(0.0), 0.5);
+}
+
+} // namespace

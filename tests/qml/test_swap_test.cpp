@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qml/swap_test.h"
+#include "qsim/statevector_runner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qml;
+using namespace quorum::qsim;
+
+statevector random_state(std::size_t n, quorum::util::rng& gen) {
+    statevector state(n);
+    for (std::size_t q = 0; q < n; ++q) {
+        const qubit_t operand[] = {static_cast<qubit_t>(q)};
+        const double theta[] = {gen.angle()};
+        state.apply_gate(gate_kind::ry, operand, theta);
+        const double phi[] = {gen.angle()};
+        state.apply_gate(gate_kind::rz, operand, phi);
+    }
+    return state;
+}
+
+TEST(SwapTest, OverlapProbabilityRelation) {
+    EXPECT_DOUBLE_EQ(swap_test_p1_from_overlap(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(swap_test_p1_from_overlap(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(overlap_from_swap_test_p1(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(overlap_from_swap_test_p1(0.5), 0.0);
+    EXPECT_NEAR(overlap_from_swap_test_p1(swap_test_p1_from_overlap(0.37)),
+                0.37, 1e-12);
+}
+
+TEST(SwapTest, IdenticalStatesGiveZeroP1) {
+    quorum::util::rng gen(5);
+    const statevector psi = random_state(2, gen);
+    EXPECT_NEAR(swap_test_p1(psi, psi), 0.0, 1e-12);
+}
+
+TEST(SwapTest, OrthogonalStatesGiveHalf) {
+    const statevector a = statevector::basis_state(2, 1);
+    const statevector b = statevector::basis_state(2, 2);
+    EXPECT_NEAR(swap_test_p1(a, b), 0.5, 1e-12);
+}
+
+TEST(SwapTest, CircuitMatchesAnalyticForRandomStates) {
+    quorum::util::rng gen(7);
+    for (int trial = 0; trial < 10; ++trial) {
+        // Prepare two random single-qubit states on a 3-qubit circuit.
+        const double theta_a = gen.angle();
+        const double theta_b = gen.angle();
+        circuit c(3, 1);
+        c.ry(theta_a, 0);
+        c.ry(theta_b, 1);
+        const qubit_t reg_a[] = {0};
+        const qubit_t reg_b[] = {1};
+        append_swap_test(c, reg_a, reg_b, 2, 0);
+        const double p_circuit =
+            statevector_runner::run_exact(c).cbit_probability_one(0);
+
+        statevector a(1);
+        const qubit_t q0[] = {0};
+        const double pa[] = {theta_a};
+        a.apply_gate(gate_kind::ry, q0, pa);
+        statevector b(1);
+        const double pb[] = {theta_b};
+        b.apply_gate(gate_kind::ry, q0, pb);
+        EXPECT_NEAR(p_circuit, swap_test_p1(a, b), 1e-10);
+    }
+}
+
+TEST(SwapTest, MultiQubitRegisters) {
+    quorum::util::rng gen(11);
+    // |psi> on reg A (2 qubits), same |psi> on reg B: p1 must vanish.
+    circuit c(5, 1);
+    const double t0 = gen.angle();
+    const double t1 = gen.angle();
+    c.ry(t0, 0).ry(t1, 1).cx(0, 1);
+    c.ry(t0, 2).ry(t1, 3).cx(2, 3);
+    const qubit_t reg_a[] = {0, 1};
+    const qubit_t reg_b[] = {2, 3};
+    append_swap_test(c, reg_a, reg_b, 4, 0);
+    EXPECT_NEAR(statevector_runner::run_exact(c).cbit_probability_one(0), 0.0,
+                1e-10);
+}
+
+TEST(SwapTest, MismatchedRegistersThrow) {
+    circuit c(4, 1);
+    const qubit_t reg_a[] = {0, 1};
+    const qubit_t reg_b[] = {2};
+    EXPECT_THROW(append_swap_test(c, reg_a, reg_b, 3, 0),
+                 quorum::util::contract_error);
+}
+
+TEST(SwapTest, NegativeCbitSkipsMeasurement) {
+    circuit c(3, 0);
+    const qubit_t reg_a[] = {0};
+    const qubit_t reg_b[] = {1};
+    append_swap_test(c, reg_a, reg_b, 2, -1);
+    for (const auto& op : c.ops()) {
+        EXPECT_NE(op.kind, op_kind::measure);
+    }
+}
+
+TEST(SwapTest, P1NeverExceedsHalf) {
+    quorum::util::rng gen(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        const statevector a = random_state(3, gen);
+        const statevector b = random_state(3, gen);
+        const double p1 = swap_test_p1(a, b);
+        EXPECT_GE(p1, 0.0);
+        EXPECT_LE(p1, 0.5);
+    }
+}
+
+} // namespace

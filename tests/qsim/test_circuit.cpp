@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/circuit.h"
+#include "qsim/statevector_runner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qsim;
+namespace util = quorum::util;
+
+TEST(Circuit, BuilderRecordsOps) {
+    circuit c(3, 1);
+    c.h(0).cx(0, 1).rx(0.5, 2).barrier().reset(1).measure(2, 0);
+    ASSERT_EQ(c.ops().size(), 6u);
+    EXPECT_EQ(c.ops()[0].kind, op_kind::gate);
+    EXPECT_EQ(c.ops()[0].gate, gate_kind::h);
+    EXPECT_EQ(c.ops()[3].kind, op_kind::barrier);
+    EXPECT_EQ(c.ops()[4].kind, op_kind::reset);
+    EXPECT_EQ(c.ops()[5].kind, op_kind::measure);
+    EXPECT_EQ(c.ops()[5].cbit, 0);
+}
+
+TEST(Circuit, RejectsOutOfRangeQubits) {
+    circuit c(2);
+    EXPECT_THROW(c.h(2), quorum::util::contract_error);
+    EXPECT_THROW(c.cx(0, 5), quorum::util::contract_error);
+}
+
+TEST(Circuit, RejectsDuplicateOperands) {
+    circuit c(3);
+    EXPECT_THROW(c.cx(1, 1), quorum::util::contract_error);
+    EXPECT_THROW(c.cswap(0, 1, 1), quorum::util::contract_error);
+}
+
+TEST(Circuit, RejectsBadClassicalBit) {
+    circuit c(2, 1);
+    EXPECT_THROW(c.measure(0, 1), quorum::util::contract_error);
+    EXPECT_THROW(c.measure(0, -1), quorum::util::contract_error);
+}
+
+TEST(Circuit, RejectsUnnormalisedInitialize) {
+    circuit c(2);
+    const qubit_t reg[] = {0, 1};
+    const std::vector<double> bad{0.5, 0.5, 0.5, 0.4};
+    EXPECT_THROW(c.initialize(reg, std::span<const double>(bad)),
+                 quorum::util::contract_error);
+}
+
+TEST(Circuit, RejectsWrongInitializeSize) {
+    circuit c(2);
+    const qubit_t reg[] = {0, 1};
+    const std::vector<double> wrong{1.0, 0.0};
+    EXPECT_THROW(c.initialize(reg, std::span<const double>(wrong)),
+                 quorum::util::contract_error);
+}
+
+TEST(Circuit, GateCounts) {
+    circuit c(3);
+    c.h(0).h(1).cx(0, 1).cswap(0, 1, 2).rz(0.3, 0);
+    EXPECT_EQ(c.gate_count(), 5u);
+    EXPECT_EQ(c.gate_count_arity(1), 3u);
+    EXPECT_EQ(c.gate_count_arity(2), 1u);
+    EXPECT_EQ(c.gate_count_arity(3), 1u);
+    EXPECT_EQ(c.count_kind(gate_kind::h), 2u);
+    EXPECT_EQ(c.count_kind(gate_kind::cx), 1u);
+}
+
+TEST(Circuit, DepthSerialVsParallel) {
+    circuit serial(2);
+    serial.h(0).h(0).h(0);
+    EXPECT_EQ(serial.depth(), 3u);
+
+    circuit parallel_ops(3);
+    parallel_ops.h(0).h(1).h(2);
+    EXPECT_EQ(parallel_ops.depth(), 1u);
+
+    circuit mixed(2);
+    mixed.h(0).cx(0, 1).h(1);
+    EXPECT_EQ(mixed.depth(), 3u);
+}
+
+TEST(Circuit, BarrierAlignsDepth) {
+    circuit c(2);
+    c.h(0).barrier().h(1);
+    // The barrier forces q1's gate to start after q0's layer.
+    EXPECT_EQ(c.depth(), 2u);
+}
+
+TEST(Circuit, AppendMapsQubits) {
+    circuit inner(2);
+    inner.h(0).cx(0, 1);
+    circuit outer(4);
+    const qubit_t map[] = {2, 3};
+    outer.append(inner, map);
+    ASSERT_EQ(outer.ops().size(), 2u);
+    EXPECT_EQ(outer.ops()[0].qubits[0], 2u);
+    EXPECT_EQ(outer.ops()[1].qubits[0], 2u);
+    EXPECT_EQ(outer.ops()[1].qubits[1], 3u);
+}
+
+TEST(Circuit, AppendRejectsBadMap) {
+    circuit inner(2);
+    inner.h(0);
+    circuit outer(3);
+    const qubit_t short_map[] = {0};
+    EXPECT_THROW(outer.append(inner, short_map),
+                 quorum::util::contract_error);
+    const qubit_t bad_map[] = {0, 9};
+    EXPECT_THROW(outer.append(inner, bad_map), quorum::util::contract_error);
+}
+
+TEST(Circuit, InverseUndoesCircuit) {
+    quorum::util::rng gen(13);
+    for (int trial = 0; trial < 10; ++trial) {
+        circuit c(3);
+        c.rx(gen.angle(), 0).rz(gen.angle(), 1).cx(0, 1).ry(gen.angle(), 2)
+            .cx(1, 2).s(0).t(1);
+        circuit inv = c.inverse();
+        const qubit_t identity_map[] = {0, 1, 2};
+        circuit both(3);
+        both.append(c, identity_map);
+        both.append(inv, identity_map);
+        const util::cmatrix u = circuit_unitary(both);
+        EXPECT_TRUE(u.equals_up_to_phase(util::cmatrix::identity(8), 1e-9));
+    }
+}
+
+TEST(Circuit, InverseRejectsNonUnitaryOps) {
+    circuit c(2, 1);
+    c.h(0).reset(1);
+    EXPECT_THROW(c.inverse(), quorum::util::contract_error);
+    circuit m(2, 1);
+    m.measure(0, 0);
+    EXPECT_THROW(m.inverse(), quorum::util::contract_error);
+}
+
+TEST(Circuit, InverseRejectsSx) {
+    circuit c(1);
+    c.sx(0);
+    EXPECT_THROW(c.inverse(), quorum::util::contract_error);
+}
+
+TEST(Circuit, ToStringListsOps) {
+    circuit c(2, 1);
+    c.h(0).cx(0, 1).measure(1, 0);
+    const std::string text = c.to_string();
+    EXPECT_NE(text.find("h"), std::string::npos);
+    EXPECT_NE(text.find("cx"), std::string::npos);
+    EXPECT_NE(text.find("measure"), std::string::npos);
+}
+
+TEST(Circuit, UnitaryOfBellPreparation) {
+    circuit c(2);
+    c.h(0).cx(0, 1);
+    const util::cmatrix u = circuit_unitary(c);
+    // Column 0 = Bell state (|00> + |11>)/sqrt(2).
+    EXPECT_NEAR(std::abs(u(0, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(u(3, 0)), 1.0 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(u(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Circuit, UnitaryRejectsNonUnitaryOps) {
+    circuit c(2, 1);
+    c.h(0).measure(0, 0);
+    EXPECT_THROW(circuit_unitary(c), quorum::util::contract_error);
+}
+
+TEST(Circuit, ZeroQubitCircuitRejected) {
+    EXPECT_THROW(circuit(0), quorum::util::contract_error);
+}
+
+} // namespace

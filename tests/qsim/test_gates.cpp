@@ -1,0 +1,198 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/gates.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qsim;
+using quorum::util::cmatrix;
+using cd = std::complex<double>;
+
+const std::vector<gate_kind> all_gates{
+    gate_kind::id, gate_kind::x,   gate_kind::y,    gate_kind::z,
+    gate_kind::h,  gate_kind::s,   gate_kind::sdg,  gate_kind::t,
+    gate_kind::tdg, gate_kind::sx, gate_kind::rx,   gate_kind::ry,
+    gate_kind::rz, gate_kind::u3,  gate_kind::cx,   gate_kind::cz,
+    gate_kind::swap_q, gate_kind::ccx, gate_kind::cswap};
+
+std::vector<double> params_for(gate_kind kind, double base) {
+    std::vector<double> params(gate_param_count(kind));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        params[i] = base + 0.37 * static_cast<double>(i);
+    }
+    return params;
+}
+
+class GateSweep : public ::testing::TestWithParam<gate_kind> {};
+
+TEST_P(GateSweep, MatrixIsUnitary) {
+    const gate_kind kind = GetParam();
+    const std::vector<double> params = params_for(kind, 0.81);
+    const cmatrix u = gate_matrix(kind, params);
+    EXPECT_TRUE(u.is_unitary(1e-12)) << gate_name(kind);
+}
+
+TEST_P(GateSweep, MatrixDimensionMatchesArity) {
+    const gate_kind kind = GetParam();
+    const std::vector<double> params = params_for(kind, 0.3);
+    const cmatrix u = gate_matrix(kind, params);
+    EXPECT_EQ(u.rows(), std::size_t{1} << gate_arity(kind));
+}
+
+TEST_P(GateSweep, WrongParamCountThrows) {
+    const gate_kind kind = GetParam();
+    std::vector<double> wrong(gate_param_count(kind) + 1, 0.5);
+    EXPECT_THROW(gate_matrix(kind, wrong), quorum::util::contract_error);
+}
+
+TEST_P(GateSweep, InverseComposesToIdentity) {
+    const gate_kind kind = GetParam();
+    const std::vector<double> params = params_for(kind, 1.1);
+    const gate_inverse_result inv = gate_inverse(kind, params);
+    if (!inv.supported) {
+        return; // sx, u3: no in-set inverse
+    }
+    std::vector<double> inv_params(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        inv_params[i] = inv.params[i];
+    }
+    const cmatrix u = gate_matrix(kind, params);
+    const cmatrix v = gate_matrix(inv.kind, inv_params);
+    const cmatrix product = v.multiply(u);
+    EXPECT_TRUE(product.equals_up_to_phase(cmatrix::identity(u.rows()), 1e-10))
+        << gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, GateSweep, ::testing::ValuesIn(all_gates));
+
+TEST(Gates, ArityTable) {
+    EXPECT_EQ(gate_arity(gate_kind::h), 1u);
+    EXPECT_EQ(gate_arity(gate_kind::cx), 2u);
+    EXPECT_EQ(gate_arity(gate_kind::cz), 2u);
+    EXPECT_EQ(gate_arity(gate_kind::swap_q), 2u);
+    EXPECT_EQ(gate_arity(gate_kind::ccx), 3u);
+    EXPECT_EQ(gate_arity(gate_kind::cswap), 3u);
+}
+
+TEST(Gates, ParamCountTable) {
+    EXPECT_EQ(gate_param_count(gate_kind::x), 0u);
+    EXPECT_EQ(gate_param_count(gate_kind::rx), 1u);
+    EXPECT_EQ(gate_param_count(gate_kind::ry), 1u);
+    EXPECT_EQ(gate_param_count(gate_kind::rz), 1u);
+    EXPECT_EQ(gate_param_count(gate_kind::u3), 3u);
+}
+
+TEST(Gates, NamesAreStable) {
+    EXPECT_EQ(gate_name(gate_kind::cswap), "cswap");
+    EXPECT_EQ(gate_name(gate_kind::sx), "sx");
+    EXPECT_EQ(gate_name(gate_kind::swap_q), "swap");
+}
+
+TEST(Gates, PauliMatricesExact) {
+    const cmatrix x = gate_matrix(gate_kind::x);
+    EXPECT_EQ(x(0, 1), cd(1.0));
+    EXPECT_EQ(x(1, 0), cd(1.0));
+    EXPECT_EQ(x(0, 0), cd(0.0));
+
+    const cmatrix y = gate_matrix(gate_kind::y);
+    EXPECT_EQ(y(0, 1), cd(0.0, -1.0));
+    EXPECT_EQ(y(1, 0), cd(0.0, 1.0));
+
+    const cmatrix z = gate_matrix(gate_kind::z);
+    EXPECT_EQ(z(0, 0), cd(1.0));
+    EXPECT_EQ(z(1, 1), cd(-1.0));
+}
+
+TEST(Gates, RotationAtZeroIsIdentity) {
+    for (const gate_kind kind :
+         {gate_kind::rx, gate_kind::ry, gate_kind::rz}) {
+        const std::vector<double> zero{0.0};
+        const cmatrix u = gate_matrix(kind, zero);
+        EXPECT_TRUE(u.equals_up_to_phase(cmatrix::identity(2), 1e-12));
+    }
+}
+
+TEST(Gates, RxMatchesPaperDefinition) {
+    // Paper §II-A: RX(θ) = [[cos θ/2, -i sin θ/2], [-i sin θ/2, cos θ/2]].
+    const double theta = 1.234;
+    const std::vector<double> params{theta};
+    const cmatrix u = gate_matrix(gate_kind::rx, params);
+    EXPECT_NEAR(u(0, 0).real(), std::cos(theta / 2), 1e-12);
+    EXPECT_NEAR(u(0, 1).imag(), -std::sin(theta / 2), 1e-12);
+    EXPECT_NEAR(u(1, 0).imag(), -std::sin(theta / 2), 1e-12);
+}
+
+TEST(Gates, RzMatchesPaperDefinition) {
+    const double theta = 0.77;
+    const std::vector<double> params{theta};
+    const cmatrix u = gate_matrix(gate_kind::rz, params);
+    EXPECT_NEAR(std::arg(u(1, 1)), theta / 2, 1e-12);
+    EXPECT_NEAR(std::arg(u(0, 0)), -theta / 2, 1e-12);
+    EXPECT_EQ(u(0, 1), cd(0.0));
+}
+
+TEST(Gates, SxSquaredIsX) {
+    const cmatrix sx = gate_matrix(gate_kind::sx);
+    EXPECT_TRUE(sx.multiply(sx).equals_up_to_phase(gate_matrix(gate_kind::x),
+                                                   1e-12));
+}
+
+TEST(Gates, HadamardSquaredIsIdentity) {
+    const cmatrix h = gate_matrix(gate_kind::h);
+    EXPECT_TRUE(h.multiply(h).equals_up_to_phase(cmatrix::identity(2), 1e-12));
+}
+
+TEST(Gates, TSquaredIsS) {
+    const cmatrix t = gate_matrix(gate_kind::t);
+    const cmatrix s = gate_matrix(gate_kind::s);
+    EXPECT_TRUE(t.multiply(t).equals_up_to_phase(s, 1e-12));
+}
+
+TEST(Gates, CxLittleEndianConvention) {
+    // control = first operand = LSB: |q1 q0> = |01> (index 1) flips q1 ->
+    // |11> (index 3).
+    const cmatrix cx = gate_matrix(gate_kind::cx);
+    EXPECT_EQ(cx(3, 1), cd(1.0));
+    EXPECT_EQ(cx(1, 3), cd(1.0));
+    EXPECT_EQ(cx(0, 0), cd(1.0));
+    EXPECT_EQ(cx(2, 2), cd(1.0));
+    EXPECT_EQ(cx(1, 1), cd(0.0));
+}
+
+TEST(Gates, CswapSwapsOnControl) {
+    // control = bit 0; |011> (3) <-> |101> (5).
+    const cmatrix cs = gate_matrix(gate_kind::cswap);
+    EXPECT_EQ(cs(3, 5), cd(1.0));
+    EXPECT_EQ(cs(5, 3), cd(1.0));
+    EXPECT_EQ(cs(2, 2), cd(1.0)); // control clear: untouched
+    EXPECT_EQ(cs(4, 4), cd(1.0));
+}
+
+TEST(Gates, CcxFlipsOnBothControls) {
+    const cmatrix ccx = gate_matrix(gate_kind::ccx);
+    EXPECT_EQ(ccx(3, 7), cd(1.0));
+    EXPECT_EQ(ccx(7, 3), cd(1.0));
+    EXPECT_EQ(ccx(1, 1), cd(1.0));
+    EXPECT_EQ(ccx(5, 5), cd(1.0));
+}
+
+TEST(Gates, U3GeneralisesRotations) {
+    quorum::util::rng gen(4);
+    for (int trial = 0; trial < 20; ++trial) {
+        const double theta = gen.angle();
+        // ry(theta) == u3(theta, 0, 0)
+        const std::vector<double> ry_p{theta};
+        const std::vector<double> u3_p{theta, 0.0, 0.0};
+        EXPECT_TRUE(gate_matrix(gate_kind::u3, u3_p)
+                        .equals_up_to_phase(gate_matrix(gate_kind::ry, ry_p),
+                                            1e-10));
+    }
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/noise.h"
+
+namespace {
+
+using namespace quorum::qsim;
+namespace util = quorum::util;
+
+TEST(NoiseModel, IdealModelIsIdeal) {
+    const noise_model nm = noise_model::ideal();
+    EXPECT_TRUE(nm.is_ideal());
+    EXPECT_DOUBLE_EQ(nm.depolarizing_param(gate_kind::sx), 0.0);
+    EXPECT_DOUBLE_EQ(nm.duration_ns(gate_kind::cx), 0.0);
+    EXPECT_TRUE(nm.thermal_kraus(1000.0).empty());
+    EXPECT_DOUBLE_EQ(nm.apply_readout(0.3), 0.3);
+}
+
+TEST(NoiseModel, BrisbaneUsesPaperMedians) {
+    const noise_model nm = noise_model::ibm_brisbane_median();
+    EXPECT_FALSE(nm.is_ideal());
+    // 1q: p = 2 * r = 2 * 2.274e-4.
+    EXPECT_NEAR(nm.depolarizing_param(gate_kind::sx), 2.0 * 2.274e-4, 1e-12);
+    // 2q: p = (4/3) * r = (4/3) * 2.903e-3.
+    EXPECT_NEAR(nm.depolarizing_param(gate_kind::cx), 4.0 / 3.0 * 2.903e-3,
+                1e-12);
+    // rz is virtual: no error, no duration.
+    EXPECT_DOUBLE_EQ(nm.depolarizing_param(gate_kind::rz), 0.0);
+    EXPECT_DOUBLE_EQ(nm.duration_ns(gate_kind::rz), 0.0);
+    // Readout error 1.38e-2 symmetric.
+    EXPECT_NEAR(nm.readout().p1_given_0, 1.38e-2, 1e-12);
+    EXPECT_NEAR(nm.readout().p0_given_1, 1.38e-2, 1e-12);
+}
+
+TEST(NoiseModel, ThermalCoefficientMath) {
+    noise_model nm;
+    nm.set_thermal(thermal_params{100.0, 80.0}); // T1=100us, T2=80us
+    // At t = T1: gamma = 1 - 1/e.
+    const auto at_t1 = nm.thermal_coefficients(100.0 * 1000.0);
+    EXPECT_NEAR(at_t1.gamma, 1.0 - std::exp(-1.0), 1e-9);
+    // 1/Tphi = 1/80 - 1/200 = 0.0075 -> lambda at t=100us.
+    EXPECT_NEAR(at_t1.lambda, 1.0 - std::exp(-100.0 * 0.0075), 1e-9);
+}
+
+TEST(NoiseModel, ThermalZeroDurationIsNoise_Free) {
+    const noise_model nm = noise_model::ibm_brisbane_median();
+    const auto coeff = nm.thermal_coefficients(0.0);
+    EXPECT_DOUBLE_EQ(coeff.gamma, 0.0);
+    EXPECT_DOUBLE_EQ(coeff.lambda, 0.0);
+}
+
+TEST(NoiseModel, ThermalKrausIsTracePreserving) {
+    const noise_model nm = noise_model::ibm_brisbane_median();
+    for (const double duration : {60.0, 660.0, 1300.0, 50000.0}) {
+        const auto kraus = nm.thermal_kraus(duration);
+        ASSERT_FALSE(kraus.empty());
+        util::cmatrix sum(2, 2);
+        for (const auto& k : kraus) {
+            const util::cmatrix contribution = k.adjoint().multiply(k);
+            for (std::size_t r = 0; r < 2; ++r) {
+                for (std::size_t c = 0; c < 2; ++c) {
+                    sum(r, c) += contribution(r, c);
+                }
+            }
+        }
+        EXPECT_NEAR(sum.distance(util::cmatrix::identity(2)), 0.0, 1e-10)
+            << "duration " << duration;
+    }
+}
+
+TEST(NoiseModel, T2GreaterThanTwoT1Rejected) {
+    noise_model nm;
+    nm.set_thermal(thermal_params{10.0, 25.0}); // T2 > 2*T1: unphysical
+    EXPECT_THROW(nm.thermal_coefficients(100.0), util::contract_error);
+}
+
+TEST(NoiseModel, ReadoutFlipBothDirections) {
+    noise_model nm;
+    nm.set_readout(readout_error{0.1, 0.2}); // p(1|0)=0.1, p(0|1)=0.2
+    // Pure |0>: reads 1 with probability 0.1.
+    EXPECT_NEAR(nm.apply_readout(0.0), 0.1, 1e-12);
+    // Pure |1>: reads 1 with probability 0.8.
+    EXPECT_NEAR(nm.apply_readout(1.0), 0.8, 1e-12);
+    // Mixed.
+    EXPECT_NEAR(nm.apply_readout(0.5), 0.5 * 0.8 + 0.5 * 0.1, 1e-12);
+}
+
+TEST(NoiseModel, GateErrorValidation) {
+    noise_model nm;
+    EXPECT_THROW(nm.set_gate_error(gate_kind::sx, -0.1),
+                 util::contract_error);
+    EXPECT_THROW(nm.set_gate_error(gate_kind::sx, 1.0), util::contract_error);
+    EXPECT_NO_THROW(nm.set_gate_error(gate_kind::sx, 0.01));
+}
+
+TEST(NoiseModel, DurationValidation) {
+    noise_model nm;
+    EXPECT_THROW(nm.set_gate_duration(gate_kind::cx, -5.0),
+                 util::contract_error);
+}
+
+TEST(NoiseModel, ZeroErrorModelCountsAsIdeal) {
+    noise_model nm;
+    nm.set_gate_error(gate_kind::sx, 0.0);
+    EXPECT_TRUE(nm.is_ideal());
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+// Cross-cutting simulator properties: invariants that tie several qsim
+// components together (per-shot statistics vs exact probabilities,
+// transpiler idempotence, noise-strength monotonicity, purity bounds).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/density_runner.h"
+#include "qsim/statevector_runner.h"
+#include "qsim/transpile.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qsim;
+
+circuit random_reset_circuit(std::size_t n, quorum::util::rng& gen) {
+    circuit c(n, 1);
+    for (int g = 0; g < 10; ++g) {
+        const auto q = static_cast<qubit_t>(gen.uniform_index(n));
+        const auto q2 =
+            static_cast<qubit_t>((q + 1 + gen.uniform_index(n - 1)) % n);
+        switch (gen.uniform_index(4)) {
+        case 0:
+            c.ry(gen.angle(), q);
+            break;
+        case 1:
+            c.rx(gen.angle(), q);
+            break;
+        case 2:
+            c.cx(q, q2);
+            break;
+        default:
+            c.h(q);
+            break;
+        }
+    }
+    c.reset(0);
+    c.ry(gen.angle(), 0);
+    c.cx(0, 1);
+    c.measure(static_cast<qubit_t>(n - 1), 0);
+    return c;
+}
+
+TEST(SimulatorProperties, PerShotFrequencyMatchesExactProbability) {
+    // The stochastic per-shot path and the exact branching path must agree
+    // statistically: |p_hat - p| within ~5 sigma of Binomial noise.
+    quorum::util::rng gen(101);
+    for (int trial = 0; trial < 5; ++trial) {
+        const circuit c = random_reset_circuit(3, gen);
+        const double p_exact =
+            statevector_runner::run_exact(c).cbit_probability_one(0);
+        const std::size_t shots = 4000;
+        std::size_t ones = 0;
+        for (std::size_t s = 0; s < shots; ++s) {
+            ones += statevector_runner::run_single_shot(c, gen)[0] ? 1 : 0;
+        }
+        const double p_hat =
+            static_cast<double>(ones) / static_cast<double>(shots);
+        const double sigma = std::sqrt(
+            std::max(1e-6, p_exact * (1.0 - p_exact)) /
+            static_cast<double>(shots));
+        EXPECT_NEAR(p_hat, p_exact, 5.0 * sigma + 1e-3) << "trial " << trial;
+    }
+}
+
+TEST(SimulatorProperties, TranspileIsIdempotent) {
+    quorum::util::rng gen(103);
+    for (int trial = 0; trial < 8; ++trial) {
+        circuit c(3);
+        for (int g = 0; g < 8; ++g) {
+            const auto q = static_cast<qubit_t>(gen.uniform_index(3));
+            const auto q2 =
+                static_cast<qubit_t>((q + 1 + gen.uniform_index(2)) % 3);
+            if (gen.bernoulli(0.5)) {
+                c.u3(gen.angle(), gen.angle(), gen.angle(), q);
+            } else {
+                c.cx(q, q2);
+            }
+        }
+        const circuit once = transpile_for_hardware(c);
+        const circuit twice = transpile_for_hardware(once);
+        // A second pass must not change the gate count (already in basis,
+        // already optimised) and must preserve the unitary.
+        EXPECT_EQ(twice.gate_count(), once.gate_count());
+        EXPECT_TRUE(circuit_unitary(twice).equals_up_to_phase(
+            circuit_unitary(once), 1e-8));
+    }
+}
+
+TEST(SimulatorProperties, TranspiledDepthScalesWithAnsatzLayers) {
+    // Sanity on the cost model: doubling logical content grows the lowered
+    // circuit roughly proportionally.
+    circuit shallow(3);
+    circuit deep(3);
+    for (int rep = 0; rep < 1; ++rep) {
+        shallow.rx(0.3, 0).rz(0.4, 1).cx(0, 1).cx(1, 2);
+    }
+    for (int rep = 0; rep < 4; ++rep) {
+        deep.rx(0.3, 0).rz(0.4, 1).cx(0, 1).cx(1, 2);
+    }
+    const std::size_t shallow_gates =
+        transpile_for_hardware(shallow).gate_count();
+    const std::size_t deep_gates = transpile_for_hardware(deep).gate_count();
+    EXPECT_GT(deep_gates, 2 * shallow_gates);
+}
+
+TEST(SimulatorProperties, StrongerDepolarizingMonotonicallyLowersPurity) {
+    quorum::util::rng gen(107);
+    circuit c(3, 1);
+    c.h(0).cx(0, 1).cx(1, 2).measure(2, 0);
+    double previous_purity = 1.1;
+    for (const double error : {0.0, 1e-4, 1e-3, 1e-2, 5e-2}) {
+        noise_model nm;
+        nm.set_gate_error(gate_kind::cx, error);
+        nm.set_gate_error(gate_kind::sx, error / 10.0);
+        const noisy_run_result result = density_runner::run(c, nm);
+        const double purity = result.state.purity();
+        EXPECT_LT(purity, previous_purity + 1e-12) << "error " << error;
+        EXPECT_GT(purity, 1.0 / 8.0 - 1e-12); // >= maximally mixed
+        previous_purity = purity;
+    }
+}
+
+TEST(SimulatorProperties, LongerThermalExposureMonotonicallyDecays) {
+    circuit c(1, 1);
+    c.x(0).measure(0, 0);
+    double previous = 1.1;
+    for (const double duration : {0.0, 100.0, 1000.0, 10000.0, 100000.0}) {
+        noise_model nm;
+        nm.set_thermal(thermal_params{100.0, 80.0});
+        nm.set_gate_duration(gate_kind::x, duration);
+        const noisy_run_result result = density_runner::run(c, nm);
+        const double p_one = result.state.probability_one(0);
+        EXPECT_LT(p_one, previous + 1e-12) << "duration " << duration;
+        previous = p_one;
+    }
+}
+
+TEST(SimulatorProperties, TraceAlwaysPreservedUnderFullNoise) {
+    quorum::util::rng gen(109);
+    const noise_model nm = noise_model::ibm_brisbane_median();
+    for (int trial = 0; trial < 4; ++trial) {
+        const circuit c = random_reset_circuit(3, gen);
+        const noisy_run_result result = density_runner::run(c, nm);
+        EXPECT_NEAR(result.state.trace_real(), 1.0, 1e-8);
+        const double p = result.cbit_probability_one(0, nm);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(SimulatorProperties, BranchWeightsAlwaysSumToOne) {
+    quorum::util::rng gen(113);
+    for (int trial = 0; trial < 10; ++trial) {
+        const circuit c = random_reset_circuit(4, gen);
+        const exact_run_result result = statevector_runner::run_exact(c);
+        double total = 0.0;
+        for (const branch& b : result.branches) {
+            total += b.weight;
+            EXPECT_NEAR(b.state.norm_squared(), 1.0, 1e-9);
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+class NoiseScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseScaleSweep, ReadoutErrorNeverLeavesUnitInterval) {
+    noise_model nm;
+    const double e = GetParam();
+    nm.set_readout(readout_error{e, e});
+    for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        const double flipped = nm.apply_readout(p);
+        EXPECT_GE(flipped, 0.0);
+        EXPECT_LE(flipped, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Errors, NoiseScaleSweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.3, 0.5));
+
+} // namespace

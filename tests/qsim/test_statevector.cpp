@@ -1,0 +1,269 @@
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/statevector.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qsim;
+using quorum::util::cmatrix;
+using cd = std::complex<double>;
+
+statevector random_state(std::size_t n, quorum::util::rng& gen) {
+    statevector state(n);
+    for (std::size_t q = 0; q < n; ++q) {
+        const qubit_t operand[] = {static_cast<qubit_t>(q)};
+        const double theta[] = {gen.angle()};
+        state.apply_gate(gate_kind::ry, operand, theta);
+        const double phi[] = {gen.angle()};
+        state.apply_gate(gate_kind::rz, operand, phi);
+    }
+    for (std::size_t q = 0; q + 1 < n; ++q) {
+        const qubit_t operands[] = {static_cast<qubit_t>(q),
+                                    static_cast<qubit_t>(q + 1)};
+        state.apply_gate(gate_kind::cx, operands);
+    }
+    return state;
+}
+
+TEST(Statevector, StartsInGroundState) {
+    statevector state(3);
+    EXPECT_EQ(state.dim(), 8u);
+    EXPECT_EQ(state.amplitudes()[0], cd(1.0));
+    for (std::size_t i = 1; i < 8; ++i) {
+        EXPECT_EQ(state.amplitudes()[i], cd(0.0));
+    }
+}
+
+TEST(Statevector, BasisStateConstruction) {
+    const statevector state = statevector::basis_state(3, 5);
+    EXPECT_EQ(state.amplitudes()[5], cd(1.0));
+    EXPECT_DOUBLE_EQ(state.norm_squared(), 1.0);
+}
+
+TEST(Statevector, FromAmplitudesValidates) {
+    EXPECT_THROW((statevector::from_amplitudes({cd(1.0), cd(0.0), cd(0.0)})), quorum::util::contract_error);
+    EXPECT_THROW((statevector::from_amplitudes({cd(1.0), cd(1.0)})), quorum::util::contract_error);
+    const statevector ok =
+        statevector::from_amplitudes({cd(std::sqrt(0.5)), cd(std::sqrt(0.5))});
+    EXPECT_EQ(ok.num_qubits(), 1u);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition) {
+    statevector state(1);
+    const qubit_t q0[] = {0};
+    state.apply_gate(gate_kind::h, q0);
+    EXPECT_NEAR(state.probability_one(0), 0.5, 1e-12);
+}
+
+TEST(Statevector, XFlipsQubit) {
+    statevector state(2);
+    const qubit_t q1[] = {1};
+    state.apply_gate(gate_kind::x, q1);
+    EXPECT_EQ(state.amplitudes()[2], cd(1.0)); // |10> little-endian
+    EXPECT_NEAR(state.probability_one(1), 1.0, 1e-12);
+    EXPECT_NEAR(state.probability_one(0), 0.0, 1e-12);
+}
+
+TEST(Statevector, BellStateViaHCx) {
+    statevector state(2);
+    const qubit_t q0[] = {0};
+    state.apply_gate(gate_kind::h, q0);
+    const qubit_t cx01[] = {0, 1};
+    state.apply_gate(gate_kind::cx, cx01);
+    EXPECT_NEAR(std::norm(state.amplitudes()[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(state.amplitudes()[3]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(state.amplitudes()[1]), 0.0, 1e-12);
+    EXPECT_NEAR(std::norm(state.amplitudes()[2]), 0.0, 1e-12);
+}
+
+TEST(Statevector, GateKernelsMatchGenericMatrixPath) {
+    quorum::util::rng gen(21);
+    for (int trial = 0; trial < 30; ++trial) {
+        statevector fast = random_state(4, gen);
+        statevector slow = fast;
+        const auto q = static_cast<qubit_t>(gen.uniform_index(4));
+        const auto q2 = static_cast<qubit_t>((q + 1 + gen.uniform_index(3)) % 4);
+        const int pick = static_cast<int>(gen.uniform_index(3));
+        if (pick == 0) {
+            const qubit_t operand[] = {q};
+            fast.apply_gate(gate_kind::x, operand);
+            slow.apply_matrix(gate_matrix(gate_kind::x), operand);
+        } else if (pick == 1) {
+            const qubit_t operands[] = {q, q2};
+            fast.apply_gate(gate_kind::cx, operands);
+            slow.apply_matrix(gate_matrix(gate_kind::cx), operands);
+        } else {
+            const qubit_t operand[] = {q};
+            const double theta[] = {gen.angle()};
+            fast.apply_gate(gate_kind::ry, operand, theta);
+            slow.apply_matrix(gate_matrix(gate_kind::ry, theta), operand);
+        }
+        for (std::size_t i = 0; i < fast.dim(); ++i) {
+            EXPECT_NEAR(std::abs(fast.amplitudes()[i] - slow.amplitudes()[i]),
+                        0.0, 1e-12);
+        }
+    }
+}
+
+TEST(Statevector, ThreeQubitGateOnNonAdjacentQubits) {
+    quorum::util::rng gen(23);
+    statevector state = random_state(4, gen);
+    statevector reference = state;
+    // cswap on qubits (3, 0, 2): generic path.
+    const qubit_t operands[] = {3, 0, 2};
+    state.apply_gate(gate_kind::cswap, operands);
+    reference.apply_matrix(gate_matrix(gate_kind::cswap), operands);
+    for (std::size_t i = 0; i < state.dim(); ++i) {
+        EXPECT_NEAR(std::abs(state.amplitudes()[i] - reference.amplitudes()[i]),
+                    0.0, 1e-12);
+    }
+}
+
+TEST(Statevector, UnitaryPreservesNorm) {
+    quorum::util::rng gen(25);
+    statevector state = random_state(5, gen);
+    EXPECT_NEAR(state.norm_squared(), 1.0, 1e-10);
+}
+
+TEST(Statevector, CollapseZeroOutcome) {
+    statevector state(1);
+    const qubit_t q0[] = {0};
+    state.apply_gate(gate_kind::h, q0);
+    state.collapse(0, false);
+    EXPECT_NEAR(std::norm(state.amplitudes()[0]), 1.0, 1e-12);
+    EXPECT_NEAR(state.probability_one(0), 0.0, 1e-12);
+}
+
+TEST(Statevector, CollapseImpossibleOutcomeThrows) {
+    statevector state(1); // |0>
+    EXPECT_THROW(state.collapse(0, true), quorum::util::contract_error);
+}
+
+TEST(Statevector, CollapseRenormalises) {
+    quorum::util::rng gen(27);
+    statevector state = random_state(3, gen);
+    const double p1 = state.probability_one(1);
+    if (p1 > 1e-6) {
+        state.collapse(1, true);
+        EXPECT_NEAR(state.norm_squared(), 1.0, 1e-10);
+        EXPECT_NEAR(state.probability_one(1), 1.0, 1e-12);
+    }
+}
+
+TEST(Statevector, MeasureCollapseMatchesProbability) {
+    quorum::util::rng gen(29);
+    int ones = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+        statevector state(1);
+        const qubit_t q0[] = {0};
+        const double theta[] = {2.0 * std::acos(std::sqrt(0.3))};
+        state.apply_gate(gate_kind::ry, q0, theta);
+        // P(1) = sin^2(theta/2) = 0.7.
+        ones += state.measure_collapse(0, gen) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / trials, 0.7, 0.03);
+}
+
+TEST(Statevector, InnerProductOfOrthogonalStates) {
+    const statevector a = statevector::basis_state(2, 0);
+    const statevector b = statevector::basis_state(2, 3);
+    EXPECT_NEAR(std::abs(a.inner_product(b)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(a.inner_product(a)), 1.0, 1e-12);
+}
+
+TEST(Statevector, InnerProductConjugateSymmetry) {
+    quorum::util::rng gen(31);
+    const statevector a = random_state(3, gen);
+    const statevector b = random_state(3, gen);
+    const cd ab = a.inner_product(b);
+    const cd ba = b.inner_product(a);
+    EXPECT_NEAR(std::abs(ab - std::conj(ba)), 0.0, 1e-12);
+}
+
+TEST(Statevector, ProbabilitiesSumToOne) {
+    quorum::util::rng gen(33);
+    const statevector state = random_state(4, gen);
+    double total = 0.0;
+    for (const double p : state.probabilities()) {
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(Statevector, SampleFollowsDistribution) {
+    quorum::util::rng gen(35);
+    statevector state(2);
+    const qubit_t q0[] = {0};
+    state.apply_gate(gate_kind::h, q0);
+    std::map<std::size_t, int> counts;
+    for (int t = 0; t < 8000; ++t) {
+        ++counts[state.sample(gen)];
+    }
+    EXPECT_NEAR(counts[0] / 8000.0, 0.5, 0.03);
+    EXPECT_NEAR(counts[1] / 8000.0, 0.5, 0.03);
+    EXPECT_EQ(counts.count(2), 0u);
+    EXPECT_EQ(counts.count(3), 0u);
+}
+
+TEST(Statevector, InitializeRegisterBuildsProductState) {
+    statevector state(3);
+    const qubit_t reg[] = {0, 1};
+    const double r = std::sqrt(0.5);
+    const std::vector<amp> sub{cd(r), cd(0.0), cd(0.0), cd(r)};
+    state.initialize_register(reg, sub);
+    EXPECT_NEAR(std::norm(state.amplitudes()[0]), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(state.amplitudes()[3]), 0.5, 1e-12);
+    EXPECT_NEAR(state.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(Statevector, InitializeRegisterOnNonZeroTargetThrows) {
+    statevector state(2);
+    const qubit_t q0[] = {0};
+    state.apply_gate(gate_kind::h, q0);
+    const std::vector<amp> sub{cd(1.0), cd(0.0)};
+    const qubit_t reg[] = {0};
+    EXPECT_THROW(state.initialize_register(reg, sub),
+                 quorum::util::contract_error);
+}
+
+TEST(Statevector, InitializeSecondRegisterKeepsFirst) {
+    statevector state(2);
+    const qubit_t reg0[] = {0};
+    const double r = std::sqrt(0.5);
+    const std::vector<amp> plus{cd(r), cd(r)};
+    state.initialize_register(reg0, plus);
+    const qubit_t reg1[] = {1};
+    state.initialize_register(reg1, plus);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(std::norm(state.amplitudes()[i]), 0.25, 1e-12);
+    }
+}
+
+TEST(Statevector, QubitIndexOutOfRangeThrows) {
+    statevector state(2);
+    const qubit_t bad[] = {2};
+    EXPECT_THROW(state.apply_gate(gate_kind::x, bad),
+                 quorum::util::contract_error);
+    EXPECT_THROW(state.probability_one(5), quorum::util::contract_error);
+}
+
+class StatevectorSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StatevectorSizeSweep, RandomCircuitPreservesNorm) {
+    quorum::util::rng gen(GetParam() * 101 + 7);
+    const statevector state = random_state(GetParam(), gen);
+    EXPECT_NEAR(state.norm_squared(), 1.0, 1e-9);
+    EXPECT_EQ(state.dim(), std::size_t{1} << GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatevectorSizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+} // namespace

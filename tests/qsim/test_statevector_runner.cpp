@@ -1,0 +1,151 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/density_runner.h"
+#include "qsim/noise.h"
+#include "qsim/statevector_runner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qsim;
+
+TEST(StatevectorRunner, GatesOnlyCircuitSingleBranch) {
+    circuit c(2, 1);
+    c.h(0).cx(0, 1).measure(1, 0);
+    const exact_run_result result = statevector_runner::run_exact(c);
+    ASSERT_EQ(result.branches.size(), 1u);
+    EXPECT_NEAR(result.branches[0].weight, 1.0, 1e-12);
+    EXPECT_NEAR(result.cbit_probability_one(0), 0.5, 1e-12);
+}
+
+TEST(StatevectorRunner, ResetSplitsIntoWeightedBranches) {
+    circuit c(1);
+    const double theta = 2.0 * std::acos(std::sqrt(0.3)); // P(1) = 0.7
+    c.ry(theta, 0).reset(0);
+    const exact_run_result result = statevector_runner::run_exact(c);
+    ASSERT_EQ(result.branches.size(), 2u);
+    double total = 0.0;
+    for (const branch& b : result.branches) {
+        total += b.weight;
+        // After reset both branches sit in |0>.
+        EXPECT_NEAR(b.state.probability_one(0), 0.0, 1e-12);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StatevectorRunner, DeterministicResetDoesNotBranch) {
+    circuit c(2);
+    c.x(0).reset(0); // qubit definitely |1>: single branch after collapse
+    const exact_run_result result = statevector_runner::run_exact(c);
+    EXPECT_EQ(result.branches.size(), 1u);
+}
+
+TEST(StatevectorRunner, ResetOfEntangledQubitCreatesMixture) {
+    circuit c(2, 1);
+    c.h(0).cx(0, 1).reset(0).measure(1, 0);
+    const exact_run_result result = statevector_runner::run_exact(c);
+    // Partner qubit stays maximally mixed: P(1) = 1/2 exactly.
+    EXPECT_NEAR(result.cbit_probability_one(0), 0.5, 1e-12);
+    EXPECT_EQ(result.branches.size(), 2u);
+}
+
+TEST(StatevectorRunner, MatchesDensityMatrixOnResets) {
+    quorum::util::rng gen(41);
+    for (int trial = 0; trial < 10; ++trial) {
+        circuit c(3, 1);
+        c.ry(gen.angle(), 0).cx(0, 1).rx(gen.angle(), 2).cx(1, 2);
+        c.reset(1);
+        c.ry(gen.angle(), 1).cx(1, 2);
+        c.reset(0);
+        c.rx(gen.angle(), 0);
+        c.measure(2, 0);
+        const double p_sv =
+            statevector_runner::run_exact(c).cbit_probability_one(0);
+        const noisy_run_result dm =
+            density_runner::run(c, noise_model::ideal());
+        EXPECT_NEAR(p_sv, dm.state.probability_one(2), 1e-10);
+    }
+}
+
+TEST(StatevectorRunner, RejectsGateAfterMeasure) {
+    circuit c(2, 1);
+    c.h(0).measure(0, 0).h(0);
+    EXPECT_THROW(statevector_runner::run_exact(c),
+                 quorum::util::contract_error);
+}
+
+TEST(StatevectorRunner, AllowsMeasureOnDifferentQubits) {
+    circuit c(2, 2);
+    c.h(0).measure(0, 0).h(1).measure(1, 1);
+    EXPECT_NO_THROW(statevector_runner::run_exact(c));
+}
+
+TEST(StatevectorRunner, UnknownCbitThrows) {
+    circuit c(1, 1);
+    c.h(0).measure(0, 0);
+    const exact_run_result result = statevector_runner::run_exact(c);
+    EXPECT_THROW(result.cbit_probability_one(3),
+                 quorum::util::contract_error);
+}
+
+TEST(StatevectorRunner, SingleShotReturnsAllCbits) {
+    quorum::util::rng gen(43);
+    circuit c(2, 2);
+    c.x(0).measure(0, 0).measure(1, 1);
+    const std::vector<bool> cbits = statevector_runner::run_single_shot(c, gen);
+    ASSERT_EQ(cbits.size(), 2u);
+    EXPECT_TRUE(cbits[0]);
+    EXPECT_FALSE(cbits[1]);
+}
+
+TEST(StatevectorRunner, ShotStatisticsMatchExactProbability) {
+    quorum::util::rng gen(47);
+    circuit c(1, 1);
+    const double theta = 2.0 * std::acos(std::sqrt(0.75)); // P(1) = 0.25
+    c.ry(theta, 0).measure(0, 0);
+    const auto counts = statevector_runner::sample_counts(c, 8000, gen);
+    const double frequency =
+        static_cast<double>(counts.count(1) ? counts.at(1) : 0) / 8000.0;
+    EXPECT_NEAR(frequency, 0.25, 0.02);
+}
+
+TEST(StatevectorRunner, CorrelatedMeasurementsInShots) {
+    quorum::util::rng gen(53);
+    circuit c(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const auto counts = statevector_runner::sample_counts(c, 4000, gen);
+    // Bell state: only 00 (key 0) and 11 (key 3) appear.
+    std::size_t correlated = 0;
+    for (const auto& [key, count] : counts) {
+        EXPECT_TRUE(key == 0 || key == 3) << "key " << key;
+        correlated += count;
+    }
+    EXPECT_EQ(correlated, 4000u);
+}
+
+TEST(StatevectorRunner, InitializeOpHandled) {
+    circuit c(2, 1);
+    const qubit_t reg[] = {0, 1};
+    const double r = std::sqrt(0.5);
+    const std::vector<double> amps{r, 0.0, 0.0, r};
+    c.initialize(reg, std::span<const double>(amps));
+    c.measure(1, 0);
+    EXPECT_NEAR(statevector_runner::run_exact(c).cbit_probability_one(0), 0.5,
+                1e-12);
+}
+
+TEST(StatevectorRunner, ShotModeWithResets) {
+    quorum::util::rng gen(59);
+    circuit c(2, 1);
+    c.h(0).cx(0, 1).reset(0).measure(1, 0);
+    const auto counts = statevector_runner::sample_counts(c, 4000, gen);
+    const double frequency =
+        static_cast<double>(counts.count(1) ? counts.at(1) : 0) / 4000.0;
+    EXPECT_NEAR(frequency, 0.5, 0.03);
+}
+
+} // namespace

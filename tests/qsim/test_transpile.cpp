@@ -1,0 +1,314 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "qsim/circuit.h"
+#include "qsim/statevector.h"
+#include "qsim/transpile.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::qsim;
+namespace util = quorum::util;
+
+circuit random_circuit(std::size_t n, std::size_t gates,
+                       quorum::util::rng& gen) {
+    circuit c(n);
+    for (std::size_t g = 0; g < gates; ++g) {
+        const auto q = static_cast<qubit_t>(gen.uniform_index(n));
+        const auto q2 =
+            static_cast<qubit_t>((q + 1 + gen.uniform_index(n - 1)) % n);
+        switch (gen.uniform_index(8)) {
+        case 0:
+            c.rx(gen.angle(), q);
+            break;
+        case 1:
+            c.ry(gen.angle(), q);
+            break;
+        case 2:
+            c.rz(gen.angle(), q);
+            break;
+        case 3:
+            c.h(q);
+            break;
+        case 4:
+            c.cx(q, q2);
+            break;
+        case 5:
+            c.cz(q, q2);
+            break;
+        case 6:
+            c.t(q);
+            break;
+        default:
+            c.u3(gen.angle(), gen.angle(), gen.angle(), q);
+            break;
+        }
+    }
+    return c;
+}
+
+TEST(Transpile, BasisGateSet) {
+    EXPECT_TRUE(is_basis_gate(gate_kind::rz));
+    EXPECT_TRUE(is_basis_gate(gate_kind::sx));
+    EXPECT_TRUE(is_basis_gate(gate_kind::x));
+    EXPECT_TRUE(is_basis_gate(gate_kind::cx));
+    EXPECT_FALSE(is_basis_gate(gate_kind::h));
+    EXPECT_FALSE(is_basis_gate(gate_kind::ry));
+    EXPECT_FALSE(is_basis_gate(gate_kind::cswap));
+}
+
+class SingleGateLowering : public ::testing::TestWithParam<gate_kind> {};
+
+TEST_P(SingleGateLowering, PreservesUnitaryUpToPhase) {
+    const gate_kind kind = GetParam();
+    const std::size_t arity = gate_arity(kind);
+    circuit c(std::max<std::size_t>(arity, 1));
+    std::vector<qubit_t> operands(arity);
+    for (std::size_t i = 0; i < arity; ++i) {
+        operands[i] = static_cast<qubit_t>(i);
+    }
+    std::vector<double> params(gate_param_count(kind), 0.93);
+    c.append_gate(kind, operands, params);
+    const circuit lowered = decompose_to_basis(c);
+    EXPECT_TRUE(is_basis_circuit(lowered)) << gate_name(kind);
+    EXPECT_TRUE(circuit_unitary(lowered).equals_up_to_phase(circuit_unitary(c),
+                                                            1e-8))
+        << gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, SingleGateLowering,
+    ::testing::Values(gate_kind::id, gate_kind::x, gate_kind::y, gate_kind::z,
+                      gate_kind::h, gate_kind::s, gate_kind::sdg, gate_kind::t,
+                      gate_kind::tdg, gate_kind::sx, gate_kind::rx,
+                      gate_kind::ry, gate_kind::rz, gate_kind::u3,
+                      gate_kind::cx, gate_kind::cz, gate_kind::swap_q,
+                      gate_kind::ccx, gate_kind::cswap));
+
+TEST(Transpile, RandomCircuitsPreserved) {
+    quorum::util::rng gen(77);
+    for (int trial = 0; trial < 15; ++trial) {
+        const circuit c = random_circuit(3, 12, gen);
+        const circuit lowered = transpile_for_hardware(c);
+        EXPECT_TRUE(is_basis_circuit(lowered));
+        EXPECT_TRUE(circuit_unitary(lowered)
+                        .equals_up_to_phase(circuit_unitary(c), 1e-7));
+    }
+}
+
+TEST(Transpile, OptimizerMergesAdjacentRz) {
+    circuit c(1);
+    c.rz(0.3, 0).rz(0.4, 0);
+    const circuit optimized = optimize_basis_circuit(c);
+    EXPECT_EQ(optimized.gate_count(), 1u);
+    EXPECT_NEAR(optimized.ops()[0].params[0], 0.7, 1e-12);
+}
+
+TEST(Transpile, OptimizerDropsTrivialRz) {
+    circuit c(1);
+    c.rz(0.5, 0).rz(-0.5, 0);
+    EXPECT_EQ(optimize_basis_circuit(c).gate_count(), 0u);
+    circuit zero(1);
+    zero.rz(0.0, 0);
+    EXPECT_EQ(optimize_basis_circuit(zero).gate_count(), 0u);
+}
+
+TEST(Transpile, OptimizerCancelsCxPairs) {
+    circuit c(2);
+    c.cx(0, 1).cx(0, 1);
+    EXPECT_EQ(optimize_basis_circuit(c).gate_count(), 0u);
+    // Different operands must NOT cancel.
+    circuit keep(3);
+    keep.cx(0, 1).cx(1, 0);
+    EXPECT_EQ(optimize_basis_circuit(keep).gate_count(), 2u);
+}
+
+TEST(Transpile, OptimizerCancelsCascades) {
+    circuit c(2);
+    c.cx(0, 1).rz(0.4, 0).rz(-0.4, 0).cx(0, 1);
+    // rz pair vanishes, then the cx pair collapses too.
+    EXPECT_EQ(optimize_basis_circuit(c).gate_count(), 0u);
+}
+
+TEST(Transpile, OptimizerKeepsBlockedMerges) {
+    circuit c(2);
+    c.rz(0.3, 0).cx(0, 1).rz(0.4, 0);
+    EXPECT_EQ(optimize_basis_circuit(c).gate_count(), 3u);
+}
+
+TEST(Transpile, OptimizerPreservesRandomUnitaries) {
+    quorum::util::rng gen(79);
+    for (int trial = 0; trial < 10; ++trial) {
+        const circuit c = decompose_to_basis(random_circuit(3, 10, gen));
+        const circuit optimized = optimize_basis_circuit(c);
+        EXPECT_LE(optimized.gate_count(), c.gate_count());
+        EXPECT_TRUE(circuit_unitary(optimized)
+                        .equals_up_to_phase(circuit_unitary(c), 1e-8));
+    }
+}
+
+TEST(Transpile, MultiplexedRySingleTarget) {
+    circuit c(1);
+    const double angles[] = {0.8};
+    append_multiplexed_ry(c, {}, 0, angles);
+    ASSERT_EQ(c.gate_count(), 1u);
+    EXPECT_EQ(c.ops()[0].gate, gate_kind::ry);
+}
+
+TEST(Transpile, MultiplexedRyImplementsControlCases) {
+    // 1 control: angle[0] when control=0, angle[1] when control=1.
+    const double angles[] = {0.6, 1.9};
+    for (int control_value = 0; control_value < 2; ++control_value) {
+        circuit c(2);
+        if (control_value == 1) {
+            c.x(1);
+        }
+        const qubit_t controls[] = {1};
+        append_multiplexed_ry(c, controls, 0, angles);
+        statevector state(2);
+        for (const auto& op : c.ops()) {
+            state.apply_gate(op.gate, op.qubits, op.params);
+        }
+        const double expected = angles[control_value];
+        // P(target=1) = sin^2(expected/2).
+        const double expected_p1 = std::sin(expected / 2) * std::sin(expected / 2);
+        EXPECT_NEAR(state.probability_one(0), expected_p1, 1e-10);
+    }
+}
+
+TEST(Transpile, MultiplexedRyAllZeroAnglesEmitsNothing) {
+    circuit c(3);
+    const qubit_t controls[] = {1, 2};
+    const double angles[] = {0.0, 0.0, 0.0, 0.0};
+    append_multiplexed_ry(c, controls, 0, angles);
+    EXPECT_EQ(c.gate_count(), 0u);
+}
+
+class StatePrepSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StatePrepSweep, SynthesisedCircuitPreparesExactAmplitudes) {
+    const std::size_t n = GetParam();
+    quorum::util::rng gen(n * 131 + 5);
+    for (int trial = 0; trial < 8; ++trial) {
+        const std::size_t dim = std::size_t{1} << n;
+        std::vector<double> amps(dim);
+        double norm = 0.0;
+        for (double& a : amps) {
+            a = gen.uniform();
+            norm += a * a;
+        }
+        for (double& a : amps) {
+            a /= std::sqrt(norm);
+        }
+        const circuit prep = synthesize_state_prep(amps);
+        statevector state(n);
+        for (const auto& op : prep.ops()) {
+            state.apply_gate(op.gate, op.qubits, op.params);
+        }
+        for (std::size_t j = 0; j < dim; ++j) {
+            EXPECT_NEAR(state.amplitudes()[j].real(), amps[j], 1e-9);
+            EXPECT_NEAR(state.amplitudes()[j].imag(), 0.0, 1e-12);
+        }
+    }
+}
+
+TEST_P(StatePrepSweep, SparseAmplitudesHandled) {
+    const std::size_t n = GetParam();
+    const std::size_t dim = std::size_t{1} << n;
+    // Only two nonzero amplitudes (first and last).
+    std::vector<double> amps(dim, 0.0);
+    amps[0] = std::sqrt(0.25);
+    amps[dim - 1] = std::sqrt(0.75);
+    const circuit prep = synthesize_state_prep(amps);
+    statevector state(n);
+    for (const auto& op : prep.ops()) {
+        state.apply_gate(op.gate, op.qubits, op.params);
+    }
+    EXPECT_NEAR(std::norm(state.amplitudes()[0]), 0.25, 1e-10);
+    EXPECT_NEAR(std::norm(state.amplitudes()[dim - 1]), 0.75, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatePrepSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Transpile, StatePrepRejectsBadInput) {
+    const std::vector<double> not_power{0.6, 0.8, 0.0};
+    EXPECT_THROW(synthesize_state_prep(not_power),
+                 quorum::util::contract_error);
+    const std::vector<double> not_normalised{1.0, 1.0};
+    EXPECT_THROW(synthesize_state_prep(not_normalised),
+                 quorum::util::contract_error);
+    const std::vector<double> negative{-0.6, 0.8};
+    EXPECT_THROW(synthesize_state_prep(negative),
+                 quorum::util::contract_error);
+}
+
+TEST(Transpile, ExpandInitializeMatchesDirectInit) {
+    quorum::util::rng gen(83);
+    std::vector<double> amps(8);
+    double norm = 0.0;
+    for (double& a : amps) {
+        a = gen.uniform();
+        norm += a * a;
+    }
+    for (double& a : amps) {
+        a /= std::sqrt(norm);
+    }
+    circuit c(3);
+    const qubit_t reg[] = {0, 1, 2};
+    c.initialize(reg, std::span<const double>(amps));
+    c.h(0);
+    const circuit expanded = expand_initialize(c);
+    EXPECT_TRUE(is_basis_circuit(decompose_to_basis(c)));
+
+    statevector direct(3);
+    direct.initialize_register(reg, std::vector<amp>(amps.begin(), amps.end()));
+    const qubit_t q0[] = {0};
+    direct.apply_gate(gate_kind::h, q0);
+
+    statevector synthesised(3);
+    for (const auto& op : expanded.ops()) {
+        synthesised.apply_gate(op.gate, op.qubits, op.params);
+    }
+    for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_NEAR(std::abs(direct.amplitudes()[j] -
+                             synthesised.amplitudes()[j]),
+                    0.0, 1e-9);
+    }
+}
+
+TEST(Transpile, ResetAndMeasurePassThrough) {
+    circuit c(2, 1);
+    c.h(0).reset(0).measure(1, 0);
+    const circuit lowered = decompose_to_basis(c);
+    std::size_t resets = 0;
+    std::size_t measures = 0;
+    for (const auto& op : lowered.ops()) {
+        resets += op.kind == op_kind::reset ? 1 : 0;
+        measures += op.kind == op_kind::measure ? 1 : 0;
+    }
+    EXPECT_EQ(resets, 1u);
+    EXPECT_EQ(measures, 1u);
+}
+
+TEST(Transpile, LoweredSwapTestGateBudget) {
+    // The paper's 7-qubit circuit must stay within a sane basis-gate count
+    // after lowering (transpiler sanity / cost model guard).
+    circuit c(7, 1);
+    c.h(6);
+    c.cswap(6, 0, 3);
+    c.cswap(6, 1, 4);
+    c.cswap(6, 2, 5);
+    c.h(6);
+    c.measure(6, 0);
+    const circuit lowered = transpile_for_hardware(c);
+    EXPECT_TRUE(is_basis_circuit(lowered));
+    EXPECT_GE(lowered.gate_count_arity(2), 24u); // 8 CX per Fredkin
+    EXPECT_LE(lowered.gate_count(), 120u);
+}
+
+} // namespace

@@ -1,0 +1,44 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using quorum::util::contract_error;
+
+int checked_divide(int a, int b) {
+    QUORUM_EXPECTS_MSG(b != 0, "division by zero");
+    return a / b;
+}
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+    EXPECT_NO_THROW(QUORUM_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+    EXPECT_THROW(QUORUM_EXPECTS(1 + 1 == 3), contract_error);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+    EXPECT_THROW(QUORUM_ENSURES(false), contract_error);
+}
+
+TEST(Contracts, MessageIncludesConditionAndText) {
+    try {
+        checked_divide(1, 0);
+        FAIL() << "expected contract_error";
+    } catch (const contract_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("b != 0"), std::string::npos);
+        EXPECT_NE(what.find("division by zero"), std::string::npos);
+        EXPECT_NE(what.find("precondition"), std::string::npos);
+    }
+}
+
+TEST(Contracts, ContractErrorIsLogicError) {
+    EXPECT_THROW(QUORUM_EXPECTS(false), std::logic_error);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "util/matrix.h"
+
+namespace {
+
+using quorum::util::cmatrix;
+using cd = std::complex<double>;
+
+TEST(Matrix, IdentityConstruction) {
+    const cmatrix id = cmatrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_EQ(id(r, c), r == c ? cd(1.0) : cd(0.0));
+        }
+    }
+}
+
+TEST(Matrix, FromRowsValidatesSize) {
+    EXPECT_THROW((cmatrix::from_rows(2, 2, {1.0, 2.0, 3.0})), quorum::util::contract_error);
+}
+
+TEST(Matrix, MultiplyBasics) {
+    const cmatrix a = cmatrix::from_rows(2, 2, {1, 2, 3, 4});
+    const cmatrix b = cmatrix::from_rows(2, 2, {5, 6, 7, 8});
+    const cmatrix c = a.multiply(b);
+    EXPECT_EQ(c(0, 0), cd(19.0));
+    EXPECT_EQ(c(0, 1), cd(22.0));
+    EXPECT_EQ(c(1, 0), cd(43.0));
+    EXPECT_EQ(c(1, 1), cd(50.0));
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+    const cmatrix a(2, 3);
+    const cmatrix b(2, 3);
+    EXPECT_THROW(a.multiply(b), quorum::util::contract_error);
+}
+
+TEST(Matrix, MultiplyNonSquare) {
+    const cmatrix a = cmatrix::from_rows(1, 3, {1, 2, 3});
+    const cmatrix b = cmatrix::from_rows(3, 1, {4, 5, 6});
+    const cmatrix c = a.multiply(b);
+    EXPECT_EQ(c.rows(), 1u);
+    EXPECT_EQ(c.cols(), 1u);
+    EXPECT_EQ(c(0, 0), cd(32.0));
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+    const cmatrix m = cmatrix::from_rows(2, 2, {cd(1, 2), cd(3, 4),
+                                                cd(5, 6), cd(7, 8)});
+    const cmatrix a = m.adjoint();
+    EXPECT_EQ(a(0, 0), cd(1, -2));
+    EXPECT_EQ(a(0, 1), cd(5, -6));
+    EXPECT_EQ(a(1, 0), cd(3, -4));
+    EXPECT_EQ(a(1, 1), cd(7, -8));
+}
+
+TEST(Matrix, KroneckerProduct) {
+    const cmatrix x = cmatrix::from_rows(2, 2, {0, 1, 1, 0});
+    const cmatrix id = cmatrix::identity(2);
+    const cmatrix k = id.kron(x);
+    EXPECT_EQ(k.rows(), 4u);
+    EXPECT_EQ(k(0, 1), cd(1.0));
+    EXPECT_EQ(k(1, 0), cd(1.0));
+    EXPECT_EQ(k(2, 3), cd(1.0));
+    EXPECT_EQ(k(3, 2), cd(1.0));
+    EXPECT_EQ(k(0, 2), cd(0.0));
+}
+
+TEST(Matrix, ApplyVector) {
+    const cmatrix m = cmatrix::from_rows(2, 2, {1, 2, 3, 4});
+    const std::vector<cd> v{cd(1.0), cd(1.0)};
+    const std::vector<cd> out = m.apply(v);
+    EXPECT_EQ(out[0], cd(3.0));
+    EXPECT_EQ(out[1], cd(7.0));
+}
+
+TEST(Matrix, ApplyRejectsWrongLength) {
+    const cmatrix m = cmatrix::identity(2);
+    EXPECT_THROW((m.apply(std::vector<cd>{cd(1.0)})), quorum::util::contract_error);
+}
+
+TEST(Matrix, TraceOfIdentity) {
+    EXPECT_EQ(cmatrix::identity(4).trace(), cd(4.0));
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+    EXPECT_THROW(cmatrix(2, 3).trace(), quorum::util::contract_error);
+}
+
+TEST(Matrix, DistanceZeroForEqual) {
+    const cmatrix m = cmatrix::from_rows(2, 2, {1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(m.distance(m), 0.0);
+}
+
+TEST(Matrix, IsUnitaryDetectsUnitaries) {
+    const double r = 1.0 / std::sqrt(2.0);
+    const cmatrix h = cmatrix::from_rows(2, 2, {r, r, r, -r});
+    EXPECT_TRUE(h.is_unitary());
+    const cmatrix not_unitary = cmatrix::from_rows(2, 2, {1, 0, 0, 2});
+    EXPECT_FALSE(not_unitary.is_unitary());
+    EXPECT_FALSE(cmatrix(2, 3).is_unitary());
+}
+
+TEST(Matrix, EqualsUpToPhaseDetectsGlobalPhase) {
+    const cmatrix m = cmatrix::from_rows(2, 2, {1, 0, 0, cd(0, 1)});
+    const cd phase = std::exp(cd(0, 0.7));
+    cmatrix shifted = m;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 2; ++c) {
+            shifted(r, c) = m(r, c) * phase;
+        }
+    }
+    EXPECT_TRUE(shifted.equals_up_to_phase(m));
+    EXPECT_TRUE(m.equals_up_to_phase(shifted));
+}
+
+TEST(Matrix, EqualsUpToPhaseRejectsDifferentMatrices) {
+    const cmatrix a = cmatrix::from_rows(2, 2, {1, 0, 0, 1});
+    const cmatrix b = cmatrix::from_rows(2, 2, {0, 1, 1, 0});
+    EXPECT_FALSE(a.equals_up_to_phase(b));
+}
+
+TEST(Matrix, EqualsUpToPhaseRejectsScaling) {
+    const cmatrix a = cmatrix::identity(2);
+    cmatrix scaled = a;
+    scaled(0, 0) = 2.0;
+    scaled(1, 1) = 2.0;
+    EXPECT_FALSE(scaled.equals_up_to_phase(a));
+}
+
+TEST(Matrix, OutOfBoundsAccessThrows) {
+    cmatrix m(2, 2);
+    EXPECT_THROW(m(2, 0), quorum::util::contract_error);
+    EXPECT_THROW(m(0, 2), quorum::util::contract_error);
+}
+
+} // namespace

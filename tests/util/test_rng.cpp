@@ -1,0 +1,240 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+#include "util/rng.h"
+
+namespace {
+
+using quorum::util::derive_seed;
+using quorum::util::rng;
+
+TEST(Rng, SameSeedSameStream) {
+    rng a(42);
+    rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    rng a(1);
+    rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += a.engine()() == b.engine()() ? 1 : 0;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    rng gen(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = gen.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected) {
+    rng gen(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = gen.uniform(-2.5, 3.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 3.5);
+    }
+}
+
+TEST(Rng, UniformRangeRejectsInverted) {
+    rng gen(1);
+    EXPECT_THROW(gen.uniform(1.0, 0.0), quorum::util::contract_error);
+}
+
+TEST(Rng, AngleCoversZeroTwoPi) {
+    rng gen(11);
+    double lo = 10.0;
+    double hi = -10.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double theta = gen.angle();
+        lo = std::min(lo, theta);
+        hi = std::max(hi, theta);
+        EXPECT_GE(theta, 0.0);
+        EXPECT_LT(theta, 2.0 * 3.14159265358979323846);
+    }
+    EXPECT_LT(lo, 0.1);
+    EXPECT_GT(hi, 6.1);
+}
+
+TEST(Rng, UniformIndexBounds) {
+    rng gen(13);
+    std::vector<int> histogram(7, 0);
+    for (int i = 0; i < 70000; ++i) {
+        const std::size_t k = gen.uniform_index(7);
+        ASSERT_LT(k, 7u);
+        ++histogram[k];
+    }
+    // Roughly uniform: each bin within 15% of expectation.
+    for (const int count : histogram) {
+        EXPECT_NEAR(count, 10000, 1500);
+    }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+    rng gen(1);
+    EXPECT_THROW(gen.uniform_index(0), quorum::util::contract_error);
+}
+
+TEST(Rng, NormalMoments) {
+    rng gen(17);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = gen.normal(2.0, 3.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+    rng gen(19);
+    EXPECT_FALSE(gen.bernoulli(0.0));
+    EXPECT_TRUE(gen.bernoulli(1.0));
+    EXPECT_FALSE(gen.bernoulli(-0.5));
+    EXPECT_TRUE(gen.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequency) {
+    rng gen(23);
+    int ones = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        ones += gen.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+    rng gen(29);
+    EXPECT_EQ(gen.binomial(0, 0.5), 0u);
+    EXPECT_EQ(gen.binomial(100, 0.0), 0u);
+    EXPECT_EQ(gen.binomial(100, 1.0), 100u);
+}
+
+TEST(Rng, BinomialMean) {
+    rng gen(31);
+    double total = 0.0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        total += static_cast<double>(gen.binomial(4096, 0.25));
+    }
+    EXPECT_NEAR(total / trials, 1024.0, 5.0);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+    rng gen(37);
+    const std::vector<std::size_t> perm = gen.permutation(100);
+    ASSERT_EQ(perm.size(), 100u);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+    rng gen(41);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto sample = gen.sample_without_replacement(50, 20);
+        ASSERT_EQ(sample.size(), 20u);
+        std::set<std::size_t> seen(sample.begin(), sample.end());
+        EXPECT_EQ(seen.size(), 20u);
+        for (const std::size_t s : sample) {
+            EXPECT_LT(s, 50u);
+        }
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+    rng gen(43);
+    const auto sample = gen.sample_without_replacement(10, 10);
+    std::set<std::size_t> seen(sample.begin(), sample.end());
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
+    rng gen(47);
+    EXPECT_THROW(gen.sample_without_replacement(5, 6),
+                 quorum::util::contract_error);
+}
+
+TEST(Rng, ChildStreamsIndependent) {
+    rng parent(1000);
+    rng c0 = parent.child(0);
+    rng c1 = parent.child(1);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        equal += c0.engine()() == c1.engine()() ? 1 : 0;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ChildDeterministicAndStateless) {
+    rng parent(55);
+    // Drawing from the parent must not change child derivation.
+    rng before = parent.child(3);
+    (void)parent.uniform();
+    (void)parent.uniform();
+    rng after = parent.child(3);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(before.uniform(), after.uniform());
+    }
+}
+
+TEST(Rng, DeriveSeedMixesIndices) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        seeds.insert(derive_seed(12345, i));
+    }
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+    rng gen(59);
+    std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = values;
+    gen.shuffle(std::span<int>(shuffled));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, values);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeForAllSeeds) {
+    rng gen(GetParam());
+    for (int i = 0; i < 1000; ++i) {
+        const double u = gen.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST_P(RngSeedSweep, PermutationValidForAllSeeds) {
+    rng gen(GetParam());
+    const auto perm = gen.permutation(31);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 31u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 42ULL, 1000ULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+} // namespace

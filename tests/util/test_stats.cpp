@@ -1,0 +1,167 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using quorum::util::mean;
+using quorum::util::median;
+using quorum::util::quantile;
+using quorum::util::stddev_population;
+using quorum::util::welford_accumulator;
+
+TEST(Welford, EmptyAccumulator) {
+    welford_accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance_population(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance_sample(), 0.0);
+}
+
+TEST(Welford, SingleValue) {
+    welford_accumulator acc;
+    acc.add(5.0);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance_population(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance_sample(), 0.0);
+}
+
+TEST(Welford, MatchesNaiveComputation) {
+    quorum::util::rng gen(3);
+    std::vector<double> values;
+    welford_accumulator acc;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = gen.normal(10.0, 2.0);
+        values.push_back(v);
+        acc.add(v);
+    }
+    double naive_mean = 0.0;
+    for (const double v : values) {
+        naive_mean += v;
+    }
+    naive_mean /= static_cast<double>(values.size());
+    double naive_var = 0.0;
+    for (const double v : values) {
+        naive_var += (v - naive_mean) * (v - naive_mean);
+    }
+    naive_var /= static_cast<double>(values.size());
+    EXPECT_NEAR(acc.mean(), naive_mean, 1e-10);
+    EXPECT_NEAR(acc.variance_population(), naive_var, 1e-8);
+}
+
+TEST(Welford, SampleVarianceUsesBesselCorrection) {
+    welford_accumulator acc;
+    acc.add(1.0);
+    acc.add(3.0);
+    EXPECT_DOUBLE_EQ(acc.variance_population(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.variance_sample(), 2.0);
+}
+
+TEST(Welford, MergeEqualsSequential) {
+    quorum::util::rng gen(5);
+    welford_accumulator combined;
+    welford_accumulator left;
+    welford_accumulator right;
+    for (int i = 0; i < 500; ++i) {
+        const double v = gen.uniform(-3.0, 7.0);
+        combined.add(v);
+        (i % 2 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), combined.count());
+    EXPECT_NEAR(left.mean(), combined.mean(), 1e-12);
+    EXPECT_NEAR(left.variance_population(), combined.variance_population(),
+                1e-10);
+}
+
+TEST(Welford, MergeWithEmpty) {
+    welford_accumulator acc;
+    acc.add(1.0);
+    acc.add(2.0);
+    welford_accumulator empty;
+    acc.merge(empty);
+    EXPECT_EQ(acc.count(), 2u);
+    empty.merge(acc);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Welford, NumericallyStableOnLargeOffsets) {
+    welford_accumulator acc;
+    const double offset = 1e9;
+    for (int i = 0; i < 100; ++i) {
+        acc.add(offset + static_cast<double>(i % 2));
+    }
+    EXPECT_NEAR(acc.variance_population(), 0.25, 1e-6);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+    EXPECT_DOUBLE_EQ(stddev_population(empty), 0.0);
+}
+
+TEST(Stats, MeanAndStddevBasics) {
+    const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(values), 5.0);
+    EXPECT_DOUBLE_EQ(stddev_population(values), 2.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+    const std::vector<double> values{3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(values, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+    const std::vector<double> values{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(values, 0.75), 7.5);
+}
+
+TEST(Stats, QuantileSingleValue) {
+    const std::vector<double> values{42.0};
+    EXPECT_DOUBLE_EQ(quantile(values, 0.3), 42.0);
+}
+
+TEST(Stats, QuantileRejectsEmptyAndOutOfRange) {
+    const std::vector<double> empty;
+    EXPECT_THROW((void)quantile(empty, 0.5), quorum::util::contract_error);
+    const std::vector<double> values{1.0};
+    EXPECT_THROW((void)quantile(values, -0.1), quorum::util::contract_error);
+    EXPECT_THROW((void)quantile(values, 1.1), quorum::util::contract_error);
+}
+
+TEST(Stats, MedianOddAndEven) {
+    const std::vector<double> odd{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(median(odd), 3.0);
+    const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, MonotoneInQ) {
+    quorum::util::rng gen(11);
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i) {
+        values.push_back(gen.uniform(-5.0, 5.0));
+    }
+    const double q = GetParam();
+    if (q >= 0.05) {
+        EXPECT_LE(quantile(values, q - 0.05), quantile(values, q) + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.95, 1.0));
+
+} // namespace

@@ -1,0 +1,108 @@
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace {
+
+using quorum::util::default_thread_count;
+using quorum::util::thread_pool;
+
+TEST(ThreadPool, ZeroRequestedGivesOneWorker) {
+    thread_pool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsResult) {
+    thread_pool pool(2);
+    auto future = pool.submit([]() { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+    thread_pool pool(2);
+    auto future = pool.submit([]() -> int {
+        throw std::runtime_error("boom");
+    });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+    thread_pool pool(4);
+    std::vector<std::atomic<int>> visits(1000);
+    pool.parallel_for(1000, [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const auto& v : visits) {
+        EXPECT_EQ(v.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsNoop) {
+    thread_pool pool(2);
+    bool called = false;
+    pool.parallel_for(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForMoreTasksThanThreads) {
+    thread_pool pool(2);
+    std::atomic<long> sum{0};
+    pool.parallel_for(10000, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 10000L * 9999L / 2L);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+    thread_pool pool(3);
+    EXPECT_THROW((pool.parallel_for(100,
+                                   [](std::size_t i) {
+                                       if (i == 57) {
+                                           throw std::runtime_error("body");
+                                       }
+                                   })), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForContinuesAfterException) {
+    thread_pool pool(3);
+    // All non-throwing iterations must still run (no early abort guarantee
+    // needed, but the pool must stay usable afterwards).
+    try {
+        pool.parallel_for(50, [](std::size_t i) {
+            if (i == 0) {
+                throw std::runtime_error("first");
+            }
+        });
+    } catch (const std::runtime_error&) {
+    }
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+    EXPECT_GE(default_thread_count(), 1u);
+}
+
+class PoolSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolSizeSweep, SumIndependentOfPoolSize) {
+    thread_pool pool(GetParam());
+    std::atomic<long> sum{0};
+    pool.parallel_for(777, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i * i));
+    });
+    long expected = 0;
+    for (long i = 0; i < 777; ++i) {
+        expected += i * i;
+    }
+    EXPECT_EQ(sum.load(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+} // namespace

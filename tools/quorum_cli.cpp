@@ -1,0 +1,289 @@
+// quorum_cli — run Quorum anomaly detection from the command line.
+//
+//   quorum_cli --input data.csv [options]
+//
+// Options:
+//   --input PATH          CSV file to score (required unless --demo)
+//   --output PATH         scores CSV (default: quorum_scores.csv)
+//   --label-column K      0/1 label column for evaluation (-1 = none)
+//   --no-header           input has no header row
+//   --groups N            ensemble groups (default 300)
+//   --shots N             shots per circuit (default 4096)
+//   --qubits N            register size (default 3)
+//   --rate R              estimated anomaly rate (default 0.03)
+//   --bucket-prob P       bucket containment probability (default 0.75)
+//   --mode M              exact | sampled | per_shot | noisy (default sampled)
+//   --threads N           worker threads (default: all cores)
+//   --seed S              master seed (default 2025)
+//   --top K               print the K strongest suspects (default 10)
+//   --demo                run on a bundled synthetic dataset instead
+//   --qasm PATH           also dump one example circuit as OpenQASM 2.0
+//   --help                this text
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/quorum.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "metrics/confusion.h"
+#include "metrics/detection_curve.h"
+#include "metrics/report.h"
+#include "metrics/roc.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/qasm.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+struct cli_options {
+    std::string input;
+    std::string output = "quorum_scores.csv";
+    std::string qasm_path;
+    int label_column = -1;
+    bool has_header = true;
+    bool demo = false;
+    std::size_t top = 10;
+    quorum::core::quorum_config config;
+};
+
+void print_usage() {
+    std::cout <<
+        "quorum_cli — zero-training unsupervised quantum anomaly detection\n"
+        "\n"
+        "  quorum_cli --input data.csv [--output scores.csv]\n"
+        "             [--label-column K] [--no-header]\n"
+        "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
+        "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
+        "             [--threads N] [--seed S] [--top K] [--qasm out.qasm]\n"
+        "  quorum_cli --demo\n";
+}
+
+bool parse_mode(const std::string& text, quorum::core::exec_mode& mode) {
+    using quorum::core::exec_mode;
+    if (text == "exact") {
+        mode = exec_mode::exact;
+    } else if (text == "sampled") {
+        mode = exec_mode::sampled;
+    } else if (text == "per_shot") {
+        mode = exec_mode::per_shot;
+    } else if (text == "noisy") {
+        mode = exec_mode::noisy;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool parse_arguments(int argc, char** argv, cli_options& options) {
+    options.config.ensemble_groups = 300;
+    options.config.mode = quorum::core::exec_mode::sampled;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            print_usage();
+            std::exit(0);
+        } else if (arg == "--demo") {
+            options.demo = true;
+        } else if (arg == "--no-header") {
+            options.has_header = false;
+        } else if (arg == "--input") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.input = v;
+        } else if (arg == "--output") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.output = v;
+        } else if (arg == "--qasm") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.qasm_path = v;
+        } else if (arg == "--label-column") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.label_column = std::stoi(v);
+        } else if (arg == "--groups") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.ensemble_groups = std::stoul(v);
+        } else if (arg == "--shots") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.shots = std::stoul(v);
+        } else if (arg == "--qubits") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.n_qubits = std::stoul(v);
+        } else if (arg == "--rate") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.estimated_anomaly_rate = std::stod(v);
+        } else if (arg == "--bucket-prob") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.bucket_probability = std::stod(v);
+        } else if (arg == "--threads") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.threads = std::stoul(v);
+        } else if (arg == "--seed") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.seed = std::stoull(v);
+        } else if (arg == "--top") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.top = std::stoul(v);
+        } else if (arg == "--mode") {
+            const char* v = next();
+            if (v == nullptr || !parse_mode(v, options.config.mode)) {
+                std::cerr << "unknown mode\n";
+                return false;
+            }
+        } else {
+            std::cerr << "unknown option: " << arg << "\n";
+            return false;
+        }
+    }
+    if (!options.demo && options.input.empty()) {
+        std::cerr << "either --input or --demo is required\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace quorum;
+    cli_options options;
+    if (!parse_arguments(argc, argv, options)) {
+        print_usage();
+        return 2;
+    }
+
+    try {
+        data::dataset input;
+        if (options.demo) {
+            util::rng gen(options.config.seed);
+            data::generator_spec spec;
+            spec.samples = 300;
+            spec.anomalies = 12;
+            spec.features = 12;
+            spec.anomaly_shift = 0.3;
+            input = data::generate_clustered(spec, gen);
+            std::cout << "demo dataset: " << input.num_samples()
+                      << " samples, " << input.num_anomalies()
+                      << " planted anomalies\n";
+        } else {
+            data::csv_options csv;
+            csv.has_header = options.has_header;
+            csv.label_column = options.label_column;
+            input = data::read_csv_file(options.input, csv);
+            std::cout << "loaded " << input.num_samples() << " samples x "
+                      << input.num_features() << " features from "
+                      << options.input << "\n";
+        }
+
+        core::quorum_detector detector(options.config);
+        std::cout << "scoring: mode=" << core::exec_mode_name(
+                         options.config.mode)
+                  << " groups=" << options.config.ensemble_groups
+                  << " qubits=" << options.config.n_qubits
+                  << " shots=" << options.config.shots << "\n";
+        util::timer timer;
+        const core::score_report report = detector.score(input);
+        std::cout << "scored in " << metrics::table_printer::fmt(
+                         timer.seconds(), 2)
+                  << "s (bucket size " << report.bucket_size << ")\n\n";
+
+        metrics::table_printer table({"rank", "sample", "score"});
+        const auto ranking = report.ranking();
+        for (std::size_t r = 0; r < std::min(options.top, ranking.size());
+             ++r) {
+            table.add_row({std::to_string(r + 1),
+                           std::to_string(ranking[r]),
+                           metrics::table_printer::fmt(
+                               report.scores[ranking[r]], 1)});
+        }
+        table.print(std::cout);
+
+        std::ofstream out(options.output);
+        data::write_scores_csv(out, input, report.scores);
+        std::cout << "\nwrote scores to " << options.output << "\n";
+
+        if (input.has_labels() && input.num_anomalies() > 0) {
+            const auto counts = metrics::evaluate_top_k(
+                input.labels(), report.scores, input.num_anomalies());
+            std::cout << "evaluation (labels withheld from the detector): "
+                      << "precision " << metrics::table_printer::fmt(
+                             counts.precision())
+                      << ", recall " << metrics::table_printer::fmt(
+                             counts.recall())
+                      << ", F1 " << metrics::table_printer::fmt(counts.f1())
+                      << ", ROC-AUC "
+                      << metrics::table_printer::fmt(metrics::roc_auc(
+                             input.labels(), report.scores))
+                      << "\n";
+        }
+
+        if (!options.qasm_path.empty()) {
+            // Export one representative circuit (first sample, level 1).
+            util::rng gen(options.config.seed);
+            const auto params = qml::random_ansatz_params(
+                options.config.n_qubits, options.config.ansatz_layers, gen);
+            std::vector<double> features(
+                std::min(qml::max_features(options.config.n_qubits),
+                         input.num_features()),
+                0.1);
+            const auto amps =
+                qml::to_amplitudes(features, options.config.n_qubits);
+            const qsim::circuit c =
+                qml::build_autoencoder_circuit(amps, params, 1);
+            std::ofstream qasm_out(options.qasm_path);
+            qsim::write_qasm(qasm_out, c);
+            std::cout << "wrote example circuit to " << options.qasm_path
+                      << "\n";
+        }
+    } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
