@@ -102,8 +102,8 @@ int main() {
                 const arm_result r = run_arm(bench_ds.data, config);
                 std::string label;
                 for (const std::size_t level : levels) {
-                    label += (label.empty() ? "{" : ",") +
-                             std::to_string(level);
+                    label += label.empty() ? '{' : ',';
+                    label += std::to_string(level);
                 }
                 label += "}";
                 table.add_row({bench_ds.name, label,

@@ -56,8 +56,10 @@ void bm_state_prep_synthesis(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     util::rng gen(3);
     std::vector<double> features(qml::max_features(n));
+    // The paper's 1/M normalisation (§IV-A): without it, sums of squares
+    // exceed unit probability mass once M = 2^n - 1 grows past ~11.
     for (double& f : features) {
-        f = gen.uniform() * 0.3;
+        f = gen.uniform() / static_cast<double>(features.size());
     }
     for (auto _ : state) {
         const circuit prep = qml::encoding_circuit(features, n);

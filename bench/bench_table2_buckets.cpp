@@ -47,8 +47,10 @@ int main() {
             const auto counts = metrics::evaluate_top_k(
                 d.labels(), report.scores, d.num_anomalies());
             row.push_back(metrics::table_printer::fmt(counts.f1()));
-            sizes += (sizes.empty() ? "" : "/") +
-                     std::to_string(report.bucket_size);
+            if (!sizes.empty()) {
+                sizes += '/';
+            }
+            sizes += std::to_string(report.bucket_size);
         }
         row.push_back(sizes);
         table.add_row(std::move(row));

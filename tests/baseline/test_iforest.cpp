@@ -83,7 +83,7 @@ TEST(IsolationForest, DeterministicForFixedSeed) {
 TEST(IsolationForest, ScoreBeforeFitThrows) {
     isolation_forest forest(iforest_config{});
     const std::vector<double> row{0.5, 0.5};
-    EXPECT_THROW(forest.score(row), quorum::util::contract_error);
+    EXPECT_THROW((void)forest.score(row), quorum::util::contract_error);
 }
 
 TEST(IsolationForest, ConfigValidation) {

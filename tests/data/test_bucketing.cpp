@@ -74,8 +74,8 @@ TEST(Bucketing, SolverZeroAnomaliesFallsBackToPopulation) {
 }
 
 TEST(Bucketing, SolverRejectsBadTargets) {
-    EXPECT_THROW(solve_bucket_size(100, 5, 0.0), quorum::util::contract_error);
-    EXPECT_THROW(solve_bucket_size(100, 5, 1.0), quorum::util::contract_error);
+    EXPECT_THROW((void)solve_bucket_size(100, 5, 0.0), quorum::util::contract_error);
+    EXPECT_THROW((void)solve_bucket_size(100, 5, 1.0), quorum::util::contract_error);
 }
 
 TEST(Bucketing, SolverTableOneConfigurations) {

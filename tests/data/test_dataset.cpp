@@ -65,7 +65,7 @@ TEST(Dataset, SetSingleLabelInitialisesVector) {
 
 TEST(Dataset, LabelAccessOnUnlabelledThrows) {
     dataset d(2, 2);
-    EXPECT_THROW(d.label(0), quorum::util::contract_error);
+    EXPECT_THROW((void)d.label(0), quorum::util::contract_error);
 }
 
 TEST(Dataset, WithoutLabelsStripsOnlyLabels) {
@@ -90,7 +90,7 @@ TEST(Dataset, OutOfRangeAccessThrows) {
     dataset d(2, 2);
     EXPECT_THROW(d.at(2, 0), quorum::util::contract_error);
     EXPECT_THROW(d.at(0, 2), quorum::util::contract_error);
-    EXPECT_THROW(d.row(2), quorum::util::contract_error);
+    EXPECT_THROW((void)d.row(2), quorum::util::contract_error);
 }
 
 } // namespace

@@ -59,7 +59,7 @@ TEST(Confusion, EmptyInputs) {
 TEST(Confusion, MismatchedLengthsThrow) {
     const std::vector<int> labels{1, 0};
     const std::vector<int> flags{1};
-    EXPECT_THROW(evaluate_flags(labels, flags), quorum::util::contract_error);
+    EXPECT_THROW((void)evaluate_flags(labels, flags), quorum::util::contract_error);
 }
 
 TEST(Confusion, TopKFlagsHighestScores) {
@@ -91,7 +91,7 @@ TEST(Confusion, TopFractionRounds) {
     const confusion_counts c = evaluate_top_fraction(labels, scores, 0.1);
     EXPECT_EQ(c.true_positive, 1u);
     EXPECT_EQ(c.false_positive, 0u);
-    EXPECT_THROW(evaluate_top_fraction(labels, scores, 1.5),
+    EXPECT_THROW((void)evaluate_top_fraction(labels, scores, 1.5),
                  quorum::util::contract_error);
 }
 

@@ -80,7 +80,7 @@ TEST(DetectionCurve, DetectionRateAtBounds) {
     const std::vector<double> scores{2, 1};
     EXPECT_DOUBLE_EQ(detection_rate_at(labels, scores, 0.0), 0.0);
     EXPECT_DOUBLE_EQ(detection_rate_at(labels, scores, 1.0), 1.0);
-    EXPECT_THROW(detection_rate_at(labels, scores, -0.1),
+    EXPECT_THROW((void)detection_rate_at(labels, scores, -0.1),
                  quorum::util::contract_error);
 }
 
@@ -96,7 +96,7 @@ TEST(DetectionCurve, InputValidation) {
 
 TEST(DetectionCurve, AucRequiresTwoPoints) {
     const std::vector<curve_point> single{{0.0, 0.0}};
-    EXPECT_THROW(curve_auc(single), quorum::util::contract_error);
+    EXPECT_THROW((void)curve_auc(single), quorum::util::contract_error);
 }
 
 } // namespace

@@ -66,7 +66,7 @@ TEST(Autoencoder, CompressionMustLeaveAQubit) {
     const std::vector<double> amps = random_amplitudes(3, gen);
     EXPECT_THROW(build_autoencoder_circuit(amps, params, 3),
                  quorum::util::contract_error);
-    EXPECT_THROW(analytic_swap_p1(amps, params, 3),
+    EXPECT_THROW((void)analytic_swap_p1(amps, params, 3),
                  quorum::util::contract_error);
 }
 

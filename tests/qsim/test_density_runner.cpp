@@ -84,7 +84,7 @@ TEST(DensityRunner, UnknownCbitThrows) {
     c.h(0).measure(0, 0);
     const noisy_run_result result =
         density_runner::run(c, noise_model::ideal());
-    EXPECT_THROW(result.cbit_probability_one(5, noise_model::ideal()),
+    EXPECT_THROW((void)result.cbit_probability_one(5, noise_model::ideal()),
                  quorum::util::contract_error);
 }
 

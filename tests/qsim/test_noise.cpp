@@ -75,7 +75,7 @@ TEST(NoiseModel, ThermalKrausIsTracePreserving) {
 TEST(NoiseModel, T2GreaterThanTwoT1Rejected) {
     noise_model nm;
     nm.set_thermal(thermal_params{10.0, 25.0}); // T2 > 2*T1: unphysical
-    EXPECT_THROW(nm.thermal_coefficients(100.0), util::contract_error);
+    EXPECT_THROW((void)nm.thermal_coefficients(100.0), util::contract_error);
 }
 
 TEST(NoiseModel, ReadoutFlipBothDirections) {

@@ -251,7 +251,7 @@ TEST(Statevector, QubitIndexOutOfRangeThrows) {
     const qubit_t bad[] = {2};
     EXPECT_THROW(state.apply_gate(gate_kind::x, bad),
                  quorum::util::contract_error);
-    EXPECT_THROW(state.probability_one(5), quorum::util::contract_error);
+    EXPECT_THROW((void)state.probability_one(5), quorum::util::contract_error);
 }
 
 class StatevectorSizeSweep : public ::testing::TestWithParam<std::size_t> {};

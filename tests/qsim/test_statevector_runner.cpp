@@ -88,7 +88,7 @@ TEST(StatevectorRunner, UnknownCbitThrows) {
     circuit c(1, 1);
     c.h(0).measure(0, 0);
     const exact_run_result result = statevector_runner::run_exact(c);
-    EXPECT_THROW(result.cbit_probability_one(3),
+    EXPECT_THROW((void)result.cbit_probability_one(3),
                  quorum::util::contract_error);
 }
 

@@ -89,7 +89,7 @@ TEST(Matrix, TraceOfIdentity) {
 }
 
 TEST(Matrix, TraceRequiresSquare) {
-    EXPECT_THROW(cmatrix(2, 3).trace(), quorum::util::contract_error);
+    EXPECT_THROW((void)cmatrix(2, 3).trace(), quorum::util::contract_error);
 }
 
 TEST(Matrix, DistanceZeroForEqual) {
