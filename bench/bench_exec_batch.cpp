@@ -1,0 +1,246 @@
+// Microbenchmarks of the batched execution engine (google-benchmark):
+// quantifies what the exec layer buys over the pre-refactor per-sample
+// path. The headline pair is bm_ensemble_exact_{legacy,batched}: one full
+// ensemble group at the paper-default configuration (3 qubits, levels
+// {1,2}, exact mode), evaluated by rebuilding every circuit per sample
+// (the old code path, reimplemented here) versus through the compiled
+// batched engine. The acceptance bar for the engine is >= 2x.
+#include <benchmark/benchmark.h>
+
+#include "core/ensemble.h"
+#include "data/feature_select.h"
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "exec/registry.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/compiled_program.h"
+#include "qsim/statevector_runner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+
+data::dataset benchmark_dataset(std::size_t samples) {
+    util::rng gen(2025);
+    data::generator_spec spec;
+    spec.samples = samples;
+    spec.anomalies = std::max<std::size_t>(1, samples / 25);
+    spec.features = 12;
+    const data::dataset raw = data::generate_clustered(spec, gen);
+    return data::normalize_for_quorum(raw.without_labels());
+}
+
+/// The pre-refactor hot path: rebuild state-prep + ansatz + readout from
+/// scratch for every (sample, level) and run it through the simulator.
+void bm_ensemble_exact_legacy(benchmark::State& state) {
+    const auto samples = static_cast<std::size_t>(state.range(0));
+    const data::dataset d = benchmark_dataset(samples);
+    const core::quorum_config config; // paper defaults, exact mode
+    for (auto _ : state) {
+        util::rng gen(util::derive_seed(config.seed, 0));
+        (void)gen.permutation(d.num_samples()); // bucket draw stand-in
+        const auto features = data::select_features(
+            d.num_features(), qml::max_features(config.n_qubits), gen);
+        const qml::ansatz_params params = qml::random_ansatz_params(
+            config.n_qubits, config.ansatz_layers, gen);
+        // Amplitudes are encoded once per group, exactly as the old
+        // ensemble loop did; only the per-(sample, level) circuit rebuild
+        // differs from the batched arm.
+        std::vector<std::vector<double>> amplitudes(d.num_samples());
+        for (std::size_t i = 0; i < d.num_samples(); ++i) {
+            const std::vector<double> selected =
+                data::gather_features(d.row(i), features);
+            amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
+        }
+        double checksum = 0.0;
+        for (const std::size_t level :
+             config.effective_compression_levels()) {
+            for (std::size_t i = 0; i < d.num_samples(); ++i) {
+                checksum +=
+                    qml::analytic_swap_p1(amplitudes[i], params, level);
+            }
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(
+            samples * core::quorum_config{}.effective_compression_levels()
+                          .size()));
+}
+BENCHMARK(bm_ensemble_exact_legacy)->Arg(60)->Arg(240);
+
+/// The same workload through the engine: compile once per level, replay
+/// the suffix across the batch (core::run_ensemble_group's hot path).
+void bm_ensemble_exact_batched(benchmark::State& state) {
+    const auto samples = static_cast<std::size_t>(state.range(0));
+    const data::dataset d = benchmark_dataset(samples);
+    const core::quorum_config config;
+    const auto engine = exec::make_executor(config.resolved_backend(),
+                                            config.to_engine_config());
+    for (auto _ : state) {
+        util::rng gen(util::derive_seed(config.seed, 0));
+        (void)gen.permutation(d.num_samples());
+        const auto features = data::select_features(
+            d.num_features(), qml::max_features(config.n_qubits), gen);
+        const qml::ansatz_params params = qml::random_ansatz_params(
+            config.n_qubits, config.ansatz_layers, gen);
+        std::vector<std::vector<double>> amplitudes(d.num_samples());
+        std::vector<exec::sample> batch(d.num_samples());
+        for (std::size_t i = 0; i < d.num_samples(); ++i) {
+            const std::vector<double> selected =
+                data::gather_features(d.row(i), features);
+            amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
+            batch[i].amplitudes = amplitudes[i];
+        }
+        std::vector<double> p_values(d.num_samples());
+        double checksum = 0.0;
+        for (const std::size_t level :
+             config.effective_compression_levels()) {
+            exec::program program;
+            program.circuit = qsim::compiled_program::compile(
+                qml::autoencoder_reg_a_template(params, level));
+            program.readout.kind = exec::readout_kind::prep_overlap_p1;
+            engine->run_batch(program, batch, p_values);
+            for (const double p : p_values) {
+                checksum += p;
+            }
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(
+            samples * core::quorum_config{}.effective_compression_levels()
+                          .size()));
+}
+BENCHMARK(bm_ensemble_exact_batched)->Arg(60)->Arg(240);
+
+/// End-to-end group evaluation through core (engine path), for the
+/// numbers quoted in docs: paper-default exact mode, one group.
+void bm_run_ensemble_group(benchmark::State& state) {
+    const data::dataset d = benchmark_dataset(
+        static_cast<std::size_t>(state.range(0)));
+    const core::quorum_config config;
+    for (auto _ : state) {
+        const core::group_result result =
+            core::run_ensemble_group(d, config, 0);
+        benchmark::DoNotOptimize(result.abs_z_sum.data());
+    }
+}
+BENCHMARK(bm_run_ensemble_group)->Arg(60)->Arg(240);
+
+/// Full-circuit exact evaluation: per-sample rebuild + run_exact versus
+/// batched replay of the compiled 7-qubit program.
+void bm_full_circuit_legacy(benchmark::State& state) {
+    util::rng gen(7);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    std::vector<std::vector<double>> amps(32);
+    for (auto& a : amps) {
+        std::vector<double> features(7);
+        for (double& f : features) {
+            f = gen.uniform() / 7.0;
+        }
+        a = qml::to_amplitudes(features, 3);
+    }
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (const auto& a : amps) {
+            const qsim::circuit c =
+                qml::build_autoencoder_circuit(a, params, 1);
+            const qsim::exact_run_result result =
+                qsim::statevector_runner::run_exact(c);
+            checksum +=
+                result.cbit_probability_one(qml::swap_result_cbit);
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+}
+BENCHMARK(bm_full_circuit_legacy);
+
+void bm_full_circuit_batched(benchmark::State& state) {
+    util::rng gen(7);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    std::vector<std::vector<double>> amps(32);
+    for (auto& a : amps) {
+        std::vector<double> features(7);
+        for (double& f : features) {
+            f = gen.uniform() / 7.0;
+        }
+        a = qml::to_amplitudes(features, 3);
+    }
+    const auto engine =
+        exec::make_executor("statevector", exec::engine_config{});
+    exec::program program;
+    program.circuit = qsim::compiled_program::compile(
+        qml::autoencoder_template(params, 1));
+    program.readout.kind = exec::readout_kind::cbit_probability;
+    program.readout.cbit = qml::swap_result_cbit;
+    std::vector<exec::sample> batch(amps.size());
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        batch[i].amplitudes = amps[i];
+    }
+    std::vector<double> out(amps.size());
+    for (auto _ : state) {
+        engine->run_batch(program, batch, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(bm_full_circuit_batched);
+
+/// Gate fusion in isolation: applying the autoencoder suffix to a 7-qubit
+/// state gate-by-gate versus as fused dense blocks.
+void bm_suffix_unfused(benchmark::State& state) {
+    util::rng gen(11);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    const qsim::compiled_program program = qsim::compiled_program::compile(
+        qml::autoencoder_template(params, 1));
+    qsim::statevector sv(7);
+    for (auto _ : state) {
+        for (const qsim::compiled_op& compiled : program.suffix()) {
+            if (compiled.op.kind == qsim::op_kind::gate) {
+                sv.apply_gate(compiled.op.gate, compiled.op.qubits,
+                              compiled.op.params);
+            }
+        }
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(program.suffix_gate_count()));
+}
+BENCHMARK(bm_suffix_unfused);
+
+void bm_suffix_fused(benchmark::State& state) {
+    util::rng gen(11);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    const qsim::compiled_program program = qsim::compiled_program::compile(
+        qml::autoencoder_template(params, 1));
+    qsim::statevector sv(7);
+    std::vector<qsim::amp> scratch(8);
+    for (auto _ : state) {
+        for (const qsim::fused_op& op : program.fused_suffix()) {
+            if (op.op != qsim::fused_op::kind::unitary) {
+                continue;
+            }
+            if (op.qubits.size() == 1) {
+                sv.apply_1q(op.matrix, op.qubits[0]);
+            } else {
+                sv.apply_matrix_prepared(op.matrix, op.sorted_qubits,
+                                         op.offsets, scratch);
+            }
+        }
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(program.fused_unitary_count()));
+}
+BENCHMARK(bm_suffix_fused);
+
+} // namespace
+
+BENCHMARK_MAIN();

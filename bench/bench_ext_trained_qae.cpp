@@ -66,7 +66,8 @@ int main() {
             baseline::trained_qae qae(config);
             util::timer timer;
             qae.fit(d.without_labels());
-            const std::vector<double> scores = qae.score_all(d.without_labels());
+            const std::vector<double> scores =
+                qae.score_all(d.without_labels());
             const double seconds = timer.seconds();
             table.add_row(
                 {bench_ds.name, "trained QAE", "none (unsupervised)",

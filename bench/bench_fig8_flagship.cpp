@@ -106,7 +106,8 @@ int main() {
 
     const double mean_quorum = quorum_f1_sum / 4.0;
     const double mean_qnn = qnn_f1_sum / 4.0;
-    std::cout << "\nMean F1 — Quorum: " << metrics::table_printer::fmt(mean_quorum)
+    std::cout << "\nMean F1 — Quorum: "
+              << metrics::table_printer::fmt(mean_quorum)
               << ", QNN: " << metrics::table_printer::fmt(mean_qnn) << "\n";
     if (mean_qnn > 0.0) {
         std::cout << "Quorum F1 advantage: "

@@ -71,9 +71,9 @@ int main() {
              {run_kind::noiseless_full, run_kind::noiseless_sub,
               run_kind::noisy_sub}) {
             const bool on_subsample = kind != run_kind::noiseless_full;
-            const data::dataset d = on_subsample
-                                        ? subsample(bench_ds.data, noisy_row_cap)
-                                        : bench_ds.data;
+            const data::dataset d =
+                on_subsample ? subsample(bench_ds.data, noisy_row_cap)
+                             : bench_ds.data;
             if (d.num_anomalies() == 0) {
                 continue; // subsample happened to drop all anomalies
             }

@@ -42,8 +42,8 @@ int main(int argc, char** argv) {
         std::ofstream demo_out(input_path);
         data::write_csv(demo_out, demo);
         label_column = static_cast<int>(demo.num_features()); // last column
-        std::cout << "(no arguments given — wrote demo input to " << input_path
-                  << ")\n";
+        std::cout << "(no arguments given — wrote demo input to "
+                  << input_path << ")\n";
     }
 
     data::csv_options options;

@@ -81,11 +81,11 @@ int main() {
     const std::vector<double> forest_scores =
         forest.score_all(transactions.without_labels());
 
-    // --- Naive z-score --------------------------------------------------------
+    // --- Naive z-score -------------------------------------------------------
     const std::vector<double> z_scores =
         baseline::zscore_scores(transactions.without_labels());
 
-    // --- Compare at the same operating point ----------------------------------
+    // --- Compare at the same operating point ---------------------------------
     metrics::table_printer table(
         {"detector", "precision", "recall", "F1", "det@5%", "AUC"});
     const auto add = [&](const char* name, const std::vector<double>& scores) {

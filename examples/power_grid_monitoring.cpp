@@ -55,14 +55,14 @@ int main(int argc, char** argv) {
     config.shots = 4096;
     config.seed = 31;
 
-    // --- Noiseless (exact) ----------------------------------------------------
+    // --- Noiseless (exact) ---------------------------------------------------
     config.mode = core::exec_mode::exact;
     core::quorum_detector exact_detector(config);
     util::timer exact_timer;
     const core::score_report exact_report = exact_detector.score(plant);
     const double exact_seconds = exact_timer.seconds();
 
-    // --- IBM Brisbane noise (density matrix) ----------------------------------
+    // --- IBM Brisbane noise (density matrix) ---------------------------------
     config.mode = core::exec_mode::noisy;
     config.noise = qsim::noise_model::ibm_brisbane_median();
     core::quorum_detector noisy_detector(config);

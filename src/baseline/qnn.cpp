@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "baseline/optimizer.h"
-#include "qml/observables.h"
+#include "exec/registry.h"
 #include "qml/parameter_shift.h"
-#include "qsim/statevector.h"
+#include "qsim/circuit.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -18,49 +19,38 @@ namespace {
 constexpr double pi = 3.14159265358979323846;
 constexpr double probability_clamp = 1e-6;
 
-/// Runs the QNN circuit for one encoded sample and returns p(anomaly).
-double run_circuit(std::span<const double> angles,
-                   std::span<const double> params, std::size_t n_qubits,
-                   std::size_t layers) {
-    qsim::statevector state(n_qubits);
-    // Angle encoding: RY(x * pi) per qubit.
+/// Builds the QNN circuit template: RY angle encoding, then L layers of
+/// RY/RZ rotations and a CX ring. Every rotation angle is a per-evaluation
+/// parameter (placeholder zeros here).
+qsim::circuit build_qnn_template(std::size_t n_qubits, std::size_t layers) {
+    qsim::circuit c(n_qubits);
     for (std::size_t q = 0; q < n_qubits; ++q) {
-        const qsim::qubit_t operand[] = {static_cast<qsim::qubit_t>(q)};
-        const double theta[] = {angles[q] * pi};
-        state.apply_gate(qsim::gate_kind::ry, operand, theta);
+        c.ry(0.0, static_cast<qsim::qubit_t>(q));
     }
-    // Trainable layers: RY + RZ per qubit, then a CX ring.
-    std::size_t p = 0;
     for (std::size_t layer = 0; layer < layers; ++layer) {
         for (std::size_t q = 0; q < n_qubits; ++q) {
-            const qsim::qubit_t operand[] = {static_cast<qsim::qubit_t>(q)};
-            const double theta[] = {params[p++]};
-            state.apply_gate(qsim::gate_kind::ry, operand, theta);
+            c.ry(0.0, static_cast<qsim::qubit_t>(q));
         }
         for (std::size_t q = 0; q < n_qubits; ++q) {
-            const qsim::qubit_t operand[] = {static_cast<qsim::qubit_t>(q)};
-            const double theta[] = {params[p++]};
-            state.apply_gate(qsim::gate_kind::rz, operand, theta);
+            c.rz(0.0, static_cast<qsim::qubit_t>(q));
         }
         if (n_qubits >= 2) {
             for (std::size_t q = 0; q < n_qubits; ++q) {
-                const auto control = static_cast<qsim::qubit_t>(q);
-                const auto target =
-                    static_cast<qsim::qubit_t>((q + 1) % n_qubits);
                 if (n_qubits == 2 && q == 1) {
                     break; // a 2-qubit "ring" is a single CX
                 }
-                const qsim::qubit_t operands[] = {control, target};
-                state.apply_gate(qsim::gate_kind::cx, operands);
+                c.cx(static_cast<qsim::qubit_t>(q),
+                     static_cast<qsim::qubit_t>((q + 1) % n_qubits));
             }
         }
     }
-    return qml::z_to_probability(qml::z_expectation(state, 0));
+    return c;
 }
 
 } // namespace
 
-qnn_classifier::qnn_classifier(qnn_config config) : config_(config) {
+qnn_classifier::qnn_classifier(qnn_config config)
+    : config_(std::move(config)) {
     QUORUM_EXPECTS(config_.n_qubits >= 1 && config_.n_qubits <= 12);
     QUORUM_EXPECTS(config_.layers >= 1);
     QUORUM_EXPECTS(config_.epochs >= 1);
@@ -68,14 +58,41 @@ qnn_classifier::qnn_classifier(qnn_config config) : config_(config) {
     QUORUM_EXPECTS(config_.learning_rate > 0.0);
     QUORUM_EXPECTS(config_.threshold > 0.0 && config_.threshold < 1.0);
     QUORUM_EXPECTS(config_.positive_class_weight > 0.0);
+
+    const qsim::circuit c =
+        build_qnn_template(config_.n_qubits, config_.layers);
+    qsim::compiled_program::options options;
+    options.parameterized_ops = c.ops().size(); // the whole circuit
+    circuit_program_.circuit = qsim::compiled_program::compile(c, options);
+    circuit_program_.readout.kind = exec::readout_kind::z_probability;
+    circuit_program_.readout.qubits = {0};
+    engine_ = exec::make_executor(config_.backend, exec::engine_config{});
+}
+
+std::vector<double>
+qnn_classifier::param_stream(std::span<const double> encoded_features,
+                             std::span<const double> params) const {
+    // Angle encoding RY(x * π) per qubit, then the trainable angles, which
+    // are already stored in gate order (per layer: RY row, RZ row).
+    std::vector<double> stream;
+    stream.reserve(encoded_features.size() + params.size());
+    for (const double x : encoded_features) {
+        stream.push_back(x * pi);
+    }
+    stream.insert(stream.end(), params.begin(), params.end());
+    return stream;
 }
 
 double qnn_classifier::forward(std::span<const double> encoded_features,
                                std::span<const double> params) const {
     QUORUM_EXPECTS(encoded_features.size() == config_.n_qubits);
     QUORUM_EXPECTS(params.size() == 2 * config_.layers * config_.n_qubits);
-    return run_circuit(encoded_features, params, config_.n_qubits,
-                       config_.layers);
+    const std::vector<double> stream =
+        param_stream(encoded_features, params);
+    const exec::sample s{{}, stream, nullptr};
+    double probability = 0.0;
+    engine_->run_batch(circuit_program_, {&s, 1}, {&probability, 1});
+    return probability;
 }
 
 std::vector<double> qnn_classifier::encode_row(const data::dataset& input,
@@ -175,8 +192,7 @@ std::vector<double> qnn_classifier::fit(const data::dataset& labelled) {
                 // BCE loss and dL/dp at the clamped probability.
                 const auto evaluate =
                     [&](std::span<const double> p) -> double {
-                    return run_circuit(encoded[i], p, config_.n_qubits,
-                                       config_.layers);
+                    return forward(encoded[i], p);
                 };
                 const double prob = std::clamp(evaluate(params_),
                                                probability_clamp,
@@ -210,12 +226,16 @@ std::vector<double> qnn_classifier::fit(const data::dataset& labelled) {
 std::vector<double>
 qnn_classifier::predict_proba(const data::dataset& input) const {
     QUORUM_EXPECTS_MSG(fitted_, "call fit() before predict");
-    std::vector<double> probs(input.num_samples());
+    // One batch through the engine: every row replays the same compiled
+    // circuit, differing only in its param stream.
+    std::vector<std::vector<double>> streams(input.num_samples());
+    std::vector<exec::sample> batch(input.num_samples());
     for (std::size_t i = 0; i < input.num_samples(); ++i) {
-        const std::vector<double> encoded = encode_row(input, i);
-        probs[i] = run_circuit(encoded, params_, config_.n_qubits,
-                               config_.layers);
+        streams[i] = param_stream(encode_row(input, i), params_);
+        batch[i] = exec::sample{{}, streams[i], nullptr};
     }
+    std::vector<double> probs(input.num_samples());
+    engine_->run_batch(circuit_program_, batch, probs);
     return probs;
 }
 

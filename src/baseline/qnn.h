@@ -16,10 +16,13 @@
 #define QUORUM_BASELINE_QNN_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "exec/executor.h"
 
 namespace quorum::baseline {
 
@@ -35,6 +38,8 @@ struct qnn_config {
     /// the conservative paper-like behaviour emerges at 1.0).
     double positive_class_weight = 1.0;
     std::uint64_t seed = 7;
+    /// Execution backend (exec registry name) evaluating the circuits.
+    std::string backend = "statevector";
 };
 
 /// Supervised parameterised-circuit classifier.
@@ -74,8 +79,17 @@ public:
 private:
     [[nodiscard]] std::vector<double>
     encode_row(const data::dataset& input, std::size_t row) const;
+    /// Concatenates encoding angles (x * π) and trainable params into the
+    /// compiled circuit's per-evaluation param stream.
+    [[nodiscard]] std::vector<double>
+    param_stream(std::span<const double> encoded_features,
+                 std::span<const double> params) const;
 
     qnn_config config_;
+    /// The whole circuit compiled once: angle encoding + trainable layers,
+    /// every rotation parameterized per evaluation; <Z_0> readout.
+    exec::program circuit_program_;
+    std::shared_ptr<const exec::executor> engine_;
     std::vector<double> params_;
     std::vector<std::size_t> feature_indices_;
     std::vector<double> feature_min_;

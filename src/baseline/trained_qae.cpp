@@ -2,18 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "baseline/optimizer.h"
+#include "exec/registry.h"
 #include "qml/amplitude_encoding.h"
 #include "qml/parameter_shift.h"
-#include "qsim/statevector.h"
+#include "qsim/circuit.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace quorum::baseline {
 
-trained_qae::trained_qae(trained_qae_config config) : config_(config) {
+trained_qae::trained_qae(trained_qae_config config)
+    : config_(std::move(config)) {
     QUORUM_EXPECTS(config_.n_qubits >= 2 && config_.n_qubits <= 10);
     QUORUM_EXPECTS(config_.layers >= 1);
     QUORUM_EXPECTS_MSG(config_.trash_qubits >= 1 &&
@@ -22,28 +25,43 @@ trained_qae::trained_qae(trained_qae_config config) : config_(config) {
     QUORUM_EXPECTS(config_.epochs >= 1);
     QUORUM_EXPECTS(config_.batch_size >= 1);
     QUORUM_EXPECTS(config_.learning_rate > 0.0);
-}
 
-double trained_qae::trash_population(std::span<const double> amplitudes,
-                                     const qml::ansatz_params& params) const {
-    std::vector<qsim::amp> complex_amps(amplitudes.begin(), amplitudes.end());
-    qsim::statevector state =
-        qsim::statevector::from_amplitudes(std::move(complex_amps));
+    // Compile the encoder once: an initialize slot for the encoded sample,
+    // then E(θ) with every rotation angle supplied per evaluation (the
+    // angles are the trainable parameters). Readout: total |1> population
+    // of the trash qubits — Romero et al.'s QAE objective.
     qsim::circuit encoder(config_.n_qubits);
     std::vector<qsim::qubit_t> reg(config_.n_qubits);
     for (std::size_t q = 0; q < config_.n_qubits; ++q) {
         reg[q] = static_cast<qsim::qubit_t>(q);
     }
-    qml::append_encoder(encoder, params, reg);
-    for (const auto& op : encoder.ops()) {
-        state.apply_gate(op.gate, op.qubits, op.params);
-    }
-    // Trash = the top `trash_qubits` qubits (the ones Quorum resets).
-    double population = 0.0;
+    std::vector<double> placeholder(std::size_t{1} << config_.n_qubits, 0.0);
+    placeholder[0] = 1.0;
+    encoder.initialize(reg, placeholder);
+    const qml::ansatz_params zero_params{
+        config_.n_qubits, config_.layers,
+        std::vector<double>(config_.layers * config_.n_qubits, 0.0),
+        std::vector<double>(config_.layers * config_.n_qubits, 0.0)};
+    qml::append_encoder(encoder, zero_params, reg);
+    qsim::compiled_program::options options;
+    options.parameterized_ops = encoder.ops().size() - 1; // all but the slot
+    encoder_program_.circuit =
+        qsim::compiled_program::compile(encoder, options);
+    encoder_program_.readout.kind = exec::readout_kind::excited_population;
     for (std::size_t k = 0; k < config_.trash_qubits; ++k) {
-        population += state.probability_one(
+        // Trash = the top `trash_qubits` qubits (the ones Quorum resets).
+        encoder_program_.readout.qubits.push_back(
             static_cast<qsim::qubit_t>(config_.n_qubits - 1 - k));
     }
+    engine_ = exec::make_executor(config_.backend, exec::engine_config{});
+}
+
+double trained_qae::trash_population(std::span<const double> amplitudes,
+                                     const qml::ansatz_params& params) const {
+    const std::vector<double> angles = qml::encoder_param_stream(params);
+    const exec::sample s{amplitudes, angles, nullptr};
+    double population = 0.0;
+    engine_->run_batch(encoder_program_, {&s, 1}, {&population, 1});
     return population;
 }
 
@@ -182,10 +200,18 @@ double trained_qae::score_row(std::span<const double> row) const {
 }
 
 std::vector<double> trained_qae::score_all(const data::dataset& input) const {
-    std::vector<double> scores(input.num_samples());
+    QUORUM_EXPECTS_MSG(fitted_, "call fit() before score");
+    // One batch: every row replays the same compiled encoder under the
+    // same trained angles — amortised build/validation via the engine.
+    const std::vector<double> angles = qml::encoder_param_stream(params_);
+    std::vector<std::vector<double>> encoded(input.num_samples());
+    std::vector<exec::sample> batch(input.num_samples());
     for (std::size_t i = 0; i < input.num_samples(); ++i) {
-        scores[i] = score_row(input.row(i));
+        encoded[i] = encode_row(input.row(i));
+        batch[i] = exec::sample{encoded[i], angles, nullptr};
     }
+    std::vector<double> scores(input.num_samples());
+    engine_->run_batch(encoder_program_, batch, scores);
     return scores;
 }
 

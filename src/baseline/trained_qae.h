@@ -17,10 +17,13 @@
 #define QUORUM_BASELINE_TRAINED_QAE_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "exec/executor.h"
 #include "qml/ansatz.h"
 
 namespace quorum::baseline {
@@ -34,6 +37,9 @@ struct trained_qae_config {
     std::size_t batch_size = 16;
     double learning_rate = 0.05;
     std::uint64_t seed = 13;
+    /// Execution backend (exec registry name) evaluating the encoder
+    /// circuits — exact probabilities, shared with Quorum's engine layer.
+    std::string backend = "statevector";
 };
 
 /// Unsupervised, gradient-trained quantum autoencoder anomaly scorer.
@@ -72,12 +78,17 @@ public:
 
 private:
     /// Trash population of one encoded amplitude vector under angles θ.
-    [[nodiscard]] double trash_population(std::span<const double> amplitudes,
-                                          const qml::ansatz_params& params) const;
+    [[nodiscard]] double
+    trash_population(std::span<const double> amplitudes,
+                     const qml::ansatz_params& params) const;
     [[nodiscard]] std::vector<double>
     encode_row(std::span<const double> row) const;
 
     trained_qae_config config_;
+    /// The encoder compiled once (structure is fixed; per-evaluation angles
+    /// arrive as the sample's param stream) + the engine running it.
+    exec::program encoder_program_;
+    std::shared_ptr<const exec::executor> engine_;
     qml::ansatz_params params_;
     std::vector<std::size_t> feature_indices_;
     std::vector<double> feature_min_;

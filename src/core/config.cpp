@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include "exec/registry.h"
 #include "util/contracts.h"
 
 namespace quorum::core {
@@ -40,12 +41,55 @@ quorum_config::effective_compression_levels() const {
     return levels;
 }
 
+std::string quorum_config::resolved_backend() const {
+    if (backend != "auto") {
+        return backend;
+    }
+    return mode == exec_mode::noisy ? "density" : "statevector";
+}
+
+exec::engine_config quorum_config::to_engine_config() const {
+    exec::engine_config engine;
+    switch (mode) {
+    case exec_mode::exact:
+        engine.sampling_mode = exec::sampling::exact;
+        break;
+    case exec_mode::sampled:
+        engine.sampling_mode = exec::sampling::binomial;
+        engine.shots = shots;
+        break;
+    case exec_mode::per_shot:
+        engine.sampling_mode = exec::sampling::per_shot;
+        engine.shots = shots;
+        break;
+    case exec_mode::noisy:
+        // The density engine computes the exact noisy distribution; shots
+        // (when requested) are emulated with a Binomial draw, exactly as
+        // the paper samples its 4096 shots from the Aer distribution.
+        engine.sampling_mode =
+            shots == 0 ? exec::sampling::exact : exec::sampling::binomial;
+        engine.shots = shots;
+        engine.noise = noise;
+        break;
+    }
+    return engine;
+}
+
+bool quorum_config::uses_full_circuit() const noexcept {
+    // per_shot/noisy have hardware semantics and always run the real
+    // 2n+1-qubit circuit; exact/sampled take the register-A analytic
+    // shortcut unless explicitly asked for the full circuit.
+    return use_full_circuit || mode == exec_mode::per_shot ||
+           mode == exec_mode::noisy;
+}
+
 void quorum_config::validate() const {
     QUORUM_EXPECTS_MSG(n_qubits >= 2 && n_qubits <= 10,
                        "n_qubits must be in [2, 10]");
     QUORUM_EXPECTS_MSG(ansatz_layers >= 1 && ansatz_layers <= 16,
                        "ansatz_layers must be in [1, 16]");
-    QUORUM_EXPECTS_MSG(ensemble_groups >= 1, "need at least one ensemble group");
+    QUORUM_EXPECTS_MSG(ensemble_groups >= 1,
+                       "need at least one ensemble group");
     QUORUM_EXPECTS_MSG(bucket_probability > 0.0 && bucket_probability < 1.0,
                        "bucket_probability must be in (0, 1)");
     QUORUM_EXPECTS_MSG(estimated_anomaly_rate > 0.0 &&
@@ -58,6 +102,10 @@ void quorum_config::validate() const {
         QUORUM_EXPECTS_MSG(level >= 1 && level < n_qubits,
                            "compression levels must be in [1, n_qubits)");
     }
+    // Instantiating the backend surfaces unknown names AND incompatible
+    // mode/backend combinations (e.g. per_shot on the density engine)
+    // here, at validation time, instead of mid-scoring in a worker thread.
+    (void)exec::make_executor(resolved_backend(), to_engine_config());
 }
 
 } // namespace quorum::core

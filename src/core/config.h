@@ -6,8 +6,10 @@
 #define QUORUM_CORE_CONFIG_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "exec/executor.h"
 #include "qsim/noise.h"
 
 namespace quorum::core {
@@ -78,9 +80,24 @@ struct quorum_config {
     feature_strategy features = feature_strategy::uniform_random;
     /// Noise model for exec_mode::noisy.
     qsim::noise_model noise = qsim::noise_model::ibm_brisbane_median();
+    /// Execution backend, by registry name (exec/registry.h). "auto" picks
+    /// the density engine for noisy mode and the state-vector engine
+    /// otherwise; anything else must be a registered backend.
+    std::string backend = "auto";
 
     /// The compression levels actually run: configured ones, or 1..n-1.
     [[nodiscard]] std::vector<std::size_t> effective_compression_levels() const;
+
+    /// The backend name "auto" resolves to under this configuration.
+    [[nodiscard]] std::string resolved_backend() const;
+
+    /// Maps this configuration onto the exec layer's engine parameters
+    /// (sampling semantics, shots, noise model).
+    [[nodiscard]] exec::engine_config to_engine_config() const;
+
+    /// True when this configuration evaluates the full 2n+1-qubit circuit
+    /// (rather than the register-A analytic shortcut).
+    [[nodiscard]] bool uses_full_circuit() const noexcept;
 
     /// Throws util::contract_error on an inconsistent configuration.
     void validate() const;

@@ -2,14 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "data/bucketing.h"
 #include "data/feature_select.h"
+#include "exec/executor.h"
+#include "exec/registry.h"
 #include "qml/amplitude_encoding.h"
 #include "qml/ansatz.h"
 #include "qml/autoencoder.h"
-#include "qsim/density_runner.h"
-#include "qsim/statevector_runner.h"
 #include "util/contracts.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -23,57 +24,28 @@ namespace {
 /// bucket's SWAP results are all identical).
 constexpr double sigma_floor = 1e-9;
 
-/// Evaluates one sample's SWAP-test P(1) according to the execution mode.
-double evaluate_sample(std::span<const double> amplitudes,
-                       const qml::ansatz_params& params,
-                       std::size_t compression, const quorum_config& config,
-                       util::rng& gen) {
-    switch (config.mode) {
-    case exec_mode::exact:
-    case exec_mode::sampled: {
-        double p_one = 0.0;
-        if (config.use_full_circuit) {
-            const qsim::circuit c = qml::build_autoencoder_circuit(
-                amplitudes, params, compression);
-            const qsim::exact_run_result result =
-                qsim::statevector_runner::run_exact(c);
-            p_one = result.cbit_probability_one(qml::swap_result_cbit);
-        } else {
-            p_one = qml::analytic_swap_p1(amplitudes, params, compression);
-        }
-        if (config.mode == exec_mode::exact) {
-            return p_one;
-        }
-        return static_cast<double>(gen.binomial(config.shots, p_one)) /
-               static_cast<double>(config.shots);
+/// One compiled SWAP-test program per (group, level): the ansatz + SWAP
+/// suffix is shared by every sample, so build/validate/fuse it once and
+/// replay it per bucket through the executor. The register-A overlap
+/// shortcut is used only when both the config and the backend allow it;
+/// otherwise the full 2n+1-qubit SWAP-test circuit is compiled.
+exec::program
+make_level_program(const qml::ansatz_params& params, std::size_t level,
+                   const quorum_config& config,
+                   const exec::executor& engine) {
+    exec::program program;
+    if (config.uses_full_circuit() ||
+        !engine.supports(exec::readout_kind::prep_overlap_p1)) {
+        program.circuit = qsim::compiled_program::compile(
+            qml::autoencoder_template(params, level));
+        program.readout.kind = exec::readout_kind::cbit_probability;
+        program.readout.cbit = qml::swap_result_cbit;
+    } else {
+        program.circuit = qsim::compiled_program::compile(
+            qml::autoencoder_reg_a_template(params, level));
+        program.readout.kind = exec::readout_kind::prep_overlap_p1;
     }
-    case exec_mode::per_shot: {
-        const qsim::circuit c =
-            qml::build_autoencoder_circuit(amplitudes, params, compression);
-        std::size_t ones = 0;
-        for (std::size_t shot = 0; shot < config.shots; ++shot) {
-            const std::vector<bool> cbits =
-                qsim::statevector_runner::run_single_shot(c, gen);
-            ones += static_cast<std::size_t>(
-                cbits[static_cast<std::size_t>(qml::swap_result_cbit)]);
-        }
-        return static_cast<double>(ones) / static_cast<double>(config.shots);
-    }
-    case exec_mode::noisy: {
-        const qsim::circuit c =
-            qml::build_autoencoder_circuit(amplitudes, params, compression);
-        const qsim::noisy_run_result result =
-            qsim::density_runner::run(c, config.noise);
-        const double p_one =
-            result.cbit_probability_one(qml::swap_result_cbit, config.noise);
-        if (config.shots == 0) {
-            return p_one;
-        }
-        return static_cast<double>(gen.binomial(config.shots, p_one)) /
-               static_cast<double>(config.shots);
-    }
-    }
-    throw util::contract_error("unknown execution mode");
+    return program;
 }
 
 } // namespace
@@ -148,13 +120,43 @@ group_result run_ensemble_group(const data::dataset& normalized,
         amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
     }
 
+    const std::unique_ptr<exec::executor> engine = exec::make_executor(
+        config.resolved_backend(), config.to_engine_config());
+    const bool stochastic = config.mode != exec_mode::exact;
+
     const std::vector<std::size_t> levels =
         config.effective_compression_levels();
     std::vector<double> p_values(n_samples, 0.0);
-    for (const std::size_t level : levels) {
-        for (std::size_t i = 0; i < n_samples; ++i) {
-            p_values[i] =
-                evaluate_sample(amplitudes[i], params, level, config, gen);
+    std::vector<exec::sample> batch;
+    std::vector<double> batch_out;
+    std::vector<util::rng> batch_gens;
+    for (std::size_t level_index = 0; level_index < levels.size();
+         ++level_index) {
+        // One compiled program per (group, level), replayed per bucket.
+        const exec::program program =
+            make_level_program(params, levels[level_index], config, *engine);
+        for (const std::vector<std::size_t>& bucket : buckets) {
+            batch.clear();
+            batch_gens.clear();
+            batch.reserve(bucket.size());
+            batch_gens.reserve(bucket.size());
+            batch_out.resize(bucket.size());
+            for (const std::size_t i : bucket) {
+                exec::sample s;
+                s.amplitudes = amplitudes[i];
+                if (stochastic) {
+                    // Per-sample child streams keep stochastic modes
+                    // deterministic for any thread count or batch order.
+                    batch_gens.push_back(
+                        gen.child(level_index * n_samples + i));
+                    s.gen = &batch_gens.back();
+                }
+                batch.push_back(s);
+            }
+            engine->run_batch(program, batch, batch_out);
+            for (std::size_t k = 0; k < bucket.size(); ++k) {
+                p_values[bucket[k]] = batch_out[k];
+            }
         }
         // Per-bucket statistics -> |z| accumulation (Fig. 7).
         for (const std::vector<std::size_t>& bucket : buckets) {

@@ -62,7 +62,8 @@ dataset read_csv(std::istream& in, const csv_options& options) {
         if (line.empty()) {
             continue;
         }
-        const std::vector<std::string> cells = split_line(line, options.delimiter);
+        const std::vector<std::string> cells =
+            split_line(line, options.delimiter);
         if (header_pending) {
             header_pending = false;
             for (std::size_t j = 0; j < cells.size(); ++j) {

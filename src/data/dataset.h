@@ -25,7 +25,9 @@ public:
                              std::vector<int> labels = {});
 
     [[nodiscard]] std::size_t num_samples() const noexcept { return samples_; }
-    [[nodiscard]] std::size_t num_features() const noexcept { return features_; }
+    [[nodiscard]] std::size_t num_features() const noexcept {
+        return features_;
+    }
 
     [[nodiscard]] double at(std::size_t sample, std::size_t feature) const;
     double& at(std::size_t sample, std::size_t feature);
@@ -46,11 +48,12 @@ public:
     /// A copy with all label information removed.
     [[nodiscard]] dataset without_labels() const;
 
-    // --- metadata -------------------------------------------------------------
+    // --- metadata ------------------------------------------------------------
     void set_name(std::string name) { name_ = std::move(name); }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     void set_feature_names(std::vector<std::string> names);
-    [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept {
+    [[nodiscard]] const std::vector<std::string>&
+    feature_names() const noexcept {
         return feature_names_;
     }
 

@@ -1,0 +1,48 @@
+#include "exec/density_backend.h"
+
+#include <utility>
+
+#include "qsim/density_runner.h"
+#include "util/contracts.h"
+
+namespace quorum::exec {
+
+density_backend::density_backend(engine_config config)
+    : config_(std::move(config)) {
+    QUORUM_EXPECTS_MSG(config_.sampling_mode != sampling::per_shot,
+                       "the density backend computes exact noisy "
+                       "distributions; use binomial sampling for shots");
+    if (config_.sampling_mode == sampling::binomial) {
+        QUORUM_EXPECTS_MSG(config_.shots >= 1,
+                           "binomial sampling needs shots >= 1");
+    }
+}
+
+double density_backend::run(const qsim::circuit& c, int cbit,
+                            util::rng* gen) const {
+    const qsim::noisy_run_result result =
+        qsim::density_runner::run(c, config_.noise);
+    const double p_one = result.cbit_probability_one(cbit, config_.noise);
+    if (config_.sampling_mode == sampling::exact) {
+        return p_one;
+    }
+    QUORUM_EXPECTS_MSG(gen != nullptr, "sampling modes need an rng stream");
+    return static_cast<double>(gen->binomial(config_.shots, p_one)) /
+           static_cast<double>(config_.shots);
+}
+
+void density_backend::run_batch(const program& prog,
+                                std::span<const sample> samples,
+                                std::span<double> out) const {
+    QUORUM_EXPECTS_MSG(out.size() == samples.size(),
+                       "run_batch output span must match the batch size");
+    QUORUM_EXPECTS_MSG(prog.readout.kind == readout_kind::cbit_probability,
+                       "the density backend reads classical bits");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const qsim::circuit c = prog.circuit.materialize(
+            samples[i].amplitudes, samples[i].prefix_params);
+        out[i] = run(c, prog.readout.cbit, samples[i].gen);
+    }
+}
+
+} // namespace quorum::exec

@@ -1,0 +1,37 @@
+// Density-matrix execution backend: wraps qsim::density_runner (transpile
+// to the hardware basis + noise channels per physical gate) behind the
+// executor interface. Batched runs amortise template compilation; the
+// density evolution itself dominates, so each sample still runs one full
+// noisy simulation (sharding that is a ROADMAP item).
+#ifndef QUORUM_EXEC_DENSITY_BACKEND_H
+#define QUORUM_EXEC_DENSITY_BACKEND_H
+
+#include "exec/executor.h"
+
+namespace quorum::exec {
+
+class density_backend final : public executor {
+public:
+    explicit density_backend(engine_config config);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "density";
+    }
+
+    [[nodiscard]] bool supports(readout_kind kind) const noexcept override {
+        return kind == readout_kind::cbit_probability;
+    }
+
+    [[nodiscard]] double run(const qsim::circuit& c, int cbit,
+                             util::rng* gen) const override;
+
+    void run_batch(const program& prog, std::span<const sample> samples,
+                   std::span<double> out) const override;
+
+private:
+    engine_config config_;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_DENSITY_BACKEND_H

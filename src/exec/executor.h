@@ -1,0 +1,133 @@
+// The pluggable execution-engine layer.
+//
+// Everything above qsim (the ensemble loop, the CLI, the trained
+// baselines) evaluates circuits through this interface instead of calling
+// a simulator directly. A backend wraps one engine (state-vector exact /
+// per-shot, density-matrix noisy, future: sharded, GPU, remote) behind two
+// entry points:
+//
+//   run(circuit)          — one complete circuit, one readout;
+//   run_batch(program, samples) — a compiled_program replayed across a
+//                           batch of samples, amortising circuit build,
+//                           validation and gate fusion over the batch.
+//
+// Backends are stateless: every method is const and thread-safe, so one
+// executor instance can serve all ensemble worker threads. Per-sample
+// stochasticity comes exclusively from the rng stream each sample carries,
+// which keeps results deterministic for any thread count and batch order.
+#ifndef QUORUM_EXEC_EXECUTOR_H
+#define QUORUM_EXEC_EXECUTOR_H
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "qsim/compiled_program.h"
+#include "qsim/noise.h"
+#include "util/rng.h"
+
+namespace quorum::exec {
+
+/// How a backend turns a probability into a reported value.
+enum class sampling {
+    /// Report the exact probability (no rng needed).
+    exact,
+    /// Draw Binomial(shots, p)/shots from the sample's rng — statistically
+    /// identical to `shots` circuit repetitions.
+    binomial,
+    /// Simulate every shot stochastically (hardware semantics; supported
+    /// by the state-vector backend only).
+    per_shot,
+};
+
+/// Engine parameters a backend is constructed with. This deliberately
+/// knows nothing about Quorum's detector config — core maps
+/// quorum_config onto it (see core::make_engine_config).
+struct engine_config {
+    sampling sampling_mode = sampling::exact;
+    /// Repetitions for binomial/per_shot sampling (>= 1 there).
+    std::size_t shots = 0;
+    /// Noise model for the density backend (ignored elsewhere).
+    qsim::noise_model noise = qsim::noise_model::ideal();
+};
+
+/// One sample of a batch.
+struct sample {
+    /// Amplitudes fed to every prep slot of the program (empty when the
+    /// program has no slots).
+    std::span<const double> amplitudes{};
+    /// Rotation angles for the program's parameterized prefix, in op
+    /// order (empty when the program has none).
+    std::span<const double> prefix_params{};
+    /// Private deterministic rng stream; may be null under
+    /// sampling::exact, must be non-null otherwise.
+    util::rng* gen = nullptr;
+};
+
+/// What run_batch reports per sample.
+enum class readout_kind {
+    /// P(classical bit = 1) via the program's recorded measure map.
+    cbit_probability,
+    /// SWAP-test P(1) computed from the fidelity between the final state
+    /// and the sample's own prep amplitudes — the register-A analytic
+    /// shortcut (programs without measurements).
+    prep_overlap_p1,
+    /// Sum over `qubits` (in the given order) of P(|1>) — the trained-QAE
+    /// trash-population objective. sampling::exact only.
+    excited_population,
+    /// (1 - <Z_q>)/2 for qubits[0] — the QNN readout. sampling::exact only.
+    z_probability,
+};
+
+struct readout_spec {
+    readout_kind kind = readout_kind::cbit_probability;
+    int cbit = 0;                       ///< cbit_probability
+    std::vector<qsim::qubit_t> qubits{}; ///< excited_population / z_probability
+};
+
+/// A compiled circuit plus its readout — the unit run_batch executes.
+struct program {
+    qsim::compiled_program circuit;
+    readout_spec readout{};
+};
+
+/// Abstract execution engine. Implementations are registered with the
+/// backend registry (exec/registry.h) and selected by name.
+class executor {
+public:
+    virtual ~executor() = default;
+
+    executor(const executor&) = delete;
+    executor& operator=(const executor&) = delete;
+
+    /// The backend's registry name.
+    [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+    /// True when this backend (under its configured sampling semantics)
+    /// can evaluate the given readout kind. Callers use this to pick a
+    /// program shape — e.g. core falls back from the register-A overlap
+    /// shortcut to the full SWAP-test circuit on backends that only read
+    /// classical bits.
+    [[nodiscard]] virtual bool
+    supports(readout_kind kind) const noexcept = 0;
+
+    /// Runs one complete circuit and reports P(cbit = 1) under this
+    /// backend's sampling semantics. `gen` may be null under
+    /// sampling::exact and must be non-null otherwise.
+    [[nodiscard]] virtual double run(const qsim::circuit& c, int cbit,
+                                     util::rng* gen) const = 0;
+
+    /// Replays `prog` for every sample and writes one readout value per
+    /// sample into `out` (out.size() == samples.size()). Thread-safe.
+    virtual void run_batch(const program& prog,
+                           std::span<const sample> samples,
+                           std::span<double> out) const = 0;
+
+protected:
+    executor() = default;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_EXECUTOR_H

@@ -1,0 +1,95 @@
+#include "exec/registry.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "exec/density_backend.h"
+#include "exec/statevector_backend.h"
+#include "util/contracts.h"
+
+namespace quorum::exec {
+
+namespace {
+
+struct registry_state {
+    std::mutex mutex;
+    std::map<std::string, backend_factory, std::less<>> factories;
+};
+
+registry_state& registry() {
+    static registry_state state;
+    return state;
+}
+
+/// The built-ins register lazily on first registry access (explicitly, not
+/// via static initialisers, which a static-library link could drop).
+void ensure_builtins() {
+    static const bool registered = [] {
+        register_backend("statevector", [](const engine_config& config) {
+            return std::unique_ptr<executor>(
+                new statevector_backend(config));
+        });
+        register_backend("density", [](const engine_config& config) {
+            return std::unique_ptr<executor>(new density_backend(config));
+        });
+        return true;
+    }();
+    (void)registered;
+}
+
+} // namespace
+
+bool register_backend(std::string name, backend_factory factory) {
+    QUORUM_EXPECTS_MSG(!name.empty(), "backend name must be non-empty");
+    QUORUM_EXPECTS_MSG(static_cast<bool>(factory),
+                       "backend factory must be callable");
+    registry_state& state = registry();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    return state.factories.insert_or_assign(std::move(name),
+                                            std::move(factory))
+        .second;
+}
+
+bool is_backend_registered(std::string_view name) {
+    ensure_builtins();
+    registry_state& state = registry();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    return state.factories.find(name) != state.factories.end();
+}
+
+std::vector<std::string> backend_names() {
+    ensure_builtins();
+    registry_state& state = registry();
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    std::vector<std::string> names;
+    names.reserve(state.factories.size());
+    for (const auto& [name, factory] : state.factories) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+std::unique_ptr<executor> make_executor(std::string_view name,
+                                        const engine_config& config) {
+    ensure_builtins();
+    backend_factory factory;
+    {
+        registry_state& state = registry();
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        const auto it = state.factories.find(name);
+        if (it == state.factories.end()) {
+            std::string known;
+            for (const auto& [known_name, known_factory] : state.factories) {
+                known += known.empty() ? known_name : ", " + known_name;
+            }
+            throw util::contract_error("unknown execution backend '" +
+                                       std::string(name) + "' (known: " +
+                                       known + ")");
+        }
+        factory = it->second;
+    }
+    return factory(config);
+}
+
+} // namespace quorum::exec

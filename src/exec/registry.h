@@ -1,0 +1,40 @@
+// Backend registry/factory: execution engines are looked up by name so
+// new backends (sharded, GPU, remote, ...) plug in without touching core.
+// The built-in "statevector" and "density" backends register themselves on
+// first use; external code may add more via register_backend.
+#ifndef QUORUM_EXEC_REGISTRY_H
+#define QUORUM_EXEC_REGISTRY_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace quorum::exec {
+
+/// Creates a backend instance for the given engine parameters.
+using backend_factory =
+    std::function<std::unique_ptr<executor>(const engine_config&)>;
+
+/// Registers (or replaces) a factory under `name`. Returns true when the
+/// name was new, false when an existing registration was replaced.
+/// Thread-safe.
+bool register_backend(std::string name, backend_factory factory);
+
+/// True when `name` resolves to a registered backend.
+[[nodiscard]] bool is_backend_registered(std::string_view name);
+
+/// All registered backend names, sorted.
+[[nodiscard]] std::vector<std::string> backend_names();
+
+/// Instantiates the named backend. Throws util::contract_error (listing
+/// the known names) when `name` is not registered.
+[[nodiscard]] std::unique_ptr<executor>
+make_executor(std::string_view name, const engine_config& config);
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_REGISTRY_H

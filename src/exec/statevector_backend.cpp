@@ -1,0 +1,373 @@
+#include "exec/statevector_backend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "qml/observables.h"
+#include "qml/swap_test.h"
+#include "qsim/statevector_runner.h"
+#include "util/contracts.h"
+
+namespace quorum::exec {
+
+namespace {
+
+using qsim::amp;
+using qsim::compiled_op;
+using qsim::compiled_program;
+using qsim::fused_op;
+using qsim::gate_kind;
+using qsim::op_kind;
+using qsim::operation;
+using qsim::qubit_t;
+using qsim::statevector;
+
+/// Reusable per-batch buffers (one set per run_batch call, so the backend
+/// itself stays stateless and thread-safe).
+struct replay_buffers {
+    std::vector<amp> slot_amplitudes;
+    std::vector<qsim::branch> branches;
+    std::vector<qsim::branch> next_branches;
+    std::vector<amp> scratch;
+};
+
+/// Applies one unfused suffix op to a state — the same kernels (and hence
+/// the same floating-point results) statevector::apply_gate dispatches to,
+/// minus the per-call validation and gate-matrix construction.
+void apply_compiled_op(statevector& state, const compiled_op& compiled) {
+    const operation& op = compiled.op;
+    switch (op.gate) {
+    case gate_kind::id:
+        return;
+    case gate_kind::x:
+    case gate_kind::cx:
+        state.apply_gate(op.gate, op.qubits, op.params);
+        return;
+    default:
+        break;
+    }
+    if (op.qubits.size() == 1) {
+        state.apply_1q(compiled.matrix, op.qubits[0]);
+    } else {
+        state.apply_matrix(compiled.matrix, op.qubits);
+    }
+}
+
+/// Splits every branch on a reset of qubit `q` — verbatim the exact
+/// runner's mixture semantics (zero-probability branches pruned).
+void split_on_reset(std::vector<qsim::branch>& branches,
+                    std::vector<qsim::branch>& next, qubit_t q) {
+    next.clear();
+    next.reserve(branches.size() * 2);
+    for (qsim::branch& b : branches) {
+        const double p_one = b.state.probability_one(q);
+        const double p_zero = 1.0 - p_one;
+        if (p_zero > qsim::probability_epsilon) {
+            qsim::branch zero_branch{b.weight * p_zero, b.state};
+            zero_branch.state.collapse(q, false);
+            next.push_back(std::move(zero_branch));
+        }
+        if (p_one > qsim::probability_epsilon) {
+            qsim::branch one_branch{b.weight * p_one, std::move(b.state)};
+            one_branch.state.collapse(q, true);
+            const qubit_t operand[] = {q};
+            one_branch.state.apply_gate(gate_kind::x, operand);
+            next.push_back(std::move(one_branch));
+        }
+    }
+    branches.swap(next);
+}
+
+/// Prepares one sample's initial pure state: |0..0>, prep slots filled
+/// with the sample amplitudes, parameterized prefix applied.
+statevector prepare_state(const compiled_program& prog, const sample& s,
+                          replay_buffers& buffers) {
+    statevector state(prog.num_qubits());
+    if (!prog.slots().empty()) {
+        buffers.slot_amplitudes.assign(s.amplitudes.begin(),
+                                       s.amplitudes.end());
+        for (const qsim::prep_slot& slot : prog.slots()) {
+            state.initialize_register(slot.qubits, buffers.slot_amplitudes);
+        }
+    }
+    std::size_t cursor = 0;
+    for (const operation& op : prog.prefix()) {
+        const std::size_t count = qsim::gate_param_count(op.gate);
+        state.apply_gate(op.gate, op.qubits,
+                         s.prefix_params.subspan(cursor, count));
+        cursor += count;
+    }
+    return state;
+}
+
+/// Exact replay: evolves the branch mixture through the shared suffix.
+/// Bit-identical to statevector_runner::run_exact on the original circuit.
+void replay_exact(const compiled_program& prog, const sample& s,
+                  replay_buffers& buffers) {
+    buffers.branches.clear();
+    buffers.branches.push_back(
+        qsim::branch{1.0, prepare_state(prog, s, buffers)});
+    for (const compiled_op& compiled : prog.suffix()) {
+        const operation& op = compiled.op;
+        switch (op.kind) {
+        case op_kind::gate:
+            for (qsim::branch& b : buffers.branches) {
+                apply_compiled_op(b.state, compiled);
+            }
+            break;
+        case op_kind::initialize:
+            for (qsim::branch& b : buffers.branches) {
+                b.state.initialize_register(op.qubits, op.init_amplitudes);
+            }
+            break;
+        case op_kind::reset:
+            split_on_reset(buffers.branches, buffers.next_branches,
+                           op.qubits[0]);
+            break;
+        case op_kind::measure:
+            break; // recorded in prog.measures() at compile time
+        case op_kind::barrier:
+            break;
+        }
+    }
+}
+
+/// Readout over the final mixture (see readout_kind for semantics).
+double read_out(const readout_spec& spec, const compiled_program& prog,
+                const sample& s, const replay_buffers& buffers) {
+    switch (spec.kind) {
+    case readout_kind::cbit_probability: {
+        for (const auto& [qubit, bit] : prog.measures()) {
+            if (bit == spec.cbit) {
+                double p = 0.0;
+                for (const qsim::branch& b : buffers.branches) {
+                    p += b.weight * b.state.probability_one(qubit);
+                }
+                return p;
+            }
+        }
+        throw util::contract_error("no measurement wrote the requested cbit");
+    }
+    case readout_kind::prep_overlap_p1: {
+        // Tr(rho |psi><psi|) against the sample's own prep amplitudes,
+        // then the SWAP-test identity P(1) = (1 - fidelity)/2.
+        double fidelity = 0.0;
+        for (const qsim::branch& b : buffers.branches) {
+            const std::span<const amp> state = b.state.amplitudes();
+            amp inner{};
+            for (std::size_t i = 0; i < state.size(); ++i) {
+                inner += std::conj(amp{s.amplitudes[i], 0.0}) * state[i];
+            }
+            fidelity += b.weight * std::norm(inner);
+        }
+        return qml::swap_test_p1_from_overlap(fidelity);
+    }
+    case readout_kind::excited_population: {
+        double population = 0.0;
+        for (const qsim::branch& b : buffers.branches) {
+            for (const qubit_t q : spec.qubits) {
+                population += b.weight * b.state.probability_one(q);
+            }
+        }
+        return population;
+    }
+    case readout_kind::z_probability: {
+        double z_value = 0.0;
+        for (const qsim::branch& b : buffers.branches) {
+            z_value += b.weight * qml::z_expectation(b.state, spec.qubits[0]);
+        }
+        return qml::z_to_probability(z_value);
+    }
+    }
+    throw util::contract_error("unknown readout kind");
+}
+
+/// Applies one fused op's unitary block.
+void apply_fused_unitary(statevector& state, const fused_op& op,
+                         std::span<amp> scratch) {
+    if (op.qubits.size() == 1) {
+        state.apply_1q(op.matrix, op.qubits[0]);
+    } else {
+        state.apply_matrix_prepared(op.matrix, op.sorted_qubits, op.offsets,
+                                    scratch);
+    }
+}
+
+void validate_batch(const program& prog, std::span<const sample> samples,
+                    std::span<double> out, bool needs_rng) {
+    QUORUM_EXPECTS_MSG(out.size() == samples.size(),
+                       "run_batch output span must match the batch size");
+    const std::size_t prefix_params = prog.circuit.prefix_param_count();
+    std::size_t slot_dim = 0;
+    if (!prog.circuit.slots().empty()) {
+        slot_dim = std::size_t{1} << prog.circuit.slots()[0].qubits.size();
+        for (const qsim::prep_slot& slot : prog.circuit.slots()) {
+            QUORUM_EXPECTS_MSG(
+                (std::size_t{1} << slot.qubits.size()) == slot_dim,
+                "all prep slots of a program must share one register size");
+        }
+    }
+    for (const sample& s : samples) {
+        QUORUM_EXPECTS_MSG(s.amplitudes.size() == slot_dim,
+                           "sample amplitude count does not match the "
+                           "program's prep slots");
+        QUORUM_EXPECTS_MSG(s.prefix_params.size() == prefix_params,
+                           "sample prefix param count mismatch");
+        QUORUM_EXPECTS_MSG(!needs_rng || s.gen != nullptr,
+                           "sampling modes need a per-sample rng stream");
+    }
+}
+
+} // namespace
+
+statevector_backend::statevector_backend(engine_config config)
+    : config_(std::move(config)) {
+    if (config_.sampling_mode != sampling::exact) {
+        QUORUM_EXPECTS_MSG(config_.shots >= 1,
+                           "sampling modes need shots >= 1");
+    }
+}
+
+bool statevector_backend::supports(readout_kind kind) const noexcept {
+    switch (config_.sampling_mode) {
+    case sampling::exact:
+        return true;
+    case sampling::binomial:
+        return kind == readout_kind::cbit_probability ||
+               kind == readout_kind::prep_overlap_p1;
+    case sampling::per_shot:
+        return kind == readout_kind::cbit_probability;
+    }
+    return false;
+}
+
+double statevector_backend::run(const qsim::circuit& c, int cbit,
+                                util::rng* gen) const {
+    switch (config_.sampling_mode) {
+    case sampling::exact:
+    case sampling::binomial: {
+        const qsim::exact_run_result result =
+            qsim::statevector_runner::run_exact(c);
+        const double p_one = result.cbit_probability_one(cbit);
+        if (config_.sampling_mode == sampling::exact) {
+            return p_one;
+        }
+        QUORUM_EXPECTS_MSG(gen != nullptr,
+                           "sampling modes need an rng stream");
+        return static_cast<double>(gen->binomial(config_.shots, p_one)) /
+               static_cast<double>(config_.shots);
+    }
+    case sampling::per_shot: {
+        QUORUM_EXPECTS_MSG(gen != nullptr,
+                           "sampling modes need an rng stream");
+        std::size_t ones = 0;
+        for (std::size_t shot = 0; shot < config_.shots; ++shot) {
+            const std::vector<bool> cbits =
+                qsim::statevector_runner::run_single_shot(c, *gen);
+            ones += static_cast<std::size_t>(
+                cbits[static_cast<std::size_t>(cbit)]);
+        }
+        return static_cast<double>(ones) /
+               static_cast<double>(config_.shots);
+    }
+    }
+    throw util::contract_error("unknown sampling mode");
+}
+
+void statevector_backend::run_batch(const program& prog,
+                                    std::span<const sample> samples,
+                                    std::span<double> out) const {
+    const bool needs_rng = config_.sampling_mode != sampling::exact;
+    validate_batch(prog, samples, out, needs_rng);
+
+    if (config_.sampling_mode != sampling::per_shot) {
+        QUORUM_EXPECTS_MSG(config_.sampling_mode == sampling::exact ||
+                               prog.readout.kind ==
+                                   readout_kind::cbit_probability ||
+                               prog.readout.kind ==
+                                   readout_kind::prep_overlap_p1,
+                           "binomial sampling applies to probability "
+                           "readouts only");
+        replay_buffers buffers;
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            replay_exact(prog.circuit, samples[i], buffers);
+            const double p_one =
+                read_out(prog.readout, prog.circuit, samples[i], buffers);
+            if (config_.sampling_mode == sampling::exact) {
+                out[i] = p_one;
+            } else {
+                out[i] = static_cast<double>(
+                             samples[i].gen->binomial(config_.shots, p_one)) /
+                         static_cast<double>(config_.shots);
+            }
+        }
+        return;
+    }
+
+    // Per-shot stochastic replay over the fused suffix. The unitary head
+    // before the first reset/measure is shot-independent, so it is applied
+    // once per sample and only the stochastic tail re-runs per shot.
+    QUORUM_EXPECTS_MSG(prog.readout.kind == readout_kind::cbit_probability,
+                       "per-shot sampling reads a classical bit");
+    QUORUM_EXPECTS_MSG(prog.circuit.has_fused_suffix(),
+                       "per-shot replay requires a program compiled with "
+                       "fusion enabled");
+    const std::vector<fused_op>& fused = prog.circuit.fused_suffix();
+    std::size_t head_end = 0;
+    while (head_end < fused.size() &&
+           fused[head_end].op == fused_op::kind::unitary) {
+        ++head_end;
+    }
+    std::size_t max_block = 2;
+    for (const fused_op& op : fused) {
+        if (op.op == fused_op::kind::unitary) {
+            max_block = std::max(max_block, std::size_t{1}
+                                                << op.qubits.size());
+        }
+    }
+    replay_buffers buffers;
+    buffers.scratch.resize(max_block);
+    std::vector<bool> cbits(prog.circuit.num_clbits(), false);
+    const auto target_cbit = static_cast<std::size_t>(prog.readout.cbit);
+    QUORUM_EXPECTS_MSG(target_cbit < cbits.size(),
+                       "per-shot readout cbit out of range");
+
+    statevector work(std::max<std::size_t>(prog.circuit.num_qubits(), 1));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        statevector base = prepare_state(prog.circuit, samples[i], buffers);
+        for (std::size_t k = 0; k < head_end; ++k) {
+            apply_fused_unitary(base, fused[k], buffers.scratch);
+        }
+        util::rng& gen = *samples[i].gen;
+        std::size_t ones = 0;
+        for (std::size_t shot = 0; shot < config_.shots; ++shot) {
+            work = base;
+            std::fill(cbits.begin(), cbits.end(), false);
+            for (std::size_t k = head_end; k < fused.size(); ++k) {
+                const fused_op& op = fused[k];
+                switch (op.op) {
+                case fused_op::kind::unitary:
+                    apply_fused_unitary(work, op, buffers.scratch);
+                    break;
+                case fused_op::kind::reset: {
+                    const qubit_t q = op.qubits[0];
+                    if (work.measure_collapse(q, gen)) {
+                        const qubit_t operand[] = {q};
+                        work.apply_gate(gate_kind::x, operand);
+                    }
+                    break;
+                }
+                case fused_op::kind::measure:
+                    cbits[static_cast<std::size_t>(op.cbit)] =
+                        work.measure_collapse(op.qubits[0], gen);
+                    break;
+                }
+            }
+            ones += static_cast<std::size_t>(cbits[target_cbit]);
+        }
+        out[i] = static_cast<double>(ones) /
+                 static_cast<double>(config_.shots);
+    }
+}
+
+} // namespace quorum::exec

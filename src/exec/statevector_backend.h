@@ -1,0 +1,40 @@
+// State-vector execution backend: exact branch-mixture replay (the
+// bit-exact path behind Quorum's exact/sampled modes) plus fused per-shot
+// stochastic replay (hardware semantics).
+//
+// Batched replay amortises everything sample-independent — circuit build,
+// validation, gate-matrix trigonometry, and (per-shot) the unitary head
+// before the first reset — across the whole batch. The exact replay path
+// applies the same kernels in the same order as running the original
+// circuit through qsim::statevector_runner, so exact-mode results are
+// bit-identical to the legacy per-sample path.
+#ifndef QUORUM_EXEC_STATEVECTOR_BACKEND_H
+#define QUORUM_EXEC_STATEVECTOR_BACKEND_H
+
+#include "exec/executor.h"
+
+namespace quorum::exec {
+
+class statevector_backend final : public executor {
+public:
+    explicit statevector_backend(engine_config config);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return "statevector";
+    }
+
+    [[nodiscard]] bool supports(readout_kind kind) const noexcept override;
+
+    [[nodiscard]] double run(const qsim::circuit& c, int cbit,
+                             util::rng* gen) const override;
+
+    void run_batch(const program& prog, std::span<const sample> samples,
+                   std::span<double> out) const override;
+
+private:
+    engine_config config_;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_STATEVECTOR_BACKEND_H

@@ -57,8 +57,9 @@ double curve_auc(std::span<const curve_point> curve) {
     for (std::size_t i = 1; i < curve.size(); ++i) {
         const double dx = curve[i].fraction_of_dataset -
                           curve[i - 1].fraction_of_dataset;
-        const double avg_y = 0.5 * (curve[i].fraction_of_anomalies_detected +
-                                    curve[i - 1].fraction_of_anomalies_detected);
+        const double avg_y =
+            0.5 * (curve[i].fraction_of_anomalies_detected +
+                   curve[i - 1].fraction_of_anomalies_detected);
         area += dx * avg_y;
     }
     return area;

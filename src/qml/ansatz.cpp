@@ -55,4 +55,19 @@ void append_decoder(qsim::circuit& c, const ansatz_params& params,
     }
 }
 
+std::vector<double> encoder_param_stream(const ansatz_params& params) {
+    std::vector<double> stream;
+    stream.reserve(params.size());
+    const std::size_t n = params.n_qubits;
+    for (std::size_t layer = 0; layer < params.layers; ++layer) {
+        for (std::size_t q = 0; q < n; ++q) {
+            stream.push_back(params.rx(layer, q));
+        }
+        for (std::size_t q = 0; q < n; ++q) {
+            stream.push_back(params.rz(layer, q));
+        }
+    }
+    return stream;
+}
+
 } // namespace quorum::qml

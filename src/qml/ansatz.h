@@ -49,6 +49,13 @@ void append_encoder(qsim::circuit& c, const ansatz_params& params,
 void append_decoder(qsim::circuit& c, const ansatz_params& params,
                     std::span<const qsim::qubit_t> reg);
 
+/// Flattens the encoder's rotation angles in gate order (per layer: the RX
+/// row, then the RZ row; the CX ladder takes no angles) — the per-sample
+/// param stream a compiled encoder template consumes (see
+/// qsim::compiled_program::options::parameterized_ops).
+[[nodiscard]] std::vector<double>
+encoder_param_stream(const ansatz_params& params);
+
 } // namespace quorum::qml
 
 #endif // QUORUM_QML_ANSATZ_H

@@ -25,6 +25,40 @@ std::vector<qsim::qubit_t> autoencoder_layout::reg_b() const {
     return reg;
 }
 
+namespace {
+
+/// Placeholder slot amplitudes for the batched-execution templates: the
+/// |0..0> basis state (replaced per sample at replay time).
+std::vector<double> placeholder_amplitudes(std::size_t n_qubits) {
+    std::vector<double> amps(std::size_t{1} << n_qubits, 0.0);
+    amps[0] = 1.0;
+    return amps;
+}
+
+/// Register-A-only circuit: initialize, E(θ), bottleneck resets, D(θ).
+qsim::circuit build_reg_a_circuit(std::span<const double> amplitudes,
+                                  const ansatz_params& params,
+                                  std::size_t compression) {
+    const std::size_t n = params.n_qubits;
+    QUORUM_EXPECTS(amplitudes.size() == (std::size_t{1} << n));
+    QUORUM_EXPECTS_MSG(compression < n,
+                       "compression must leave at least one qubit");
+    std::vector<qsim::qubit_t> reg(n);
+    for (std::size_t q = 0; q < n; ++q) {
+        reg[q] = static_cast<qsim::qubit_t>(q);
+    }
+    qsim::circuit c(n);
+    c.initialize(reg, amplitudes);
+    append_encoder(c, params, reg);
+    for (std::size_t k = 0; k < compression; ++k) {
+        c.reset(reg[n - 1 - k]);
+    }
+    append_decoder(c, params, reg);
+    return c;
+}
+
+} // namespace
+
 qsim::circuit build_autoencoder_circuit(std::span<const double> amplitudes,
                                         const ansatz_params& params,
                                         std::size_t compression) {
@@ -53,25 +87,10 @@ qsim::circuit build_autoencoder_circuit(std::span<const double> amplitudes,
 
 double analytic_swap_p1(std::span<const double> amplitudes,
                         const ansatz_params& params, std::size_t compression) {
-    const std::size_t n = params.n_qubits;
-    QUORUM_EXPECTS(amplitudes.size() == (std::size_t{1} << n));
-    QUORUM_EXPECTS_MSG(compression < n,
-                       "compression must leave at least one qubit");
-
-    // Build the register-A-only circuit: E(θ), resets, D(θ).
-    std::vector<qsim::qubit_t> reg(n);
-    for (std::size_t q = 0; q < n; ++q) {
-        reg[q] = static_cast<qsim::qubit_t>(q);
-    }
-    qsim::circuit c(n);
-    c.initialize(reg, amplitudes);
-    append_encoder(c, params, reg);
-    for (std::size_t k = 0; k < compression; ++k) {
-        c.reset(reg[n - 1 - k]);
-    }
-    append_decoder(c, params, reg);
-
-    const qsim::exact_run_result mixture = qsim::statevector_runner::run_exact(c);
+    const qsim::circuit c =
+        build_reg_a_circuit(amplitudes, params, compression);
+    const qsim::exact_run_result mixture =
+        qsim::statevector_runner::run_exact(c);
 
     std::vector<qsim::amp> reference_amps(amplitudes.size());
     for (std::size_t j = 0; j < amplitudes.size(); ++j) {
@@ -86,6 +105,18 @@ double analytic_swap_p1(std::span<const double> amplitudes,
         fidelity += b.weight * std::norm(reference.inner_product(b.state));
     }
     return swap_test_p1_from_overlap(fidelity);
+}
+
+qsim::circuit autoencoder_template(const ansatz_params& params,
+                                   std::size_t compression) {
+    return build_autoencoder_circuit(placeholder_amplitudes(params.n_qubits),
+                                     params, compression);
+}
+
+qsim::circuit autoencoder_reg_a_template(const ansatz_params& params,
+                                         std::size_t compression) {
+    return build_reg_a_circuit(placeholder_amplitudes(params.n_qubits),
+                               params, compression);
 }
 
 } // namespace quorum::qml

@@ -63,6 +63,21 @@ build_autoencoder_circuit(std::span<const double> amplitudes,
                                       const ansatz_params& params,
                                       std::size_t compression);
 
+/// Batched-execution template of the full 2n+1-qubit circuit: identical
+/// structure to build_autoencoder_circuit, with placeholder |0..0>
+/// amplitudes in the two initialize slots. Compile it once per
+/// (θ, compression) and replay it with per-sample amplitudes (see
+/// qsim::compiled_program / exec::executor).
+[[nodiscard]] qsim::circuit autoencoder_template(const ansatz_params& params,
+                                                 std::size_t compression);
+
+/// Batched-execution template of the register-A analytic shortcut: one
+/// n-qubit initialize slot, E(θ), resets, D(θ), no measurement. Pair it
+/// with the prep-overlap readout to reproduce analytic_swap_p1 exactly.
+[[nodiscard]] qsim::circuit
+autoencoder_reg_a_template(const ansatz_params& params,
+                           std::size_t compression);
+
 } // namespace quorum::qml
 
 #endif // QUORUM_QML_AUTOENCODER_H

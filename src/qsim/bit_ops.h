@@ -51,8 +51,8 @@ make_offsets(std::span<const qubit_t> qubits) {
 
 /// Removes the bits at the (ascending) positions in `sorted` from `index`,
 /// compacting the remaining bits downward (inverse of expand_index).
-[[nodiscard]] inline std::size_t compress_index(std::size_t index,
-                                                std::span<const qubit_t> sorted) {
+[[nodiscard]] inline std::size_t
+compress_index(std::size_t index, std::span<const qubit_t> sorted) {
     std::size_t result = index;
     for (std::size_t i = sorted.size(); i > 0; --i) {
         const std::size_t position = sorted[i - 1];

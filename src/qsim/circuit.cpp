@@ -12,7 +12,8 @@ namespace quorum::qsim {
 circuit::circuit(std::size_t num_qubits, std::size_t num_clbits)
     : num_qubits_(num_qubits), num_clbits_(num_clbits) {
     QUORUM_EXPECTS_MSG(num_qubits >= 1, "circuit needs at least one qubit");
-    QUORUM_EXPECTS_MSG(num_qubits <= 30, "state vectors above 30 qubits are unsupported");
+    QUORUM_EXPECTS_MSG(num_qubits <= 30,
+                       "state vectors above 30 qubits are unsupported");
 }
 
 void circuit::check_qubit(qubit_t q) const {
@@ -23,7 +24,8 @@ void circuit::check_distinct(std::span<const qubit_t> qs) const {
     for (std::size_t i = 0; i < qs.size(); ++i) {
         check_qubit(qs[i]);
         for (std::size_t j = i + 1; j < qs.size(); ++j) {
-            QUORUM_EXPECTS_MSG(qs[i] != qs[j], "gate operands must be distinct");
+            QUORUM_EXPECTS_MSG(qs[i] != qs[j],
+                               "gate operands must be distinct");
         }
     }
 }
@@ -120,7 +122,8 @@ circuit& circuit::reset(qubit_t q) {
 
 circuit& circuit::measure(qubit_t q, int cbit) {
     check_qubit(q);
-    QUORUM_EXPECTS_MSG(cbit >= 0 && static_cast<std::size_t>(cbit) < num_clbits_,
+    QUORUM_EXPECTS_MSG(cbit >= 0 &&
+                           static_cast<std::size_t>(cbit) < num_clbits_,
                        "classical bit out of range");
     operation op;
     op.kind = op_kind::measure;

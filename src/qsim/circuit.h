@@ -44,8 +44,12 @@ public:
     /// `num_clbits` classical bits.
     explicit circuit(std::size_t num_qubits, std::size_t num_clbits = 0);
 
-    [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
-    [[nodiscard]] std::size_t num_clbits() const noexcept { return num_clbits_; }
+    [[nodiscard]] std::size_t num_qubits() const noexcept {
+        return num_qubits_;
+    }
+    [[nodiscard]] std::size_t num_clbits() const noexcept {
+        return num_clbits_;
+    }
     [[nodiscard]] const std::vector<operation>& ops() const noexcept {
         return ops_;
     }
@@ -102,7 +106,8 @@ public:
     /// Total number of gate operations.
     [[nodiscard]] std::size_t gate_count() const noexcept;
     /// Number of gate operations with the given arity (1, 2, or 3 qubits).
-    [[nodiscard]] std::size_t gate_count_arity(std::size_t arity) const noexcept;
+    [[nodiscard]] std::size_t
+    gate_count_arity(std::size_t arity) const noexcept;
     /// Number of operations of a specific gate kind.
     [[nodiscard]] std::size_t count_kind(gate_kind kind) const noexcept;
     /// Circuit depth: longest chain of operations per qubit (barriers and

@@ -1,0 +1,165 @@
+// Compiled circuits for batched execution.
+//
+// Quorum's hot path runs the *same* ansatz + SWAP-test circuit for every
+// sample in a bucket — only the leading `initialize` amplitudes (and, for
+// the trained baselines, some rotation angles) change per sample. A
+// `compiled_program` factors that structure out once:
+//
+//   * prep slots    — the leading `initialize` ops; their amplitudes are
+//                     supplied per sample at run time;
+//   * param prefix  — an optional run of leading gate ops whose rotation
+//                     angles are supplied per sample (angle encodings,
+//                     trainable layers);
+//   * suffix        — every remaining op, shared by all samples, validated
+//                     once, with gate matrices precomputed so replay skips
+//                     per-sample trigonometry and re-validation. Replaying
+//                     the suffix is bit-identical to applying the original
+//                     circuit op by op;
+//   * fused suffix  — the same suffix with adjacent single-qubit gates
+//                     merged into 2x2 unitaries and (optionally) adjacent
+//                     two-qubit blocks into 4x4 ones. Equal to the unfused
+//                     suffix as an operator, but not bit-identical — engines
+//                     use it where exact replay is not contractually
+//                     required (e.g. per-shot sampling).
+//
+// Compile once per (group, level); replay across every sample in a bucket.
+#ifndef QUORUM_QSIM_COMPILED_PROGRAM_H
+#define QUORUM_QSIM_COMPILED_PROGRAM_H
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "qsim/circuit.h"
+
+namespace quorum::qsim {
+
+/// A per-sample state-preparation slot: at run time, every slot receives
+/// the sample's amplitude vector (all slots in a program share it, which
+/// matches Quorum's "reference copy" circuit layout).
+struct prep_slot {
+    std::vector<qubit_t> qubits;
+};
+
+/// One suffix op in original (unfused) form. `matrix` is the precomputed
+/// gate matrix for gates that the state-vector engine applies via a dense
+/// kernel; it is empty for id/x/cx (which have allocation-free fast paths)
+/// and for non-gate ops.
+struct compiled_op {
+    operation op;
+    util::cmatrix matrix;
+};
+
+/// One fused suffix op: either a dense unitary over 1-3 qubits (the merge
+/// of `source_gates` original gates) or a structural reset/measure.
+/// `sorted_qubits` / `offsets` are the kernel metadata apply_matrix would
+/// otherwise rebuild per application — precomputed so replay stays
+/// allocation-free (see statevector::apply_matrix_prepared).
+struct fused_op {
+    enum class kind { unitary, reset, measure };
+    kind op = kind::unitary;
+    std::vector<qubit_t> qubits;
+    util::cmatrix matrix; ///< unitary only; 2^k x 2^k over `qubits`
+    int cbit = -1;        ///< measure only
+    std::size_t source_gates = 0;
+    std::vector<qubit_t> sorted_qubits;
+    std::vector<std::size_t> offsets;
+};
+
+/// Compilation knobs.
+struct compile_options {
+    /// Build the fused suffix (adjacent single-qubit gates -> 2x2).
+    bool fuse = true;
+    /// Additionally merge into 4x4 two-qubit blocks.
+    bool fuse_two_qubit = true;
+    /// Number of leading non-initialize ops whose rotation params are
+    /// supplied per sample (each op consumes gate_param_count angles
+    /// from the sample's param stream, in op order).
+    std::size_t parameterized_ops = 0;
+};
+
+/// A circuit compiled for batched replay. Immutable after compile().
+class compiled_program {
+public:
+    /// An empty program (no qubits, no ops); compile() builds real ones.
+    compiled_program() = default;
+
+    using options = compile_options;
+
+    /// Splits `c` into prep slots / parameterized prefix / shared suffix,
+    /// validates it once (qubit arities, terminal measurements), and
+    /// precomputes gate matrices (+ the fused suffix when enabled).
+    /// Throws util::contract_error on malformed circuits.
+    [[nodiscard]] static compiled_program compile(const circuit& c,
+                                                  const options& opt = {});
+
+    [[nodiscard]] std::size_t num_qubits() const noexcept {
+        return num_qubits_;
+    }
+    [[nodiscard]] std::size_t num_clbits() const noexcept {
+        return num_clbits_;
+    }
+
+    /// Leading initialize ops, in circuit order.
+    [[nodiscard]] const std::vector<prep_slot>& slots() const noexcept {
+        return slots_;
+    }
+    /// Leading parameterized ops (params are placeholders; replaced per
+    /// sample at replay time).
+    [[nodiscard]] const std::vector<operation>& prefix() const noexcept {
+        return prefix_;
+    }
+    /// Rotation angles one sample must supply for the prefix.
+    [[nodiscard]] std::size_t prefix_param_count() const noexcept {
+        return prefix_param_count_;
+    }
+    /// Shared suffix, original ops with precomputed matrices (barriers
+    /// stripped, measures validated terminal).
+    [[nodiscard]] const std::vector<compiled_op>& suffix() const noexcept {
+        return suffix_;
+    }
+    /// Fused suffix; empty when options.fuse was false.
+    [[nodiscard]] const std::vector<fused_op>& fused_suffix() const noexcept {
+        return fused_;
+    }
+    [[nodiscard]] bool has_fused_suffix() const noexcept {
+        return fused_built_;
+    }
+    /// (qubit, cbit) pairs of every measure op, in circuit order.
+    [[nodiscard]] const std::vector<std::pair<qubit_t, int>>&
+    measures() const noexcept {
+        return measures_;
+    }
+    /// Gate ops in the unfused suffix (fusion-benefit accounting).
+    [[nodiscard]] std::size_t suffix_gate_count() const noexcept;
+    /// Unitary blocks in the fused suffix.
+    [[nodiscard]] std::size_t fused_unitary_count() const noexcept;
+
+    /// Reassembles a plain per-sample circuit (slot amplitudes and prefix
+    /// params substituted) — for engines that consume whole circuits, such
+    /// as the density-matrix backend. Barriers are not restored.
+    [[nodiscard]] circuit
+    materialize(std::span<const double> amplitudes,
+                std::span<const double> prefix_params = {}) const;
+
+private:
+    std::size_t num_qubits_ = 0;
+    std::size_t num_clbits_ = 0;
+    std::vector<prep_slot> slots_;
+    std::vector<operation> prefix_;
+    std::size_t prefix_param_count_ = 0;
+    std::vector<compiled_op> suffix_;
+    std::vector<fused_op> fused_;
+    bool fused_built_ = false;
+    std::vector<std::pair<qubit_t, int>> measures_;
+};
+
+/// Fuses a gates-only op sequence (exposed for tests/benches): merges
+/// adjacent compatible gates, commuting past blocks on disjoint qubits.
+[[nodiscard]] std::vector<fused_op>
+fuse_operations(std::span<const operation> ops, bool fuse_two_qubit = true);
+
+} // namespace quorum::qsim
+
+#endif // QUORUM_QSIM_COMPILED_PROGRAM_H

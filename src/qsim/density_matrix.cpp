@@ -296,8 +296,8 @@ void density_matrix::depolarize(std::span<const qubit_t> qubits, double p) {
             const std::size_t col_base = expand_index(gc, sorted);
             const amp contribution = mix * reduced.data_[gr * groups + gc];
             for (std::size_t a = 0; a < block; ++a) {
-                data_[(row_base + offsets[a]) * dim_ + (col_base + offsets[a])] +=
-                    contribution;
+                data_[(row_base + offsets[a]) * dim_ +
+                      (col_base + offsets[a])] += contribution;
             }
         }
     }

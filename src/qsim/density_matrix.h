@@ -26,7 +26,9 @@ public:
     /// |psi><psi| from a pure state.
     static density_matrix from_statevector(const statevector& state);
 
-    [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+    [[nodiscard]] std::size_t num_qubits() const noexcept {
+        return num_qubits_;
+    }
     [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
     /// Element rho(row, col).
@@ -69,7 +71,8 @@ public:
 
     /// Partial trace over `qubits`, returning the reduced density matrix
     /// on the remaining qubits (kept in ascending qubit order).
-    [[nodiscard]] density_matrix partial_trace(std::span<const qubit_t> qubits) const;
+    [[nodiscard]] density_matrix
+    partial_trace(std::span<const qubit_t> qubits) const;
 
     /// Product-initialises `qubits` (must be in |0..0> and unentangled)
     /// with the given pure sub-register amplitudes.

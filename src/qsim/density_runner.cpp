@@ -36,7 +36,8 @@ noisy_run_result density_runner::run(const circuit& c,
                 noise.thermal_coefficients(noise.duration_ns(op.gate));
             if (thermal.gamma > 0.0 || thermal.lambda > 0.0) {
                 for (const qubit_t q : op.qubits) {
-                    result.state.apply_thermal(q, thermal.gamma, thermal.lambda);
+                    result.state.apply_thermal(q, thermal.gamma,
+                                               thermal.lambda);
                 }
             }
             break;

@@ -93,7 +93,8 @@ noise_model::thermal_coefficients(double nanoseconds) const {
     return out;
 }
 
-std::vector<util::cmatrix> noise_model::thermal_kraus(double nanoseconds) const {
+std::vector<util::cmatrix>
+noise_model::thermal_kraus(double nanoseconds) const {
     std::vector<util::cmatrix> ops;
     const thermal_coefficients_result coeff = thermal_coefficients(nanoseconds);
     const double gamma = coeff.gamma;

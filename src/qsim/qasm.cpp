@@ -344,7 +344,8 @@ circuit parse_qasm(std::istream& in) {
         // Gate statement: name[(params)] operands.
         std::size_t name_end = 0;
         while (name_end < statement.size() &&
-               (std::isalnum(static_cast<unsigned char>(statement[name_end])) != 0)) {
+               (std::isalnum(static_cast<unsigned char>(
+                    statement[name_end])) != 0)) {
             ++name_end;
         }
         const std::string name = statement.substr(0, name_end);

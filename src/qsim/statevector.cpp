@@ -149,6 +149,30 @@ void statevector::apply_matrix(const util::cmatrix& u,
     }
 }
 
+void statevector::apply_matrix_prepared(const util::cmatrix& u,
+                                        std::span<const qubit_t> sorted,
+                                        std::span<const std::size_t> offsets,
+                                        std::span<amp> scratch) {
+    const std::size_t k = sorted.size();
+    const std::size_t block = std::size_t{1} << k;
+    const std::size_t groups = data_.size() >> k;
+    const std::vector<amp>& u_data = u.data(); // skip per-entry bounds checks
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t base = expand_index(g, sorted);
+        for (std::size_t j = 0; j < block; ++j) {
+            scratch[j] = data_[base + offsets[j]];
+        }
+        for (std::size_t row = 0; row < block; ++row) {
+            amp sum{};
+            const amp* u_row = u_data.data() + row * block;
+            for (std::size_t col = 0; col < block; ++col) {
+                sum += u_row[col] * scratch[col];
+            }
+            data_[base + offsets[row]] = sum;
+        }
+    }
+}
+
 double statevector::probability_one(qubit_t q) const {
     QUORUM_EXPECTS(q < num_qubits_);
     const std::size_t mask = std::size_t{1} << q;

@@ -27,7 +27,9 @@ public:
     /// normalised to 1 within 1e-9).
     static statevector from_amplitudes(std::vector<amp> amplitudes);
 
-    [[nodiscard]] std::size_t num_qubits() const noexcept { return num_qubits_; }
+    [[nodiscard]] std::size_t num_qubits() const noexcept {
+        return num_qubits_;
+    }
     [[nodiscard]] std::size_t dim() const noexcept { return data_.size(); }
     [[nodiscard]] std::span<const amp> amplitudes() const noexcept {
         return data_;
@@ -42,6 +44,22 @@ public:
     /// (first qubit = LSB of the matrix index). The matrix need not be
     /// unitary (the density engine reuses this for Kraus operators).
     void apply_matrix(const util::cmatrix& u, std::span<const qubit_t> qubits);
+
+    /// Applies a precomputed 2x2 matrix to one qubit — the same kernel
+    /// apply_gate dispatches to after building the gate matrix, exposed so
+    /// compiled-program replay can skip per-sample matrix construction
+    /// while staying bit-identical to apply_gate.
+    void apply_1q(const util::cmatrix& u, qubit_t q);
+
+    /// Allocation-free variant of apply_matrix for compiled replay:
+    /// `sorted` is the ascending operand list, `offsets` comes from
+    /// make_offsets over the operands in matrix order, and `scratch` must
+    /// hold at least 2^k amplitudes. No validation — the caller (a
+    /// compiled_program) has validated once at compile time.
+    void apply_matrix_prepared(const util::cmatrix& u,
+                               std::span<const qubit_t> sorted,
+                               std::span<const std::size_t> offsets,
+                               std::span<amp> scratch);
 
     /// Probability that measuring `q` yields 1.
     [[nodiscard]] double probability_one(qubit_t q) const;
@@ -76,7 +94,6 @@ public:
                              std::span<const amp> amplitudes);
 
 private:
-    void apply_1q(const util::cmatrix& u, qubit_t q);
     void apply_x(qubit_t q);
     void apply_cx(qubit_t control, qubit_t target);
 

@@ -18,7 +18,8 @@ bool is_trivial_rotation(double theta) {
     return std::abs(wrapped) < 1e-10;
 }
 
-/// ZYZ Euler angles of a 2x2 unitary: U = e^{i alpha} RZ(beta) RY(gamma) RZ(delta).
+/// ZYZ Euler angles of a 2x2 unitary:
+/// U = e^{i alpha} RZ(beta) RY(gamma) RZ(delta).
 struct zyz_angles {
     double beta = 0.0;
     double gamma = 0.0;

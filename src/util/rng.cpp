@@ -10,7 +10,8 @@ namespace quorum::util {
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) noexcept {
     // Two SplitMix64 steps keyed by (seed ^ golden-ratio-scrambled index):
     // enough mixing that adjacent indices give unrelated streams.
-    splitmix64 mixer(seed ^ (index * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+    splitmix64 mixer(seed ^
+                     (index * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
     (void)mixer();
     return mixer();
 }
@@ -48,7 +49,8 @@ std::size_t rng::uniform_index(std::size_t n) {
     // path is ever compiled per platform.
     QUORUM_EXPECTS_MSG(n <= 0xFFFFFFFFULL,
                        "index ranges above 2^32 unsupported");
-    return static_cast<std::size_t>(((x >> 32) * static_cast<std::uint64_t>(n)) >> 32);
+    return static_cast<std::size_t>(
+        ((x >> 32) * static_cast<std::uint64_t>(n)) >> 32);
 #endif
 }
 

@@ -1,0 +1,252 @@
+// Engine-equivalence suite (the batched-execution refactor's contract):
+// for fixed seeds, exact-mode scores from the compiled/batched engine are
+// BIT-IDENTICAL to the pre-refactor per-sample path (reimplemented here
+// verbatim), and the stochastic modes stay deterministic for any thread
+// count via their per-sample rng streams.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/quorum.h"
+#include "data/bucketing.h"
+#include "data/feature_select.h"
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/statevector_runner.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace quorum;
+using core::exec_mode;
+using core::group_result;
+using core::quorum_config;
+using data::dataset;
+
+dataset small_normalized_dataset(std::uint64_t seed, std::size_t samples) {
+    util::rng gen(seed);
+    data::generator_spec spec;
+    spec.samples = samples;
+    spec.anomalies = 3;
+    spec.features = 10;
+    spec.anomaly_shift = 0.35;
+    const dataset raw = data::generate_clustered(spec, gen);
+    return data::normalize_for_quorum(raw.without_labels());
+}
+
+/// The pre-refactor evaluation: rebuild the whole circuit per sample and
+/// run it through the simulator directly (exact mode only).
+double legacy_evaluate_sample(std::span<const double> amplitudes,
+                              const qml::ansatz_params& params,
+                              std::size_t compression,
+                              const quorum_config& config) {
+    if (config.use_full_circuit) {
+        const qsim::circuit c =
+            qml::build_autoencoder_circuit(amplitudes, params, compression);
+        const qsim::exact_run_result result =
+            qsim::statevector_runner::run_exact(c);
+        return result.cbit_probability_one(qml::swap_result_cbit);
+    }
+    return qml::analytic_swap_p1(amplitudes, params, compression);
+}
+
+/// The pre-refactor ensemble group, kept verbatim as the golden reference
+/// for the batched engine (exact mode; the RNG preamble mirrors
+/// core::run_ensemble_group exactly).
+group_result legacy_run_ensemble_group(const dataset& normalized,
+                                       const quorum_config& config,
+                                       std::size_t group_index) {
+    const std::size_t n_samples = normalized.num_samples();
+    util::rng gen(util::derive_seed(config.seed, group_index));
+
+    group_result result;
+    result.abs_z_sum.assign(n_samples, 0.0);
+    result.run_count.assign(n_samples, 0);
+
+    const auto estimated_anomalies = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::lround(
+               config.estimated_anomaly_rate *
+               static_cast<double>(n_samples))));
+    result.bucket_size = data::solve_bucket_size(
+        n_samples, estimated_anomalies, config.bucket_probability);
+    const std::vector<std::vector<std::size_t>> buckets =
+        data::make_buckets(n_samples, result.bucket_size, gen);
+
+    const std::vector<std::size_t> features = data::select_features(
+        normalized.num_features(), qml::max_features(config.n_qubits), gen);
+    const qml::ansatz_params params =
+        qml::random_ansatz_params(config.n_qubits, config.ansatz_layers, gen);
+
+    std::vector<std::vector<double>> amplitudes(n_samples);
+    for (std::size_t i = 0; i < n_samples; ++i) {
+        const std::vector<double> selected =
+            data::gather_features(normalized.row(i), features);
+        amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
+    }
+
+    std::vector<double> p_values(n_samples, 0.0);
+    for (const std::size_t level : config.effective_compression_levels()) {
+        for (std::size_t i = 0; i < n_samples; ++i) {
+            p_values[i] =
+                legacy_evaluate_sample(amplitudes[i], params, level, config);
+        }
+        for (const std::vector<std::size_t>& bucket : buckets) {
+            util::welford_accumulator acc;
+            for (const std::size_t i : bucket) {
+                acc.add(p_values[i]);
+            }
+            const double mu = acc.mean();
+            const double sigma = acc.stddev_population();
+            if (sigma < 1e-9) {
+                continue;
+            }
+            for (const std::size_t i : bucket) {
+                result.abs_z_sum[i] += std::abs((p_values[i] - mu) / sigma);
+                ++result.run_count[i];
+            }
+        }
+    }
+    return result;
+}
+
+TEST(EngineEquivalence, ExactGroupScoresAreBitIdenticalToLegacyPath) {
+    const dataset d = small_normalized_dataset(31, 40);
+    quorum_config config;
+    config.seed = 4242;
+    for (std::size_t group = 0; group < 3; ++group) {
+        const group_result legacy =
+            legacy_run_ensemble_group(d, config, group);
+        const group_result engine = core::run_ensemble_group(d, config, group);
+        ASSERT_EQ(engine.abs_z_sum.size(), legacy.abs_z_sum.size());
+        for (std::size_t i = 0; i < legacy.abs_z_sum.size(); ++i) {
+            EXPECT_EQ(engine.abs_z_sum[i], legacy.abs_z_sum[i])
+                << "group " << group << " sample " << i;
+        }
+        EXPECT_EQ(engine.run_count, legacy.run_count);
+        EXPECT_EQ(engine.bucket_size, legacy.bucket_size);
+    }
+}
+
+TEST(EngineEquivalence, ExactFullCircuitGroupScoresAreBitIdentical) {
+    const dataset d = small_normalized_dataset(33, 24);
+    quorum_config config;
+    config.seed = 97;
+    config.use_full_circuit = true;
+    const group_result legacy = legacy_run_ensemble_group(d, config, 1);
+    const group_result engine = core::run_ensemble_group(d, config, 1);
+    for (std::size_t i = 0; i < legacy.abs_z_sum.size(); ++i) {
+        EXPECT_EQ(engine.abs_z_sum[i], legacy.abs_z_sum[i]) << i;
+    }
+}
+
+TEST(EngineEquivalence, DetectorScoresAreBitIdenticalToLegacyAggregate) {
+    const dataset raw = [] {
+        util::rng gen(35);
+        data::generator_spec spec;
+        spec.samples = 30;
+        spec.anomalies = 2;
+        spec.features = 9;
+        return data::generate_clustered(spec, gen);
+    }();
+    quorum_config config;
+    config.ensemble_groups = 5;
+    config.seed = 11;
+    const dataset normalized =
+        data::normalize_for_quorum(raw.without_labels());
+    std::vector<group_result> groups;
+    groups.reserve(config.ensemble_groups);
+    for (std::size_t g = 0; g < config.ensemble_groups; ++g) {
+        groups.push_back(legacy_run_ensemble_group(normalized, config, g));
+    }
+    const core::score_report legacy = core::aggregate_groups(groups);
+    const core::quorum_detector detector(config);
+    const core::score_report engine = detector.score(raw);
+    EXPECT_EQ(engine.scores, legacy.scores);
+}
+
+TEST(EngineEquivalence, ExplicitStatevectorBackendMatchesAuto) {
+    const dataset d = small_normalized_dataset(37, 24);
+    quorum_config auto_config;
+    auto_config.seed = 5;
+    quorum_config named_config = auto_config;
+    named_config.backend = "statevector";
+    const group_result a = core::run_ensemble_group(d, auto_config, 0);
+    const group_result b = core::run_ensemble_group(d, named_config, 0);
+    EXPECT_EQ(a.abs_z_sum, b.abs_z_sum);
+}
+
+class StochasticModeThreads : public ::testing::TestWithParam<exec_mode> {};
+
+TEST_P(StochasticModeThreads, ScoresAreDeterministicAcrossThreadCounts) {
+    util::rng gen(39);
+    data::generator_spec spec;
+    spec.samples = 24;
+    spec.anomalies = 2;
+    spec.features = 8;
+    const dataset d = data::generate_clustered(spec, gen);
+
+    quorum_config config;
+    config.ensemble_groups = 6;
+    config.mode = GetParam();
+    config.shots = GetParam() == exec_mode::per_shot ? 32 : 256;
+    config.seed = 2024;
+    config.threads = 1;
+    const core::score_report serial =
+        core::quorum_detector(config).score(d);
+    for (const std::size_t threads : {2u, 4u}) {
+        config.threads = threads;
+        const core::score_report parallel =
+            core::quorum_detector(config).score(d);
+        ASSERT_EQ(parallel.scores.size(), serial.scores.size());
+        for (std::size_t i = 0; i < serial.scores.size(); ++i) {
+            ASSERT_EQ(parallel.scores[i], serial.scores[i])
+                << "threads=" << threads << " sample=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, StochasticModeThreads,
+                         ::testing::Values(exec_mode::sampled,
+                                           exec_mode::per_shot));
+
+TEST(EngineEquivalence, DensityBackendServesExactModeViaFullCircuit) {
+    // Forcing the density backend for exact mode must fall back to the
+    // full SWAP-test circuit (the density engine cannot evaluate the
+    // register-A overlap shortcut) and agree with the state-vector path.
+    const dataset d = small_normalized_dataset(41, 12);
+    quorum_config sv_config;
+    sv_config.compression_levels = {1};
+    quorum_config density_config = sv_config;
+    density_config.backend = "density";
+    const group_result sv = core::run_ensemble_group(d, sv_config, 0);
+    const group_result density =
+        core::run_ensemble_group(d, density_config, 0);
+    ASSERT_EQ(density.abs_z_sum.size(), sv.abs_z_sum.size());
+    for (std::size_t i = 0; i < sv.abs_z_sum.size(); ++i) {
+        EXPECT_NEAR(density.abs_z_sum[i], sv.abs_z_sum[i], 1e-6) << i;
+    }
+}
+
+TEST(EngineEquivalence, UnknownBackendIsRejectedAtValidation) {
+    quorum_config config;
+    config.backend = "warp-drive";
+    EXPECT_THROW((core::quorum_detector{config}),
+                 quorum::util::contract_error);
+}
+
+TEST(EngineEquivalence, IncompatibleModeBackendPairIsRejectedAtValidation) {
+    // per_shot has no density-engine semantics; the combination must fail
+    // at construction, not mid-scoring in a worker thread.
+    quorum_config config;
+    config.mode = exec_mode::per_shot;
+    config.shots = 8;
+    config.backend = "density";
+    EXPECT_THROW((core::quorum_detector{config}),
+                 quorum::util::contract_error);
+}
+
+} // namespace

@@ -91,8 +91,8 @@ TEST(Ensemble, SampledModeAddsShotNoiseOnly) {
     // 65536 shots the per-sample deviation stays moderate.
     double max_delta = 0.0;
     for (std::size_t i = 0; i < d.num_samples(); ++i) {
-        max_delta = std::max(max_delta,
-                             std::abs(exact.abs_z_sum[i] - sampled.abs_z_sum[i]));
+        max_delta = std::max(
+            max_delta, std::abs(exact.abs_z_sum[i] - sampled.abs_z_sum[i]));
     }
     EXPECT_LT(max_delta, 2.5);
 }

@@ -74,8 +74,10 @@ TEST(Bucketing, SolverZeroAnomaliesFallsBackToPopulation) {
 }
 
 TEST(Bucketing, SolverRejectsBadTargets) {
-    EXPECT_THROW((void)solve_bucket_size(100, 5, 0.0), quorum::util::contract_error);
-    EXPECT_THROW((void)solve_bucket_size(100, 5, 1.0), quorum::util::contract_error);
+    EXPECT_THROW((void)solve_bucket_size(100, 5, 0.0),
+                 quorum::util::contract_error);
+    EXPECT_THROW((void)solve_bucket_size(100, 5, 1.0),
+                 quorum::util::contract_error);
 }
 
 TEST(Bucketing, SolverTableOneConfigurations) {
@@ -94,7 +96,8 @@ TEST(Bucketing, SolverTableOneConfigurations) {
         EXPECT_LT(size, row.n);
         EXPECT_GE(prob_bucket_contains_anomaly(row.n, row.a, size), row.p);
     }
-    EXPECT_LE(solve_bucket_size(533, 33, 0.60), solve_bucket_size(533, 33, 0.95));
+    EXPECT_LE(solve_bucket_size(533, 33, 0.60),
+              solve_bucket_size(533, 33, 0.95));
 }
 
 TEST(Bucketing, MakeBucketsPartitionsEverything) {

@@ -115,7 +115,8 @@ TEST(Csv, WriteScoresIncludesLabels) {
 TEST(Csv, WriteScoresValidatesLength) {
     const dataset d = dataset::from_rows({{1.0}, {2.0}});
     std::ostringstream out;
-    EXPECT_THROW((write_scores_csv(out, d, {0.5})), quorum::util::contract_error);
+    EXPECT_THROW((write_scores_csv(out, d, {0.5})),
+                 quorum::util::contract_error);
 }
 
 TEST(Csv, CustomDelimiter) {

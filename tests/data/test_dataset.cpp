@@ -31,7 +31,8 @@ TEST(Dataset, FromRowsCopiesValues) {
 }
 
 TEST(Dataset, FromRowsRejectsRagged) {
-    EXPECT_THROW((dataset::from_rows({{1.0, 2.0}, {3.0}})), quorum::util::contract_error);
+    EXPECT_THROW((dataset::from_rows({{1.0, 2.0}, {3.0}})),
+                 quorum::util::contract_error);
     EXPECT_THROW((dataset::from_rows({})), quorum::util::contract_error);
 }
 

@@ -59,7 +59,8 @@ TEST(Confusion, EmptyInputs) {
 TEST(Confusion, MismatchedLengthsThrow) {
     const std::vector<int> labels{1, 0};
     const std::vector<int> flags{1};
-    EXPECT_THROW((void)evaluate_flags(labels, flags), quorum::util::contract_error);
+    EXPECT_THROW((void)evaluate_flags(labels, flags),
+                 quorum::util::contract_error);
 }
 
 TEST(Confusion, TopKFlagsHighestScores) {

@@ -35,7 +35,7 @@ TEST(Autoencoder, CircuitUsesTwoNPlusOneQubits) {
     const ansatz_params params = random_ansatz_params(3, 2, gen);
     const std::vector<double> amps = random_amplitudes(3, gen);
     const circuit c = build_autoencoder_circuit(amps, params, 1);
-    EXPECT_EQ(c.num_qubits(), 7u); // paper: 3-qubit encodings -> 7-qubit circuits
+    EXPECT_EQ(c.num_qubits(), 7u); // paper: 3-qubit -> 7-qubit circuits
     EXPECT_EQ(c.num_clbits(), 1u);
     std::size_t resets = 0;
     for (const auto& op : c.ops()) {

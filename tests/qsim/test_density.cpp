@@ -79,8 +79,9 @@ TEST(DensityMatrix, UnitaryEvolutionMatchesStatevector) {
         const density_matrix expected = density_matrix::from_statevector(psi);
         for (std::size_t r = 0; r < 8; ++r) {
             for (std::size_t c = 0; c < 8; ++c) {
-                EXPECT_NEAR(std::abs(rho.element(r, c) - expected.element(r, c)),
-                            0.0, 1e-10);
+                EXPECT_NEAR(
+                    std::abs(rho.element(r, c) - expected.element(r, c)), 0.0,
+                    1e-10);
             }
         }
     }

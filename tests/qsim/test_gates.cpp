@@ -119,7 +119,7 @@ TEST(Gates, RotationAtZeroIsIdentity) {
 }
 
 TEST(Gates, RxMatchesPaperDefinition) {
-    // Paper §II-A: RX(θ) = [[cos θ/2, -i sin θ/2], [-i sin θ/2, cos θ/2]].
+    // Paper §II-A: RX(θ) = [[cos θ/2, -i sin θ/2], [-i sin θ/2, cos θ/2]]
     const double theta = 1.234;
     const std::vector<double> params{theta};
     const cmatrix u = gate_matrix(gate_kind::rx, params);

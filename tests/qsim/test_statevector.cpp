@@ -47,8 +47,10 @@ TEST(Statevector, BasisStateConstruction) {
 }
 
 TEST(Statevector, FromAmplitudesValidates) {
-    EXPECT_THROW((statevector::from_amplitudes({cd(1.0), cd(0.0), cd(0.0)})), quorum::util::contract_error);
-    EXPECT_THROW((statevector::from_amplitudes({cd(1.0), cd(1.0)})), quorum::util::contract_error);
+    EXPECT_THROW((statevector::from_amplitudes({cd(1.0), cd(0.0), cd(0.0)})),
+                 quorum::util::contract_error);
+    EXPECT_THROW((statevector::from_amplitudes({cd(1.0), cd(1.0)})),
+                 quorum::util::contract_error);
     const statevector ok =
         statevector::from_amplitudes({cd(std::sqrt(0.5)), cd(std::sqrt(0.5))});
     EXPECT_EQ(ok.num_qubits(), 1u);
@@ -88,7 +90,8 @@ TEST(Statevector, GateKernelsMatchGenericMatrixPath) {
         statevector fast = random_state(4, gen);
         statevector slow = fast;
         const auto q = static_cast<qubit_t>(gen.uniform_index(4));
-        const auto q2 = static_cast<qubit_t>((q + 1 + gen.uniform_index(3)) % 4);
+        const auto q2 =
+            static_cast<qubit_t>((q + 1 + gen.uniform_index(3)) % 4);
         const int pick = static_cast<int>(gen.uniform_index(3));
         if (pick == 0) {
             const qubit_t operand[] = {q};

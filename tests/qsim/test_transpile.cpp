@@ -175,7 +175,8 @@ TEST(Transpile, MultiplexedRyImplementsControlCases) {
         }
         const double expected = angles[control_value];
         // P(target=1) = sin^2(expected/2).
-        const double expected_p1 = std::sin(expected / 2) * std::sin(expected / 2);
+        const double expected_p1 =
+            std::sin(expected / 2) * std::sin(expected / 2);
         EXPECT_NEAR(state.probability_one(0), expected_p1, 1e-10);
     }
 }

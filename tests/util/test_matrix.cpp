@@ -21,7 +21,8 @@ TEST(Matrix, IdentityConstruction) {
 }
 
 TEST(Matrix, FromRowsValidatesSize) {
-    EXPECT_THROW((cmatrix::from_rows(2, 2, {1.0, 2.0, 3.0})), quorum::util::contract_error);
+    EXPECT_THROW((cmatrix::from_rows(2, 2, {1.0, 2.0, 3.0})),
+                 quorum::util::contract_error);
 }
 
 TEST(Matrix, MultiplyBasics) {
@@ -81,7 +82,8 @@ TEST(Matrix, ApplyVector) {
 
 TEST(Matrix, ApplyRejectsWrongLength) {
     const cmatrix m = cmatrix::identity(2);
-    EXPECT_THROW((m.apply(std::vector<cd>{cd(1.0)})), quorum::util::contract_error);
+    EXPECT_THROW((m.apply(std::vector<cd>{cd(1.0)})),
+                 quorum::util::contract_error);
 }
 
 TEST(Matrix, TraceOfIdentity) {

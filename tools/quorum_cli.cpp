@@ -13,6 +13,8 @@
 //   --rate R              estimated anomaly rate (default 0.03)
 //   --bucket-prob P       bucket containment probability (default 0.75)
 //   --mode M              exact | sampled | per_shot | noisy (default sampled)
+//   --backend B           execution engine: auto | statevector | density |
+//                         any registered backend (default auto)
 //   --threads N           worker threads (default: all cores)
 //   --seed S              master seed (default 2025)
 //   --top K               print the K strongest suspects (default 10)
@@ -27,6 +29,7 @@
 #include "core/quorum.h"
 #include "data/csv.h"
 #include "data/generators.h"
+#include "exec/registry.h"
 #include "metrics/confusion.h"
 #include "metrics/detection_curve.h"
 #include "metrics/report.h"
@@ -59,8 +62,15 @@ void print_usage() {
         "             [--label-column K] [--no-header]\n"
         "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
-        "             [--threads N] [--seed S] [--top K] [--qasm out.qasm]\n"
-        "  quorum_cli --demo\n";
+        "             [--backend auto|NAME] [--threads N] [--seed S]\n"
+        "             [--top K] [--qasm out.qasm]\n"
+        "  quorum_cli --demo\n"
+        "\n"
+        "registered backends:";
+    for (const std::string& name : quorum::exec::backend_names()) {
+        std::cout << " " << name;
+    }
+    std::cout << "\n";
 }
 
 bool parse_mode(const std::string& text, quorum::core::exec_mode& mode) {
@@ -176,6 +186,12 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 std::cerr << "unknown mode\n";
                 return false;
             }
+        } else if (arg == "--backend") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.backend = v;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return false;
@@ -224,6 +240,7 @@ int main(int argc, char** argv) {
         core::quorum_detector detector(options.config);
         std::cout << "scoring: mode=" << core::exec_mode_name(
                          options.config.mode)
+                  << " backend=" << options.config.resolved_backend()
                   << " groups=" << options.config.ensemble_groups
                   << " qubits=" << options.config.n_qubits
                   << " shots=" << options.config.shots << "\n";
