@@ -38,8 +38,11 @@ struct qnn_config {
     /// the conservative paper-like behaviour emerges at 1.0).
     double positive_class_weight = 1.0;
     std::uint64_t seed = 7;
-    /// Execution backend (exec registry name) evaluating the circuits.
+    /// Execution backend spec (exec registry) evaluating the circuits.
+    /// "sharded:statevector" parallelises predict_proba across shards.
     std::string backend = "statevector";
+    /// Shards for a sharded backend spec (0 = one per hardware thread).
+    std::size_t shards = 0;
 };
 
 /// Supervised parameterised-circuit classifier.

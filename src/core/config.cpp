@@ -42,10 +42,15 @@ quorum_config::effective_compression_levels() const {
 }
 
 std::string quorum_config::resolved_backend() const {
-    if (backend != "auto") {
-        return backend;
+    const std::string by_mode =
+        mode == exec_mode::noisy ? "density" : "statevector";
+    if (backend == "auto") {
+        return by_mode;
     }
-    return mode == exec_mode::noisy ? "density" : "statevector";
+    if (backend == "sharded" || backend == "sharded:auto") {
+        return "sharded:" + by_mode;
+    }
+    return backend;
 }
 
 exec::engine_config quorum_config::to_engine_config() const {
@@ -72,6 +77,7 @@ exec::engine_config quorum_config::to_engine_config() const {
         engine.noise = noise;
         break;
     }
+    engine.shards = shards;
     return engine;
 }
 
@@ -102,9 +108,10 @@ void quorum_config::validate() const {
         QUORUM_EXPECTS_MSG(level >= 1 && level < n_qubits,
                            "compression levels must be in [1, n_qubits)");
     }
-    // Instantiating the backend surfaces unknown names AND incompatible
-    // mode/backend combinations (e.g. per_shot on the density engine)
-    // here, at validation time, instead of mid-scoring in a worker thread.
+    // Instantiating the backend surfaces unknown names, malformed
+    // "sharded:<inner>" spec strings, AND incompatible mode/backend
+    // combinations (e.g. per_shot on the density engine) here, at
+    // validation time, instead of mid-scoring in a worker thread.
     (void)exec::make_executor(resolved_backend(), to_engine_config());
 }
 

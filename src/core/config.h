@@ -71,6 +71,11 @@ struct quorum_config {
     /// Worker threads for the ensemble loop; 0 = all hardware threads.
     /// Results are identical for any thread count.
     std::size_t threads = 0;
+    /// In-process shards for the "sharded" execution backend: every
+    /// run_batch is partitioned across this many lanes (0 = one per
+    /// hardware thread). Ignored unless the backend spec is sharded.
+    /// Results are identical for any shard count.
+    std::size_t shards = 0;
     /// Master seed; every ensemble group derives child stream g.
     std::uint64_t seed = 2025;
     /// exact/sampled only: simulate the full 2n+1-qubit circuit instead of
@@ -80,9 +85,11 @@ struct quorum_config {
     feature_strategy features = feature_strategy::uniform_random;
     /// Noise model for exec_mode::noisy.
     qsim::noise_model noise = qsim::noise_model::ibm_brisbane_median();
-    /// Execution backend, by registry name (exec/registry.h). "auto" picks
-    /// the density engine for noisy mode and the state-vector engine
-    /// otherwise; anything else must be a registered backend.
+    /// Execution backend spec (exec/registry.h). "auto" picks the density
+    /// engine for noisy mode and the state-vector engine otherwise;
+    /// "sharded" / "sharded:auto" wraps that same choice in the sharded
+    /// engine; "sharded:<name>" wraps a specific backend; anything else
+    /// must be a registered backend name.
     std::string backend = "auto";
 
     /// The compression levels actually run: configured ones, or 1..n-1.

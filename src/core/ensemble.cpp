@@ -52,7 +52,8 @@ make_level_program(const qml::ansatz_params& params, std::size_t level,
 
 group_result run_ensemble_group(const data::dataset& normalized,
                                 const quorum_config& config,
-                                std::size_t group_index) {
+                                std::size_t group_index,
+                                const exec::executor& engine) {
     const std::size_t n_samples = normalized.num_samples();
     const std::size_t n_features = normalized.num_features();
     QUORUM_EXPECTS(n_samples >= 2);
@@ -120,8 +121,6 @@ group_result run_ensemble_group(const data::dataset& normalized,
         amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
     }
 
-    const std::unique_ptr<exec::executor> engine = exec::make_executor(
-        config.resolved_backend(), config.to_engine_config());
     const bool stochastic = config.mode != exec_mode::exact;
 
     const std::vector<std::size_t> levels =
@@ -134,7 +133,7 @@ group_result run_ensemble_group(const data::dataset& normalized,
          ++level_index) {
         // One compiled program per (group, level), replayed per bucket.
         const exec::program program =
-            make_level_program(params, levels[level_index], config, *engine);
+            make_level_program(params, levels[level_index], config, engine);
         for (const std::vector<std::size_t>& bucket : buckets) {
             batch.clear();
             batch_gens.clear();
@@ -153,7 +152,7 @@ group_result run_ensemble_group(const data::dataset& normalized,
                 }
                 batch.push_back(s);
             }
-            engine->run_batch(program, batch, batch_out);
+            engine.run_batch(program, batch, batch_out);
             for (std::size_t k = 0; k < bucket.size(); ++k) {
                 p_values[bucket[k]] = batch_out[k];
             }
@@ -176,6 +175,14 @@ group_result run_ensemble_group(const data::dataset& normalized,
         }
     }
     return result;
+}
+
+group_result run_ensemble_group(const data::dataset& normalized,
+                                const quorum_config& config,
+                                std::size_t group_index) {
+    const std::unique_ptr<exec::executor> engine = exec::make_executor(
+        config.resolved_backend(), config.to_engine_config());
+    return run_ensemble_group(normalized, config, group_index, *engine);
 }
 
 } // namespace quorum::core

@@ -10,6 +10,7 @@
 
 #include "core/config.h"
 #include "data/dataset.h"
+#include "exec/executor.h"
 
 namespace quorum::core {
 
@@ -25,8 +26,19 @@ struct group_result {
 };
 
 /// Runs ensemble group `group_index` over a dataset that has ALREADY been
-/// normalised with data::normalize_for_quorum (values in [0, 1/M]).
-/// Deterministic: depends only on (config.seed, group_index, data).
+/// normalised with data::normalize_for_quorum (values in [0, 1/M]),
+/// evaluating every bucket batch through `engine`. Backends are
+/// thread-safe, so the detector builds one engine per score() call and
+/// shares it across all group workers — which also means a sharded engine
+/// creates its shard pool once, not once per group. Deterministic:
+/// depends only on (config.seed, group_index, data).
+[[nodiscard]] group_result run_ensemble_group(const data::dataset& normalized,
+                                              const quorum_config& config,
+                                              std::size_t group_index,
+                                              const exec::executor& engine);
+
+/// Convenience overload that instantiates config's backend itself (one
+/// engine per call — fine for single-group studies and benches).
 [[nodiscard]] group_result run_ensemble_group(const data::dataset& normalized,
                                               const quorum_config& config,
                                               std::size_t group_index);

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "data/preprocess.h"
+#include "exec/executor.h"
+#include "exec/registry.h"
 #include "util/contracts.h"
 #include "util/thread_pool.h"
 
@@ -30,9 +33,14 @@ score_report quorum_detector::score(const data::dataset& input) const {
     const std::size_t thread_count =
         config_.threads == 0 ? util::default_thread_count() : config_.threads;
 
+    // One engine for the whole run, shared by every group worker (backends
+    // are thread-safe); a sharded engine thus builds its shard pool once.
+    const std::unique_ptr<exec::executor> engine = exec::make_executor(
+        config_.resolved_backend(), config_.to_engine_config());
+
     std::atomic<std::size_t> completed{0};
     const auto run_group = [&](std::size_t g) {
-        groups[g] = run_ensemble_group(normalized, config_, g);
+        groups[g] = run_ensemble_group(normalized, config_, g, *engine);
         const std::size_t done = completed.fetch_add(1) + 1;
         if (progress_) {
             progress_(done, config_.ensemble_groups);
@@ -44,7 +52,9 @@ score_report quorum_detector::score(const data::dataset& input) const {
             run_group(g);
         }
     } else {
-        util::thread_pool pool(thread_count);
+        // parallel_for's caller participates in the work loop, so
+        // thread_count - 1 workers give exactly thread_count lanes.
+        util::thread_pool pool(thread_count - 1);
         pool.parallel_for(config_.ensemble_groups, run_group);
     }
     return aggregate_groups(groups);

@@ -1,11 +1,62 @@
 #include "exec/density_backend.h"
 
+#include <numeric>
 #include <utility>
+#include <vector>
 
 #include "qsim/density_runner.h"
+#include "qsim/transpile.h"
 #include "util/contracts.h"
 
 namespace quorum::exec {
+
+namespace {
+
+/// Reassembles the sample-independent part of a compiled program (the
+/// shared suffix) as a plain circuit, ready for one batch-wide lowering.
+qsim::circuit suffix_circuit(const qsim::compiled_program& prog) {
+    qsim::circuit c(prog.num_qubits(), prog.num_clbits());
+    for (const qsim::compiled_op& compiled : prog.suffix()) {
+        const qsim::operation& op = compiled.op;
+        switch (op.kind) {
+        case qsim::op_kind::gate:
+            c.append_gate(op.gate, op.qubits, op.params);
+            break;
+        case qsim::op_kind::reset:
+            c.reset(op.qubits[0]);
+            break;
+        case qsim::op_kind::measure:
+            c.measure(op.qubits[0], op.cbit);
+            break;
+        case qsim::op_kind::initialize:
+            c.initialize(op.qubits,
+                         std::span<const qsim::amp>(op.init_amplitudes));
+            break;
+        case qsim::op_kind::barrier:
+            break; // compile() strips barriers; nothing to restore
+        }
+    }
+    return c;
+}
+
+/// Lowers one sample's state-prep to the hardware basis. Synthesised ONCE
+/// per sample and appended to every prep slot: all slots of a program
+/// share the sample's amplitudes (Quorum's reference-copy layout), so the
+/// Möttönen tree + ZYZ lowering need not be recomputed per slot. Built as
+/// a one-op initialize circuit so decompose_to_basis applies the same
+/// validation/clamp as transpiling the materialized circuit would — the
+/// batched path's bit-identity rests on sharing that code, not copying
+/// it.
+qsim::circuit lowered_prep(std::span<const double> amplitudes,
+                           std::size_t register_qubits) {
+    qsim::circuit prep(register_qubits);
+    std::vector<qsim::qubit_t> reg(register_qubits);
+    std::iota(reg.begin(), reg.end(), qsim::qubit_t{0});
+    prep.initialize(reg, amplitudes);
+    return qsim::decompose_to_basis(prep);
+}
+
+} // namespace
 
 density_backend::density_backend(engine_config config)
     : config_(std::move(config)) {
@@ -34,14 +85,58 @@ double density_backend::run(const qsim::circuit& c, int cbit,
 void density_backend::run_batch(const program& prog,
                                 std::span<const sample> samples,
                                 std::span<double> out) const {
-    QUORUM_EXPECTS_MSG(out.size() == samples.size(),
-                       "run_batch output span must match the batch size");
     QUORUM_EXPECTS_MSG(prog.readout.kind == readout_kind::cbit_probability,
                        "the density backend reads classical bits");
+    const bool needs_rng = config_.sampling_mode != sampling::exact;
+    validate_batch(prog, samples, out, needs_rng);
+
+    // Lower the shared suffix ONCE per batch. Per sample, only the
+    // state-prep prefix is synthesised and lowered; the final peephole
+    // pass streams over the concatenation, so the lowered circuit is
+    // bit-identical to transpiling the whole materialized circuit (the
+    // peephole is a single left-to-right pass, stable under pre-lowered
+    // segments).
+    const qsim::compiled_program& compiled = prog.circuit;
+    const qsim::circuit shared_lowered =
+        qsim::decompose_to_basis(suffix_circuit(compiled));
+    std::vector<qsim::qubit_t> identity(compiled.num_qubits());
+    std::iota(identity.begin(), identity.end(), qsim::qubit_t{0});
+
     for (std::size_t i = 0; i < samples.size(); ++i) {
-        const qsim::circuit c = prog.circuit.materialize(
-            samples[i].amplitudes, samples[i].prefix_params);
-        out[i] = run(c, prog.readout.cbit, samples[i].gen);
+        qsim::circuit lowered(compiled.num_qubits(), compiled.num_clbits());
+        if (!compiled.slots().empty()) {
+            const qsim::circuit prep = lowered_prep(
+                samples[i].amplitudes, compiled.slots()[0].qubits.size());
+            for (const qsim::prep_slot& slot : compiled.slots()) {
+                lowered.append(prep, slot.qubits);
+            }
+        }
+        if (!compiled.prefix().empty()) {
+            qsim::circuit prefix(compiled.num_qubits(),
+                                 compiled.num_clbits());
+            std::size_t cursor = 0;
+            for (const qsim::operation& op : compiled.prefix()) {
+                const std::size_t count = qsim::gate_param_count(op.gate);
+                prefix.append_gate(
+                    op.gate, op.qubits,
+                    samples[i].prefix_params.subspan(cursor, count));
+                cursor += count;
+            }
+            lowered.append(qsim::decompose_to_basis(prefix), identity);
+        }
+        lowered.append(shared_lowered, identity);
+
+        const qsim::noisy_run_result result = qsim::density_runner::
+            run_lowered(qsim::optimize_basis_circuit(lowered), config_.noise);
+        const double p_one =
+            result.cbit_probability_one(prog.readout.cbit, config_.noise);
+        if (config_.sampling_mode == sampling::exact) {
+            out[i] = p_one;
+        } else {
+            out[i] = static_cast<double>(
+                         samples[i].gen->binomial(config_.shots, p_one)) /
+                     static_cast<double>(config_.shots);
+        }
     }
 }
 

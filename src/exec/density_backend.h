@@ -1,8 +1,12 @@
 // Density-matrix execution backend: wraps qsim::density_runner (transpile
 // to the hardware basis + noise channels per physical gate) behind the
-// executor interface. Batched runs amortise template compilation; the
-// density evolution itself dominates, so each sample still runs one full
-// noisy simulation (sharding that is a ROADMAP item).
+// executor interface. Batched runs lower the shared circuit suffix once
+// per run_batch call and the per-sample state-prep once per sample
+// (reused across prep slots), so only the cheap peephole pass and the
+// density evolution itself remain per-sample. Wrap in "sharded:density"
+// to spread the per-sample evolutions across shards (each shard span then
+// lowers the suffix once — negligible next to the evolutions it
+// amortises against).
 #ifndef QUORUM_EXEC_DENSITY_BACKEND_H
 #define QUORUM_EXEC_DENSITY_BACKEND_H
 

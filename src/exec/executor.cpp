@@ -1,0 +1,32 @@
+#include "exec/executor.h"
+
+#include "util/contracts.h"
+
+namespace quorum::exec {
+
+void validate_batch(const program& prog, std::span<const sample> samples,
+                    std::span<double> out, bool needs_rng) {
+    QUORUM_EXPECTS_MSG(out.size() == samples.size(),
+                       "run_batch output span must match the batch size");
+    const std::size_t prefix_params = prog.circuit.prefix_param_count();
+    std::size_t slot_dim = 0;
+    if (!prog.circuit.slots().empty()) {
+        slot_dim = std::size_t{1} << prog.circuit.slots()[0].qubits.size();
+        for (const qsim::prep_slot& slot : prog.circuit.slots()) {
+            QUORUM_EXPECTS_MSG(
+                (std::size_t{1} << slot.qubits.size()) == slot_dim,
+                "all prep slots of a program must share one register size");
+        }
+    }
+    for (const sample& s : samples) {
+        QUORUM_EXPECTS_MSG(s.amplitudes.size() == slot_dim,
+                           "sample amplitude count does not match the "
+                           "program's prep slots");
+        QUORUM_EXPECTS_MSG(s.prefix_params.size() == prefix_params,
+                           "sample prefix param count mismatch");
+        QUORUM_EXPECTS_MSG(!needs_rng || s.gen != nullptr,
+                           "sampling modes need a per-sample rng stream");
+    }
+}
+
+} // namespace quorum::exec

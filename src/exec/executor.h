@@ -50,6 +50,9 @@ struct engine_config {
     std::size_t shots = 0;
     /// Noise model for the density backend (ignored elsewhere).
     qsim::noise_model noise = qsim::noise_model::ideal();
+    /// Worker shards the "sharded" backend partitions run_batch across
+    /// (0 = one per hardware thread; ignored by non-sharded backends).
+    std::size_t shards = 0;
 };
 
 /// One sample of a batch.
@@ -127,6 +130,15 @@ public:
 protected:
     executor() = default;
 };
+
+/// Validates a batch's shape against a program: the output span matches
+/// the batch, per-sample amplitude counts match the program's prep slots,
+/// prefix param counts match, and (when needs_rng) every sample carries an
+/// rng stream. Throws util::contract_error on violations. Backends call
+/// this at the top of run_batch so every engine rejects malformed batches
+/// identically.
+void validate_batch(const program& prog, std::span<const sample> samples,
+                    std::span<double> out, bool needs_rng);
 
 } // namespace quorum::exec
 

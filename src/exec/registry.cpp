@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/density_backend.h"
+#include "exec/sharded_backend.h"
 #include "exec/statevector_backend.h"
 #include "util/contracts.h"
 
@@ -33,6 +34,10 @@ void ensure_builtins() {
         register_backend("density", [](const engine_config& config) {
             return std::unique_ptr<executor>(new density_backend(config));
         });
+        register_backend("sharded", [](const engine_config& config) {
+            return std::unique_ptr<executor>(
+                new sharded_backend(config, "statevector"));
+        });
         return true;
     }();
     (void)registered;
@@ -42,6 +47,9 @@ void ensure_builtins() {
 
 bool register_backend(std::string name, backend_factory factory) {
     QUORUM_EXPECTS_MSG(!name.empty(), "backend name must be non-empty");
+    QUORUM_EXPECTS_MSG(name.find(':') == std::string::npos,
+                       "backend names must be plain (':' is reserved for "
+                       "composite specs like sharded:statevector)");
     QUORUM_EXPECTS_MSG(static_cast<bool>(factory),
                        "backend factory must be callable");
     registry_state& state = registry();
@@ -51,11 +59,47 @@ bool register_backend(std::string name, backend_factory factory) {
         .second;
 }
 
-bool is_backend_registered(std::string_view name) {
+backend_spec parse_backend_spec(std::string_view spec) {
+    backend_spec parsed;
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string_view::npos) {
+        parsed.name = std::string(spec);
+    } else {
+        parsed.name = std::string(spec.substr(0, colon));
+        parsed.inner = std::string(spec.substr(colon + 1));
+    }
+    QUORUM_EXPECTS_MSG(!parsed.name.empty(),
+                       "backend spec must start with a backend name");
+    if (colon != std::string_view::npos) {
+        QUORUM_EXPECTS_MSG(parsed.name == "sharded",
+                           "only the 'sharded' backend takes an ':inner' "
+                           "spec (got '" + std::string(spec) + "')");
+        QUORUM_EXPECTS_MSG(!parsed.inner.empty(),
+                           "'sharded:' needs an inner backend name (e.g. "
+                           "sharded:statevector)");
+        QUORUM_EXPECTS_MSG(parsed.inner.find(':') == std::string::npos &&
+                               parsed.inner != "sharded",
+                           "the sharded backend cannot nest (inner must be "
+                           "a plain backend name)");
+    }
+    return parsed;
+}
+
+bool is_backend_registered(std::string_view spec) {
     ensure_builtins();
+    backend_spec parsed;
+    try {
+        parsed = parse_backend_spec(spec);
+    } catch (const util::contract_error&) {
+        return false;
+    }
     registry_state& state = registry();
     const std::lock_guard<std::mutex> lock(state.mutex);
-    return state.factories.find(name) != state.factories.end();
+    if (state.factories.find(parsed.name) == state.factories.end()) {
+        return false;
+    }
+    return parsed.inner.empty() ||
+           state.factories.find(parsed.inner) != state.factories.end();
 }
 
 std::vector<std::string> backend_names() {
@@ -70,22 +114,30 @@ std::vector<std::string> backend_names() {
     return names;
 }
 
-std::unique_ptr<executor> make_executor(std::string_view name,
+std::unique_ptr<executor> make_executor(std::string_view spec,
                                         const engine_config& config) {
     ensure_builtins();
+    const backend_spec parsed = parse_backend_spec(spec);
+    if (!parsed.inner.empty()) {
+        // Composite spec: the sharded engine wraps the inner backend (the
+        // inner name is resolved through this registry, so unknown inners
+        // throw the same known-names error as unknown base names).
+        return std::unique_ptr<executor>(
+            new sharded_backend(config, parsed.inner));
+    }
     backend_factory factory;
     {
         registry_state& state = registry();
         const std::lock_guard<std::mutex> lock(state.mutex);
-        const auto it = state.factories.find(name);
+        const auto it = state.factories.find(parsed.name);
         if (it == state.factories.end()) {
             std::string known;
             for (const auto& [known_name, known_factory] : state.factories) {
                 known += known.empty() ? known_name : ", " + known_name;
             }
             throw util::contract_error("unknown execution backend '" +
-                                       std::string(name) + "' (known: " +
-                                       known + ")");
+                                       parsed.name + "' (known: " + known +
+                                       ")");
         }
         factory = it->second;
     }

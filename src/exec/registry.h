@@ -19,21 +19,40 @@ namespace quorum::exec {
 using backend_factory =
     std::function<std::unique_ptr<executor>(const engine_config&)>;
 
-/// Registers (or replaces) a factory under `name`. Returns true when the
-/// name was new, false when an existing registration was replaced.
-/// Thread-safe.
+/// Registers (or replaces) a factory under `name` (a plain name — no ':').
+/// Returns true when the name was new, false when an existing registration
+/// was replaced. Thread-safe.
 bool register_backend(std::string name, backend_factory factory);
 
-/// True when `name` resolves to a registered backend.
-[[nodiscard]] bool is_backend_registered(std::string_view name);
+/// A parsed backend spec. Specs are either a plain registered name
+/// ("statevector") or a composite "sharded:<inner>" pair, where <inner> is
+/// any plain registered name the sharded backend wraps.
+struct backend_spec {
+    std::string name;  ///< base backend name
+    std::string inner; ///< inner backend of a composite spec; else empty
+};
+
+/// Splits a spec string into (name, inner) and validates its shape:
+/// non-empty parts, at most one ':', and only "sharded" may carry an
+/// inner. Throws util::contract_error on malformed specs. Does NOT check
+/// registration — make_executor does.
+[[nodiscard]] backend_spec parse_backend_spec(std::string_view spec);
+
+/// True when `spec` is well-formed and every name in it is registered.
+[[nodiscard]] bool is_backend_registered(std::string_view spec);
 
 /// All registered backend names, sorted.
 [[nodiscard]] std::vector<std::string> backend_names();
 
-/// Instantiates the named backend. Throws util::contract_error (listing
-/// the known names) when `name` is not registered.
+/// Instantiates the backend a spec describes ("sharded:<inner>" wraps the
+/// inner backend in the sharded engine; "sharded" alone wraps
+/// "statevector"). Throws util::contract_error (listing the known names)
+/// when a name is not registered or the spec is malformed. Note:
+/// composite specs are always served by the built-in sharded engine —
+/// re-registering a factory under "sharded" affects only the plain name,
+/// not "sharded:<inner>" resolution.
 [[nodiscard]] std::unique_ptr<executor>
-make_executor(std::string_view name, const engine_config& config);
+make_executor(std::string_view spec, const engine_config& config);
 
 } // namespace quorum::exec
 

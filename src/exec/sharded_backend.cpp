@@ -1,0 +1,102 @@
+#include "exec/sharded_backend.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "exec/registry.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace quorum::exec {
+
+std::vector<shard_work> make_shard_plan(std::size_t n_samples,
+                                        std::size_t shards,
+                                        const program* prog,
+                                        std::uint64_t seed) {
+    QUORUM_EXPECTS_MSG(shards >= 1, "a shard plan needs at least one shard");
+    // More shards than samples cannot add lanes, so iterate the capped
+    // count: a pathological shards value (e.g. an unsigned wrap of "-1")
+    // must not spin 2^64 times or overflow the span arithmetic below.
+    const std::size_t lanes = std::min(shards, n_samples);
+    std::vector<shard_work> plan;
+    plan.reserve(lanes);
+    for (std::size_t s = 0; s < lanes; ++s) {
+        // Balanced contiguous spans: shard s owns [s*n/L, (s+1)*n/L),
+        // never empty for s < L <= n. Integer arithmetic keyed only by
+        // (n_samples, shards) — stable across runs, platforms, and call
+        // sites.
+        shard_work work;
+        work.shard = s;
+        work.first = s * n_samples / lanes;
+        work.count = (s + 1) * n_samples / lanes - work.first;
+        work.prog = prog;
+        work.rng_seed = util::derive_seed(seed, s);
+        plan.push_back(work);
+    }
+    return plan;
+}
+
+namespace {
+
+/// Validates and instantiates the wrapped backend: one plain registered
+/// name — "sharded" (or any spec with an inner of its own) cannot nest.
+std::unique_ptr<executor> make_inner(const engine_config& config,
+                                     const std::string& inner) {
+    QUORUM_EXPECTS_MSG(!inner.empty() && inner != "sharded" &&
+                           inner.find(':') == std::string::npos,
+                       "the sharded backend wraps one plain inner backend "
+                       "name (no nesting)");
+    return make_executor(inner, config);
+}
+
+} // namespace
+
+sharded_backend::sharded_backend(const engine_config& config,
+                                 const std::string& inner)
+    : inner_(make_inner(config, inner)),
+      spec_("sharded:" + inner),
+      shards_(std::min(config.shards == 0 ? util::default_thread_count()
+                                          : config.shards,
+                       max_shards)),
+      needs_rng_(config.sampling_mode != sampling::exact) {}
+
+util::thread_pool& sharded_backend::pool() const {
+    std::call_once(pool_once_, [this]() {
+        pool_ = std::make_unique<util::thread_pool>(shards_ - 1);
+    });
+    return *pool_;
+}
+
+void sharded_backend::run_batch(const program& prog,
+                                std::span<const sample> samples,
+                                std::span<double> out) const {
+    // Validate the whole batch up front so a malformed sample is reported
+    // once, deterministically, instead of from whichever shard saw it.
+    validate_batch(prog, samples, out, needs_rng_);
+    const std::vector<shard_work> plan =
+        make_shard_plan(samples.size(), shards_, &prog);
+    if (plan.size() <= 1) {
+        inner_->run_batch(prog, samples, out);
+        return;
+    }
+    pool().parallel_for(plan.size(), [&](std::size_t k) {
+        const shard_work& work = plan[k];
+        try {
+            inner_->run_batch(*work.prog,
+                              samples.subspan(work.first, work.count),
+                              out.subspan(work.first, work.count));
+        } catch (const util::contract_error& error) {
+            // Label contract violations with the failing shard; any other
+            // exception type (bad_alloc, ...) propagates unchanged so
+            // callers can still classify it.
+            throw util::contract_error(
+                "shard " + std::to_string(work.shard) + " (samples [" +
+                std::to_string(work.first) + ", " +
+                std::to_string(work.first + work.count) +
+                ")) failed: " + error.what());
+        }
+    });
+}
+
+} // namespace quorum::exec

@@ -1,0 +1,117 @@
+// Sharded execution backend: deterministically partitions a run_batch
+// call across N in-process shards, each replaying the same compiled
+// program through one shared inner backend from the registry (selected
+// with a "sharded:<inner>" spec, e.g. "sharded:statevector").
+//
+// Determinism: the partition is keyed purely by sample index (contiguous
+// spans, balanced to within one sample), every sample writes to its own
+// output slot, and all stochasticity comes from the per-sample rng stream
+// each sample carries — so exact AND stochastic modes produce bit-identical
+// scores for any shard count and any inner batch order.
+//
+// The shard boundary is the future multi-process/remote seam: a shard's
+// work is described by a plain `shard_work` struct (sample span +
+// compiled-program handle + derived rng seed), not a captured closure, so
+// a remote executor can serialise the same plan instead of sharing memory.
+#ifndef QUORUM_EXEC_SHARDED_BACKEND_H
+#define QUORUM_EXEC_SHARDED_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exec/executor.h"
+#include "util/thread_pool.h"
+
+namespace quorum::exec {
+
+/// One shard's slice of a batch, as plain data. In-process execution
+/// resolves `prog` and the sample span directly; a multi-process or remote
+/// shard executor would ship the compiled program, the span's per-sample
+/// amplitudes/params, and `rng_seed` (from which the shard re-derives the
+/// span's per-sample streams) over the wire instead.
+struct shard_work {
+    std::size_t shard = 0;         ///< shard index the span is keyed to
+    std::size_t first = 0;         ///< first sample index of the span
+    std::size_t count = 0;         ///< samples in the span (> 0)
+    const program* prog = nullptr; ///< compiled-program handle
+    /// derive_seed(plan seed, shard). The in-process backend plans with
+    /// seed 0 and never reads this field — its samples carry their own
+    /// streams; a remote executor plans with its transport seed and keys
+    /// shard-local stream derivation off this value.
+    std::uint64_t rng_seed = 0;
+};
+
+/// Builds the deterministic work plan: min(shards, n_samples) contiguous
+/// sample spans, balanced to within one sample and never empty, keyed
+/// only by (n_samples, shards) — the same inputs always yield the same
+/// plan.
+[[nodiscard]] std::vector<shard_work>
+make_shard_plan(std::size_t n_samples, std::size_t shards,
+                const program* prog = nullptr, std::uint64_t seed = 0);
+
+class sharded_backend final : public executor {
+public:
+    /// Upper bound on the lane count: shards are in-process threads, so
+    /// beyond this a "shard count" (e.g. an unsigned wrap of "-1") is a
+    /// misconfiguration, not a parallelism request.
+    static constexpr std::size_t max_shards = 256;
+
+    /// Wraps `shards` lanes around the named inner backend (any plain
+    /// registered name; nesting "sharded" is rejected). `config.shards`
+    /// == 0 means one shard per hardware thread; values beyond
+    /// max_shards are clamped.
+    sharded_backend(const engine_config& config, const std::string& inner);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return spec_;
+    }
+
+    [[nodiscard]] bool supports(readout_kind kind) const noexcept override {
+        return inner_->supports(kind);
+    }
+
+    /// Single circuits have nothing to partition; delegates to the inner
+    /// backend.
+    [[nodiscard]] double run(const qsim::circuit& c, int cbit,
+                             util::rng* gen) const override {
+        return inner_->run(c, cbit, gen);
+    }
+
+    /// Partitions the batch with make_shard_plan and runs every span
+    /// through the inner backend concurrently. A shard's contract
+    /// violation surfaces as util::contract_error naming the shard and
+    /// its sample span (first failure wins; the remaining shards still
+    /// complete, so no work is left dangling); other exception types
+    /// propagate unchanged.
+    void run_batch(const program& prog, std::span<const sample> samples,
+                   std::span<double> out) const override;
+
+    /// Number of shards run_batch partitions across.
+    [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+
+    /// The wrapped inner backend.
+    [[nodiscard]] const executor& inner() const noexcept { return *inner_; }
+
+private:
+    /// Lazily builds (first multi-shard batch) and returns the shard
+    /// pool: construction stays thread-free, so config validation can
+    /// instantiate the backend without spawning workers, and shards == 1
+    /// never creates any. The caller participates in parallel_for, so
+    /// shards_ - 1 workers give exactly shards_ concurrent lanes.
+    [[nodiscard]] util::thread_pool& pool() const;
+
+    std::unique_ptr<executor> inner_;
+    std::string spec_;
+    std::size_t shards_;
+    bool needs_rng_;
+    /// Mutable: run_batch is logically const and the pool is internally
+    /// synchronised.
+    mutable std::once_flag pool_once_;
+    mutable std::unique_ptr<util::thread_pool> pool_;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_SHARDED_BACKEND_H

@@ -17,8 +17,15 @@ double noisy_run_result::cbit_probability_one(int cbit,
 
 noisy_run_result density_runner::run(const circuit& c,
                                      const noise_model& noise) {
-    const circuit lowered = transpile_for_hardware(c);
-    noisy_run_result result{density_matrix(c.num_qubits()), {}};
+    return run_lowered(transpile_for_hardware(c), noise);
+}
+
+noisy_run_result density_runner::run_lowered(const circuit& lowered,
+                                             const noise_model& noise) {
+    QUORUM_EXPECTS_MSG(is_basis_circuit(lowered),
+                       "run_lowered needs a circuit in the hardware basis "
+                       "(use run() for arbitrary circuits)");
+    noisy_run_result result{density_matrix(lowered.num_qubits()), {}};
 
     for (const operation& op : lowered.ops()) {
         switch (op.kind) {

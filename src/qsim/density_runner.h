@@ -33,6 +33,13 @@ public:
     /// (noiseless, zero duration). Resets use the exact reset channel.
     static noisy_run_result run(const circuit& c, const noise_model& noise);
 
+    /// Runs an ALREADY-lowered circuit (is_basis_circuit must hold; throws
+    /// otherwise) under `noise`, skipping the transpile pass. Callers that
+    /// replay a shared suffix across many samples lower it once and enter
+    /// here (see exec::density_backend::run_batch).
+    static noisy_run_result run_lowered(const circuit& lowered,
+                                        const noise_model& noise);
+
     /// Convenience: P[measuring qubit `q` yields 1] after running `c`
     /// under `noise`, including readout confusion.
     static double probability_one(const circuit& c, qubit_t q,

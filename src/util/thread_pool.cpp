@@ -2,10 +2,56 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
+#include <utility>
 
 #include "util/contracts.h"
 
 namespace quorum::util {
+
+namespace {
+
+/// Shared state of one parallel_for call. Helper tasks hold it by
+/// shared_ptr: a helper that gets scheduled only after parallel_for has
+/// returned (all iterations claimed by other lanes) finds next >= count
+/// and exits without touching anything freed.
+struct parallel_for_state {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::size_t count = 0;
+    std::function<void(std::size_t)> body;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+};
+
+/// Claims and runs iterations until none are left. Failed iterations
+/// record the first exception and still count as completed, so the caller
+/// always observes completed == count (structured error, never a hang).
+void drive_parallel_for(const std::shared_ptr<parallel_for_state>& state) {
+    for (;;) {
+        const std::size_t i = state->next.fetch_add(1);
+        if (i >= state->count) {
+            return;
+        }
+        try {
+            state->body(i);
+        } catch (...) {
+            const std::scoped_lock lock(state->mutex);
+            if (!state->first_error) {
+                state->first_error = std::current_exception();
+            }
+        }
+        if (state->completed.fetch_add(1) + 1 == state->count) {
+            // Lock before notifying so the wakeup cannot slip between the
+            // waiter's predicate check and its wait.
+            const std::scoped_lock lock(state->mutex);
+            state->done.notify_all();
+        }
+    }
+}
+
+} // namespace
 
 thread_pool::thread_pool(std::size_t threads) {
     const std::size_t count = threads == 0 ? 1 : threads;
@@ -47,36 +93,32 @@ void thread_pool::parallel_for(std::size_t count,
     if (count == 0) {
         return;
     }
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    auto state = std::make_shared<parallel_for_state>();
+    state->count = count;
+    state->body = body;
 
-    const std::size_t lanes = std::min(size(), count);
-    std::vector<std::future<void>> futures;
-    futures.reserve(lanes);
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-        futures.push_back(submit([&]() {
-            for (;;) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= count) {
-                    return;
-                }
-                try {
-                    body(i);
-                } catch (...) {
-                    const std::scoped_lock lock(error_mutex);
-                    if (!first_error) {
-                        first_error = std::current_exception();
-                    }
-                }
+    // Fire-and-forget helpers: the caller never waits on them, only on the
+    // iteration count, so queued helpers stuck behind busy workers cannot
+    // deadlock a nested call.
+    const std::size_t helpers = std::min(size(), count - 1);
+    if (helpers > 0) {
+        {
+            const std::scoped_lock lock(mutex_);
+            for (std::size_t lane = 0; lane < helpers; ++lane) {
+                queue_.emplace_back(
+                    [state]() { drive_parallel_for(state); });
             }
-        }));
+        }
+        wake_.notify_all();
     }
-    for (auto& future : futures) {
-        future.wait();
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
+    drive_parallel_for(state);
+
+    std::unique_lock lock(state->mutex);
+    state->done.wait(lock, [&state]() {
+        return state->completed.load() >= state->count;
+    });
+    if (state->first_error) {
+        std::rethrow_exception(state->first_error);
     }
 }
 

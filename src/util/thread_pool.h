@@ -48,7 +48,12 @@ public:
     }
 
     /// Runs body(i) for i in [0, count) across the pool and blocks until all
-    /// iterations finish. Exceptions from body are rethrown (first one wins).
+    /// iterations finish. Exceptions from body are rethrown (first one wins);
+    /// every other iteration still runs, so a failure can never hang the
+    /// pool. The calling thread participates in the work loop instead of
+    /// sleeping on futures, which makes nested calls — a worker's task
+    /// invoking parallel_for on its own pool — complete even when every
+    /// worker is busy. Safe to call concurrently from multiple threads.
     void parallel_for(std::size_t count,
                       const std::function<void(std::size_t)>& body);
 

@@ -79,6 +79,44 @@ TEST(Config, RejectsZeroGroupsAndShots) {
     EXPECT_NO_THROW(config.validate());
 }
 
+TEST(Config, ShardedBackendSpecsResolveAndValidate) {
+    quorum_config config;
+    config.backend = "sharded";
+    config.shards = 2;
+    EXPECT_EQ(config.resolved_backend(), "sharded:statevector");
+    EXPECT_NO_THROW(config.validate());
+
+    config.mode = exec_mode::noisy;
+    EXPECT_EQ(config.resolved_backend(), "sharded:density");
+    EXPECT_NO_THROW(config.validate());
+
+    config.backend = "sharded:auto";
+    EXPECT_EQ(config.resolved_backend(), "sharded:density");
+    config.mode = exec_mode::exact;
+    EXPECT_EQ(config.resolved_backend(), "sharded:statevector");
+
+    config.backend = "sharded:statevector";
+    EXPECT_EQ(config.resolved_backend(), "sharded:statevector");
+    EXPECT_NO_THROW(config.validate());
+    EXPECT_EQ(config.to_engine_config().shards, 2u);
+}
+
+TEST(Config, RejectsMalformedOrIncompatibleShardedSpecs) {
+    quorum_config config;
+    config.backend = "sharded:bogus";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.backend = "sharded:";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.backend = "sharded:sharded:statevector";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.backend = "statevector:statevector";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    // Incompatible mode/inner pairs fail exactly as they do unsharded.
+    config.backend = "sharded:density";
+    config.mode = exec_mode::per_shot;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+}
+
 TEST(Config, ModeNames) {
     EXPECT_STREQ(exec_mode_name(exec_mode::exact), "exact");
     EXPECT_STREQ(exec_mode_name(exec_mode::sampled), "sampled");

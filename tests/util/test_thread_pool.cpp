@@ -1,6 +1,8 @@
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -85,6 +87,71 @@ TEST(ThreadPool, ParallelForContinuesAfterException) {
 
 TEST(ThreadPool, DefaultThreadCountPositive) {
     EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+    // A body that re-enters parallel_for on the SAME pool: the caller
+    // participates in the work loop instead of sleeping on futures, so
+    // this completes even with a single worker.
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+        thread_pool pool(workers);
+        std::atomic<int> count{0};
+        pool.parallel_for(4, [&](std::size_t) {
+            pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+        });
+        EXPECT_EQ(count.load(), 32) << workers << " workers";
+    }
+}
+
+TEST(ThreadPool, ParallelForInsideSubmittedTaskCompletes) {
+    thread_pool pool(1);
+    auto future = pool.submit([&pool]() {
+        long sum = 0;
+        std::mutex m;
+        pool.parallel_for(100, [&](std::size_t i) {
+            const std::scoped_lock lock(m);
+            sum += static_cast<long>(i);
+        });
+        return sum;
+    });
+    EXPECT_EQ(future.get(), 100L * 99L / 2L);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerException) {
+    thread_pool pool(2);
+    EXPECT_THROW(
+        (pool.parallel_for(3,
+                           [&](std::size_t) {
+                               pool.parallel_for(3, [](std::size_t i) {
+                                   if (i == 1) {
+                                       throw std::runtime_error("inner");
+                                   }
+                               });
+                           })),
+        std::runtime_error);
+    // The pool must stay fully usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsAreIndependent) {
+    // Two threads driving parallel_for on one shared pool (the shape of
+    // ensemble workers sharing one sharded engine).
+    thread_pool pool(2);
+    std::atomic<long> sum_a{0};
+    std::atomic<long> sum_b{0};
+    std::thread other([&]() {
+        pool.parallel_for(500, [&](std::size_t i) {
+            sum_a.fetch_add(static_cast<long>(i));
+        });
+    });
+    pool.parallel_for(500, [&](std::size_t i) {
+        sum_b.fetch_add(static_cast<long>(i));
+    });
+    other.join();
+    EXPECT_EQ(sum_a.load(), 500L * 499L / 2L);
+    EXPECT_EQ(sum_b.load(), 500L * 499L / 2L);
 }
 
 class PoolSizeSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -14,22 +14,31 @@
 //   --bucket-prob P       bucket containment probability (default 0.75)
 //   --mode M              exact | sampled | per_shot | noisy (default sampled)
 //   --backend B           execution engine: auto | statevector | density |
-//                         any registered backend (default auto)
+//                         sharded[:inner] | any registered backend
+//                         (default auto)
+//   --shards N            shards for the sharded backend: every batch is
+//                         split across N lanes (default: all cores;
+//                         ignored unless --backend is sharded[:inner])
 //   --threads N           worker threads (default: all cores)
 //   --seed S              master seed (default 2025)
 //   --top K               print the K strongest suspects (default 10)
 //   --demo                run on a bundled synthetic dataset instead
 //   --qasm PATH           also dump one example circuit as OpenQASM 2.0
 //   --help                this text
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 
 #include "core/quorum.h"
 #include "data/csv.h"
 #include "data/generators.h"
 #include "exec/registry.h"
+#include "exec/sharded_backend.h"
 #include "metrics/confusion.h"
 #include "metrics/detection_curve.h"
 #include "metrics/report.h"
@@ -39,6 +48,7 @@
 #include "qml/autoencoder.h"
 #include "qsim/qasm.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -62,7 +72,8 @@ void print_usage() {
         "             [--label-column K] [--no-header]\n"
         "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
-        "             [--backend auto|NAME] [--threads N] [--seed S]\n"
+        "             [--backend auto|NAME|sharded:NAME] [--shards N]\n"
+        "             [--threads N] [--seed S]\n"
         "             [--top K] [--qasm out.qasm]\n"
         "  quorum_cli --demo\n"
         "\n"
@@ -71,6 +82,50 @@ void print_usage() {
         std::cout << " " << name;
     }
     std::cout << "\n";
+}
+
+/// Parses a non-negative integer flag value. std::stoul alone would
+/// silently wrap "-1" to 2^64 - 1; only plain digit strings in range are
+/// accepted.
+template <typename T>
+bool parse_count(const std::string& text, T& out) {
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+    }
+    unsigned long long value = 0;
+    try {
+        value = std::stoull(text);
+    } catch (const std::exception&) {
+        return false; // out of range
+    }
+    if (value > std::numeric_limits<T>::max()) {
+        return false;
+    }
+    out = static_cast<T>(value);
+    return true;
+}
+
+/// Strict double parse: the whole string must be consumed (std::stod
+/// silently accepts trailing garbage like "0.5abc").
+bool parse_real(const std::string& text, double& out) {
+    char* end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != text.c_str() && *end == '\0';
+}
+
+/// Strict int parse for flags where negatives are meaningful
+/// (--label-column: -1 = no labels).
+bool parse_int(const std::string& text, int& out) {
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' ||
+        value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+        return false;
+    }
+    out = static_cast<int>(value);
+    return true;
 }
 
 bool parse_mode(const std::string& text, quorum::core::exec_mode& mode) {
@@ -101,6 +156,19 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
             }
             return argv[++i];
         };
+        // Consumes the next argument as a non-negative integer.
+        const auto next_count = [&](auto& out) -> bool {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            if (!parse_count(v, out)) {
+                std::cerr << "invalid value for " << arg << ": " << v
+                          << "\n";
+                return false;
+            }
+            return true;
+        };
         if (arg == "--help" || arg == "-h") {
             print_usage();
             std::exit(0);
@@ -128,58 +196,61 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
             options.qasm_path = v;
         } else if (arg == "--label-column") {
             const char* v = next();
-            if (v == nullptr) {
+            if (v == nullptr || !parse_int(v, options.label_column)) {
+                if (v != nullptr) {
+                    std::cerr << "invalid value for " << arg << ": " << v
+                              << "\n";
+                }
                 return false;
             }
-            options.label_column = std::stoi(v);
         } else if (arg == "--groups") {
-            const char* v = next();
-            if (v == nullptr) {
+            if (!next_count(options.config.ensemble_groups)) {
                 return false;
             }
-            options.config.ensemble_groups = std::stoul(v);
         } else if (arg == "--shots") {
-            const char* v = next();
-            if (v == nullptr) {
+            if (!next_count(options.config.shots)) {
                 return false;
             }
-            options.config.shots = std::stoul(v);
         } else if (arg == "--qubits") {
-            const char* v = next();
-            if (v == nullptr) {
+            if (!next_count(options.config.n_qubits)) {
                 return false;
             }
-            options.config.n_qubits = std::stoul(v);
         } else if (arg == "--rate") {
             const char* v = next();
-            if (v == nullptr) {
+            if (v == nullptr ||
+                !parse_real(v, options.config.estimated_anomaly_rate)) {
+                if (v != nullptr) {
+                    std::cerr << "invalid value for " << arg << ": " << v
+                              << "\n";
+                }
                 return false;
             }
-            options.config.estimated_anomaly_rate = std::stod(v);
         } else if (arg == "--bucket-prob") {
             const char* v = next();
-            if (v == nullptr) {
+            if (v == nullptr ||
+                !parse_real(v, options.config.bucket_probability)) {
+                if (v != nullptr) {
+                    std::cerr << "invalid value for " << arg << ": " << v
+                              << "\n";
+                }
                 return false;
             }
-            options.config.bucket_probability = std::stod(v);
         } else if (arg == "--threads") {
-            const char* v = next();
-            if (v == nullptr) {
+            if (!next_count(options.config.threads)) {
                 return false;
             }
-            options.config.threads = std::stoul(v);
+        } else if (arg == "--shards") {
+            if (!next_count(options.config.shards)) {
+                return false;
+            }
         } else if (arg == "--seed") {
-            const char* v = next();
-            if (v == nullptr) {
+            if (!next_count(options.config.seed)) {
                 return false;
             }
-            options.config.seed = std::stoull(v);
         } else if (arg == "--top") {
-            const char* v = next();
-            if (v == nullptr) {
+            if (!next_count(options.top)) {
                 return false;
             }
-            options.top = std::stoul(v);
         } else if (arg == "--mode") {
             const char* v = next();
             if (v == nullptr || !parse_mode(v, options.config.mode)) {
@@ -209,7 +280,15 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
 int main(int argc, char** argv) {
     using namespace quorum;
     cli_options options;
-    if (!parse_arguments(argc, argv, options)) {
+    try {
+        if (!parse_arguments(argc, argv, options)) {
+            print_usage();
+            return 2;
+        }
+    } catch (const std::exception& error) {
+        // Belt-and-braces: every flag parses via the strict helpers
+        // above, but a future parser regression must still exit 2.
+        std::cerr << "bad option value: " << error.what() << "\n";
         print_usage();
         return 2;
     }
@@ -240,8 +319,17 @@ int main(int argc, char** argv) {
         core::quorum_detector detector(options.config);
         std::cout << "scoring: mode=" << core::exec_mode_name(
                          options.config.mode)
-                  << " backend=" << options.config.resolved_backend()
-                  << " groups=" << options.config.ensemble_groups
+                  << " backend=" << options.config.resolved_backend();
+        if (options.config.resolved_backend().starts_with("sharded")) {
+            // Mirror the backend's resolution (0 = hardware threads,
+            // clamped) so the header reports the lanes actually used.
+            std::cout << " shards="
+                      << std::min(options.config.shards == 0
+                                      ? quorum::util::default_thread_count()
+                                      : options.config.shards,
+                                  exec::sharded_backend::max_shards);
+        }
+        std::cout << " groups=" << options.config.ensemble_groups
                   << " qubits=" << options.config.n_qubits
                   << " shots=" << options.config.shots << "\n";
         util::timer timer;
