@@ -1,0 +1,173 @@
+// Level-fused evaluation microbenchmarks (google-benchmark): what
+// run_batch_levels buys over the per-level path on the Fig. 8 flagship
+// workload, scored at the L = 4 fused shape (5-qubit registers, levels
+// {1, 2, 3, 4} — §IV-F's deeper-encoding scaling of the flagship data)
+// and at the paper-default L = 2 shape. Scores are identical either way
+// (tests/exec/test_fused_levels.cpp and tests/core/test_fused_ensemble.cpp
+// enforce ==-equality); this bench quantifies the speedup that identity
+// buys:
+//
+//   bm_group_exact_*     — one core ensemble group, exact mode. The
+//                          acceptance bar for the fused path is >= 1.5x
+//                          at L = 4.
+//   bm_group_sampled_*   — the same group in sampled mode (4096 shots).
+//   bm_batch_levels_*    — the engine-level view: one whole-dataset
+//                          multi-level batch vs. L per-level batches.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "data/feature_select.h"
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "exec/registry.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/compiled_program.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+
+/// The flagship comparison's first Table I dataset (breast-cancer
+/// analogue), normalised exactly as the detector would.
+const data::dataset& flagship_normalized() {
+    static const data::dataset d = [] {
+        const auto suite = data::make_benchmark_suite(bench::bench_seed);
+        return data::normalize_for_quorum(suite[0].data.without_labels());
+    }();
+    return d;
+}
+
+/// Exact-mode flagship config at `n_qubits` (n = 5 gives the L = 4 level
+/// family {1, 2, 3, 4}; n = 3 the paper-default {1, 2}).
+core::quorum_config flagship_config(std::size_t n_qubits, bool fused,
+                                    core::exec_mode mode) {
+    core::quorum_config config;
+    config.n_qubits = n_qubits;
+    config.mode = mode;
+    config.shots = mode == core::exec_mode::exact ? 0 : 4096;
+    config.seed = bench::bench_seed;
+    config.fused_levels = fused;
+    return config;
+}
+
+void run_group_bench(benchmark::State& state, bool fused,
+                     core::exec_mode mode) {
+    const auto n_qubits = static_cast<std::size_t>(state.range(0));
+    const data::dataset& d = flagship_normalized();
+    const core::quorum_config config = flagship_config(n_qubits, fused, mode);
+    const auto engine = exec::make_executor(config.resolved_backend(),
+                                            config.to_engine_config());
+    for (auto _ : state) {
+        const core::group_result result =
+            core::run_ensemble_group(d, config, 0, *engine);
+        benchmark::DoNotOptimize(result.abs_z_sum.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(
+            d.num_samples() *
+            config.effective_compression_levels().size()));
+}
+
+void bm_group_exact_per_level(benchmark::State& state) {
+    run_group_bench(state, false, core::exec_mode::exact);
+}
+BENCHMARK(bm_group_exact_per_level)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_group_exact_fused(benchmark::State& state) {
+    run_group_bench(state, true, core::exec_mode::exact);
+}
+BENCHMARK(bm_group_exact_fused)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_group_sampled_per_level(benchmark::State& state) {
+    run_group_bench(state, false, core::exec_mode::sampled);
+}
+BENCHMARK(bm_group_sampled_per_level)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_group_sampled_fused(benchmark::State& state) {
+    run_group_bench(state, true, core::exec_mode::sampled);
+}
+BENCHMARK(bm_group_sampled_fused)->Arg(5)->Unit(benchmark::kMillisecond);
+
+/// Engine-level fixture: the whole flagship dataset as one batch, the
+/// register-A level family at n_qubits = range(0).
+struct batch_fixture {
+    std::vector<std::vector<double>> amplitudes;
+    std::vector<exec::sample> batch;
+    std::vector<exec::program> family;
+
+    explicit batch_fixture(std::size_t n_qubits) {
+        const data::dataset& d = flagship_normalized();
+        util::rng gen(util::derive_seed(bench::bench_seed, 0));
+        const auto features = data::select_features(
+            d.num_features(), qml::max_features(n_qubits), gen);
+        const qml::ansatz_params params =
+            qml::random_ansatz_params(n_qubits, 2, gen);
+        amplitudes.resize(d.num_samples());
+        batch.resize(d.num_samples());
+        for (std::size_t i = 0; i < d.num_samples(); ++i) {
+            const std::vector<double> selected =
+                data::gather_features(d.row(i), features);
+            amplitudes[i] = qml::to_amplitudes(selected, n_qubits);
+            batch[i].amplitudes = amplitudes[i];
+        }
+        for (std::size_t level = 1; level < n_qubits; ++level) {
+            exec::program program;
+            program.circuit = qsim::compiled_program::compile(
+                qml::autoencoder_reg_a_template(params, level));
+            program.readout.kind = exec::readout_kind::prep_overlap_p1;
+            family.push_back(std::move(program));
+        }
+    }
+};
+
+void bm_batch_levels_per_level(benchmark::State& state) {
+    const batch_fixture fixture(static_cast<std::size_t>(state.range(0)));
+    const auto engine =
+        exec::make_executor("statevector", exec::engine_config{});
+    std::vector<double> out(fixture.batch.size());
+    for (auto _ : state) {
+        double checksum = 0.0;
+        for (const exec::program& program : fixture.family) {
+            engine->run_batch(program, fixture.batch, out);
+            for (const double p : out) {
+                checksum += p;
+            }
+        }
+        benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fixture.batch.size() *
+                                  fixture.family.size()));
+}
+BENCHMARK(bm_batch_levels_per_level)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_batch_levels_fused(benchmark::State& state) {
+    const batch_fixture fixture(static_cast<std::size_t>(state.range(0)));
+    const auto engine =
+        exec::make_executor("statevector", exec::engine_config{});
+    std::vector<double> out(fixture.batch.size() * fixture.family.size());
+    for (auto _ : state) {
+        engine->run_batch_levels(fixture.family, fixture.batch, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fixture.batch.size() *
+                                  fixture.family.size()));
+}
+BENCHMARK(bm_batch_levels_fused)->Arg(3)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

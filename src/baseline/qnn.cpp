@@ -97,6 +97,20 @@ double qnn_classifier::forward(std::span<const double> encoded_features,
     return probability;
 }
 
+std::vector<double> qnn_classifier::forward_batch(
+    std::span<const double> encoded_features,
+    const std::vector<std::vector<double>>& param_variants) const {
+    std::vector<std::vector<double>> streams(param_variants.size());
+    std::vector<exec::sample> batch(param_variants.size());
+    for (std::size_t v = 0; v < param_variants.size(); ++v) {
+        streams[v] = param_stream(encoded_features, param_variants[v]);
+        batch[v] = exec::sample{{}, streams[v], nullptr};
+    }
+    std::vector<double> probabilities(param_variants.size());
+    engine_->run_batch(circuit_program_, batch, probabilities);
+    return probabilities;
+}
+
 std::vector<double> qnn_classifier::encode_row(const data::dataset& input,
                                                std::size_t row) const {
     std::vector<double> encoded(config_.n_qubits, 0.0);
@@ -204,8 +218,15 @@ std::vector<double> qnn_classifier::fit(const data::dataset& labelled) {
                 const double dl_dp =
                     weight * (prob - y) / (prob * (1.0 - prob));
 
+                // All 2|θ| shifted circuits evaluate as ONE engine batch;
+                // values are identical to the sequential rule.
                 const std::vector<double> dp_dtheta =
-                    qml::parameter_shift_gradient(evaluate, params_);
+                    qml::parameter_shift_gradient_batched(
+                        [&](const std::vector<std::vector<double>>&
+                                variants) {
+                            return forward_batch(encoded[i], variants);
+                        },
+                        params_);
                 for (std::size_t p = 0; p < gradient.size(); ++p) {
                     gradient[p] += dl_dp * dp_dtheta[p];
                 }

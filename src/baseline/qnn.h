@@ -80,6 +80,12 @@ public:
                                  std::span<const double> params) const;
 
 private:
+    /// One engine batch of forward passes for several parameter vectors
+    /// of the same feature vector — the parameter-shift hot path (2|θ|
+    /// circuits per gradient) amortised through run_batch.
+    [[nodiscard]] std::vector<double> forward_batch(
+        std::span<const double> encoded_features,
+        const std::vector<std::vector<double>>& param_variants) const;
     [[nodiscard]] std::vector<double>
     encode_row(const data::dataset& input, std::size_t row) const;
     /// Concatenates encoding angles (x * π) and trainable params into the

@@ -67,6 +67,22 @@ double trained_qae::trash_population(std::span<const double> amplitudes,
     return population;
 }
 
+std::vector<double> trained_qae::trash_population_batch(
+    std::span<const double> amplitudes,
+    const std::vector<std::vector<double>>& variants,
+    const std::function<qml::ansatz_params(std::span<const double>)>& unpack)
+    const {
+    std::vector<std::vector<double>> streams(variants.size());
+    std::vector<exec::sample> batch(variants.size());
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        streams[v] = qml::encoder_param_stream(unpack(variants[v]));
+        batch[v] = exec::sample{amplitudes, streams[v], nullptr};
+    }
+    std::vector<double> populations(variants.size());
+    engine_->run_batch(encoder_program_, batch, populations);
+    return populations;
+}
+
 std::vector<double> trained_qae::encode_row(std::span<const double> row) const {
     std::vector<double> selected(feature_indices_.size());
     const double cap = 1.0 / static_cast<double>(feature_indices_.size());
@@ -173,9 +189,18 @@ std::vector<double> trained_qae::fit(const data::dataset& input) {
                     [&](std::span<const double> values) -> double {
                     return trash_population(encoded[i], unpack(values));
                 };
+                // All 2|θ| shifted circuits go through the engine as ONE
+                // batch (amortised replay); values are identical to
+                // evaluating them one by one.
+                const auto evaluate_batch =
+                    [&](const std::vector<std::vector<double>>& variants) {
+                        return trash_population_batch(encoded[i], variants,
+                                                      unpack);
+                    };
                 loss_sum += evaluate(flat);
                 const std::vector<double> grad =
-                    qml::parameter_shift_gradient(evaluate, flat);
+                    qml::parameter_shift_gradient_batched(evaluate_batch,
+                                                          flat);
                 training_evaluations_ += 2 * param_count;
                 for (std::size_t p = 0; p < param_count; ++p) {
                     gradient[p] += grad[p];

@@ -17,6 +17,7 @@
 #define QUORUM_BASELINE_TRAINED_QAE_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -84,6 +85,14 @@ private:
     [[nodiscard]] double
     trash_population(std::span<const double> amplitudes,
                      const qml::ansatz_params& params) const;
+    /// One engine batch of trash populations for several flat parameter
+    /// vectors of the same sample — the parameter-shift hot path (2|θ|
+    /// circuits per gradient) amortised through run_batch.
+    [[nodiscard]] std::vector<double> trash_population_batch(
+        std::span<const double> amplitudes,
+        const std::vector<std::vector<double>>& variants,
+        const std::function<qml::ansatz_params(std::span<const double>)>&
+            unpack) const;
     [[nodiscard]] std::vector<double>
     encode_row(std::span<const double> row) const;
 

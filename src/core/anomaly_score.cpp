@@ -48,6 +48,17 @@ score_report aggregate_groups(std::span<const group_result> groups) {
             report.run_counts[i] += group.run_count[i];
         }
     }
+    // Mean |z| per contributing run, NOT the raw sum: sigma-floored
+    // (bucket, level) runs are skipped by run_ensemble_group, so samples
+    // accumulate unequal run counts, and a raw sum would under-rank a
+    // sample merely for landing in degenerate buckets. A sample with no
+    // contributing run carries no evidence either way and scores 0.
+    for (std::size_t i = 0; i < n_samples; ++i) {
+        if (report.run_counts[i] > 0) {
+            report.scores[i] /=
+                static_cast<double>(report.run_counts[i]);
+        }
+    }
     return report;
 }
 

@@ -1,6 +1,8 @@
 // Score aggregation and ranking (paper Fig. 7 / Fig. 10): a sample's
-// anomaly score is the sum over all ensemble runs of its absolute
-// standardised deviation from the bucket mean. Higher = more anomalous.
+// anomaly score is its MEAN absolute standardised deviation from the
+// bucket mean over the ensemble runs that carried signal (sigma-floored
+// runs are skipped by the ensemble and must not bias the ranking).
+// Higher = more anomalous.
 #ifndef QUORUM_CORE_ANOMALY_SCORE_H
 #define QUORUM_CORE_ANOMALY_SCORE_H
 
@@ -14,8 +16,10 @@ namespace quorum::core {
 
 /// Final per-sample scores plus provenance.
 struct score_report {
-    /// Sum of |z| over every (group, bucket, level) run — the paper's
-    /// "Sum Absolute Std. Deviation".
+    /// Mean |z| over the (group, bucket, level) runs that contributed
+    /// (the paper's "Sum Absolute Std. Deviation", normalised by
+    /// run_counts so sigma-floored runs cannot under-rank a sample;
+    /// 0 when no run contributed).
     std::vector<double> scores;
     /// Runs contributing to each sample.
     std::vector<std::size_t> run_counts;

@@ -65,9 +65,11 @@ group_result run_ensemble_group(const data::dataset& normalized,
     result.abs_z_sum.assign(n_samples, 0.0);
     result.run_count.assign(n_samples, 0);
 
-    // Bucket sizing from the unsupervised anomaly-rate estimate (§IV-C).
+    // Bucket sizing from the unsupervised anomaly-rate estimate (§IV-C):
+    // ceil, matching quorum_detector::flag_count — one rounding rule for
+    // every use of estimated_anomaly_rate * n.
     const auto estimated_anomalies = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::lround(
+        1, static_cast<std::size_t>(std::ceil(
                config.estimated_anomaly_rate *
                static_cast<double>(n_samples))));
     result.bucket_size = data::solve_bucket_size(n_samples, estimated_anomalies,
@@ -125,51 +127,117 @@ group_result run_ensemble_group(const data::dataset& normalized,
 
     const std::vector<std::size_t> levels =
         config.effective_compression_levels();
-    std::vector<double> p_values(n_samples, 0.0);
+    const std::size_t level_count = levels.size();
+    // One compiled program per (group, level) — the level FAMILY. All
+    // levels share the state prep + encoder + nested reset prefix, which
+    // the fused path below evolves once per sample.
+    std::vector<exec::program> family;
+    family.reserve(level_count);
+    for (const std::size_t level : levels) {
+        family.push_back(make_level_program(params, level, config, engine));
+    }
+
+    // p_values[level_index * n_samples + i] = P(1) of sample i at that
+    // level (level-major for the per-level statistics pass below).
+    std::vector<double> p_values(level_count * n_samples, 0.0);
     std::vector<exec::sample> batch;
     std::vector<double> batch_out;
     std::vector<util::rng> batch_gens;
-    for (std::size_t level_index = 0; level_index < levels.size();
-         ++level_index) {
-        // One compiled program per (group, level), replayed per bucket.
-        const exec::program program =
-            make_level_program(params, levels[level_index], config, engine);
+    std::vector<util::rng*> batch_gen_ptrs;
+
+    if (config.fused_levels) {
+        // One fused multi-readout batch per bucket: every sample's state
+        // is prepared and pushed through E(θ) once for ALL levels.
         for (const std::vector<std::size_t>& bucket : buckets) {
             batch.clear();
             batch_gens.clear();
+            batch_gen_ptrs.clear();
             batch.reserve(bucket.size());
-            batch_gens.reserve(bucket.size());
-            batch_out.resize(bucket.size());
+            batch_gens.reserve(bucket.size() * level_count);
+            batch_gen_ptrs.reserve(bucket.size() * level_count);
+            batch_out.resize(bucket.size() * level_count);
             for (const std::size_t i : bucket) {
                 exec::sample s;
                 s.amplitudes = amplitudes[i];
                 if (stochastic) {
-                    // Per-sample child streams keep stochastic modes
-                    // deterministic for any thread count or batch order.
-                    batch_gens.push_back(
-                        gen.child(level_index * n_samples + i));
-                    s.gen = &batch_gens.back();
+                    // The same per-(level, sample) child streams the
+                    // per-level path derives, so scores agree exactly.
+                    for (std::size_t level_index = 0;
+                         level_index < level_count; ++level_index) {
+                        batch_gens.push_back(
+                            gen.child(level_index * n_samples + i));
+                        batch_gen_ptrs.push_back(&batch_gens.back());
+                    }
+                    s.level_gens = std::span<util::rng* const>(
+                        batch_gen_ptrs.data() + batch_gen_ptrs.size() -
+                            level_count,
+                        level_count);
                 }
                 batch.push_back(s);
             }
-            engine.run_batch(program, batch, batch_out);
+            engine.run_batch_levels(family, batch, batch_out);
             for (std::size_t k = 0; k < bucket.size(); ++k) {
-                p_values[bucket[k]] = batch_out[k];
+                for (std::size_t level_index = 0; level_index < level_count;
+                     ++level_index) {
+                    p_values[level_index * n_samples + bucket[k]] =
+                        batch_out[k * level_count + level_index];
+                }
             }
         }
-        // Per-bucket statistics -> |z| accumulation (Fig. 7).
+    } else {
+        // Per-level escape hatch (--no-fused): one batch per
+        // (level, bucket), exactly the fused path's reference semantics.
+        for (std::size_t level_index = 0; level_index < level_count;
+             ++level_index) {
+            for (const std::vector<std::size_t>& bucket : buckets) {
+                batch.clear();
+                batch_gens.clear();
+                batch.reserve(bucket.size());
+                batch_gens.reserve(bucket.size());
+                batch_out.resize(bucket.size());
+                for (const std::size_t i : bucket) {
+                    exec::sample s;
+                    s.amplitudes = amplitudes[i];
+                    if (stochastic) {
+                        // Per-sample child streams keep stochastic modes
+                        // deterministic for any thread count or batch
+                        // order.
+                        batch_gens.push_back(
+                            gen.child(level_index * n_samples + i));
+                        s.gen = &batch_gens.back();
+                    }
+                    batch.push_back(s);
+                }
+                engine.run_batch(family[level_index], batch, batch_out);
+                for (std::size_t k = 0; k < bucket.size(); ++k) {
+                    p_values[level_index * n_samples + bucket[k]] =
+                        batch_out[k];
+                }
+            }
+        }
+    }
+
+    // Per-bucket statistics -> |z| accumulation (Fig. 7), in level-major
+    // order (identical accumulation order for both evaluation paths).
+    for (std::size_t level_index = 0; level_index < level_count;
+         ++level_index) {
+        const double* level_p = p_values.data() + level_index * n_samples;
         for (const std::vector<std::size_t>& bucket : buckets) {
             util::welford_accumulator acc;
             for (const std::size_t i : bucket) {
-                acc.add(p_values[i]);
+                acc.add(level_p[i]);
             }
             const double mu = acc.mean();
             const double sigma = acc.stddev_population();
             if (sigma < sigma_floor) {
+                // No signal in this (bucket, level) run: it contributes
+                // neither |z| nor a run count — aggregate_groups
+                // normalises by run_count, so skipped runs cannot bias
+                // the final score.
                 continue;
             }
             for (const std::size_t i : bucket) {
-                result.abs_z_sum[i] += std::abs((p_values[i] - mu) / sigma);
+                result.abs_z_sum[i] += std::abs((level_p[i] - mu) / sigma);
                 ++result.run_count[i];
             }
         }

@@ -27,11 +27,15 @@ struct group_result {
 
 /// Runs ensemble group `group_index` over a dataset that has ALREADY been
 /// normalised with data::normalize_for_quorum (values in [0, 1/M]),
-/// evaluating every bucket batch through `engine`. Backends are
-/// thread-safe, so the detector builds one engine per score() call and
-/// shares it across all group workers — which also means a sharded engine
-/// creates its shard pool once, not once per group. Deterministic:
-/// depends only on (config.seed, group_index, data).
+/// evaluating every bucket batch through `engine`: one compiled program
+/// per compression level (the group's program family), submitted as one
+/// fused run_batch_levels call per bucket — or one run_batch per
+/// (level, bucket) when config.fused_levels is off; scores are identical
+/// either way. Backends are thread-safe, so the detector builds one
+/// engine per score() call and shares it across all group workers —
+/// which also means a sharded engine creates its shard pool once, not
+/// once per group. Deterministic: depends only on
+/// (config.seed, group_index, data).
 [[nodiscard]] group_result run_ensemble_group(const data::dataset& normalized,
                                               const quorum_config& config,
                                               std::size_t group_index,

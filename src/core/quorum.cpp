@@ -1,8 +1,8 @@
 #include "core/quorum.h"
 
-#include <atomic>
 #include <cmath>
 #include <memory>
+#include <mutex>
 
 #include "data/preprocess.h"
 #include "exec/executor.h"
@@ -38,12 +38,19 @@ score_report quorum_detector::score(const data::dataset& input) const {
     const std::unique_ptr<exec::executor> engine = exec::make_executor(
         config_.resolved_backend(), config_.to_engine_config());
 
-    std::atomic<std::size_t> completed{0};
+    // Progress delivery is SERIALIZED: the completion count is advanced
+    // and the callback invoked under one mutex, so user callbacks never
+    // run concurrently and `done` arrives strictly increasing even when
+    // several workers finish at once (the guarantee core/quorum.h
+    // documents).
+    std::mutex progress_mutex;
+    std::size_t completed = 0;
     const auto run_group = [&](std::size_t g) {
         groups[g] = run_ensemble_group(normalized, config_, g, *engine);
-        const std::size_t done = completed.fetch_add(1) + 1;
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        ++completed;
         if (progress_) {
-            progress_(done, config_.ensemble_groups);
+            progress_(completed, config_.ensemble_groups);
         }
     };
 
@@ -61,6 +68,9 @@ score_report quorum_detector::score(const data::dataset& input) const {
 }
 
 std::size_t quorum_detector::flag_count(std::size_t n_samples) const {
+    // ceil, the same rounding run_ensemble_group applies to this quantity
+    // when sizing buckets (§IV-C): a fractional estimate always flags (and
+    // plans for) the enclosing whole anomaly.
     return std::max<std::size_t>(
         1, static_cast<std::size_t>(
                std::ceil(config_.estimated_anomaly_rate *

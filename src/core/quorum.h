@@ -32,8 +32,12 @@ public:
     }
 
     /// Optional progress hook: called after each ensemble group completes
-    /// with (completed_groups, total_groups). Invoked from worker threads;
-    /// must be thread-safe.
+    /// with (completed_groups, total_groups). Invocations are SERIALIZED
+    /// by the detector (an internal mutex), so the callback never runs
+    /// concurrently with itself and `completed_groups` arrives strictly
+    /// increasing — a plain CLI printer needs no locking of its own. The
+    /// callback still runs on worker threads, so it must not assume the
+    /// caller's thread and should stay short (it blocks group completion).
     void set_progress_callback(
         std::function<void(std::size_t, std::size_t)> callback);
 

@@ -56,6 +56,33 @@ qsim::circuit lowered_prep(std::span<const double> amplitudes,
     return qsim::decompose_to_basis(prep);
 }
 
+/// Assembles one sample's full lowered circuit (prep slots, lowered
+/// per-sample prefix, pre-lowered shared suffix), ready for the final
+/// peephole pass — shared verbatim by run_batch and run_batch_levels so
+/// both evolve identical op streams.
+qsim::circuit assemble_lowered(const qsim::compiled_program& compiled,
+                               const sample& s, const qsim::circuit& prep,
+                               const qsim::circuit& shared_lowered,
+                               std::span<const qsim::qubit_t> identity) {
+    qsim::circuit lowered(compiled.num_qubits(), compiled.num_clbits());
+    for (const qsim::prep_slot& slot : compiled.slots()) {
+        lowered.append(prep, slot.qubits);
+    }
+    if (!compiled.prefix().empty()) {
+        qsim::circuit prefix(compiled.num_qubits(), compiled.num_clbits());
+        std::size_t cursor = 0;
+        for (const qsim::operation& op : compiled.prefix()) {
+            const std::size_t count = qsim::gate_param_count(op.gate);
+            prefix.append_gate(op.gate, op.qubits,
+                               s.prefix_params.subspan(cursor, count));
+            cursor += count;
+        }
+        lowered.append(qsim::decompose_to_basis(prefix), identity);
+    }
+    lowered.append(shared_lowered, identity);
+    return lowered;
+}
+
 } // namespace
 
 density_backend::density_backend(engine_config config)
@@ -103,28 +130,13 @@ void density_backend::run_batch(const program& prog,
     std::iota(identity.begin(), identity.end(), qsim::qubit_t{0});
 
     for (std::size_t i = 0; i < samples.size(); ++i) {
-        qsim::circuit lowered(compiled.num_qubits(), compiled.num_clbits());
-        if (!compiled.slots().empty()) {
-            const qsim::circuit prep = lowered_prep(
-                samples[i].amplitudes, compiled.slots()[0].qubits.size());
-            for (const qsim::prep_slot& slot : compiled.slots()) {
-                lowered.append(prep, slot.qubits);
-            }
-        }
-        if (!compiled.prefix().empty()) {
-            qsim::circuit prefix(compiled.num_qubits(),
-                                 compiled.num_clbits());
-            std::size_t cursor = 0;
-            for (const qsim::operation& op : compiled.prefix()) {
-                const std::size_t count = qsim::gate_param_count(op.gate);
-                prefix.append_gate(
-                    op.gate, op.qubits,
-                    samples[i].prefix_params.subspan(cursor, count));
-                cursor += count;
-            }
-            lowered.append(qsim::decompose_to_basis(prefix), identity);
-        }
-        lowered.append(shared_lowered, identity);
+        const qsim::circuit prep =
+            compiled.slots().empty()
+                ? qsim::circuit(0)
+                : lowered_prep(samples[i].amplitudes,
+                               compiled.slots()[0].qubits.size());
+        const qsim::circuit lowered = assemble_lowered(
+            compiled, samples[i], prep, shared_lowered, identity);
 
         const qsim::noisy_run_result result = qsim::density_runner::
             run_lowered(qsim::optimize_basis_circuit(lowered), config_.noise);
@@ -136,6 +148,105 @@ void density_backend::run_batch(const program& prog,
             out[i] = static_cast<double>(
                          samples[i].gen->binomial(config_.shots, p_one)) /
                      static_cast<double>(config_.shots);
+        }
+    }
+}
+
+void density_backend::run_batch_levels(std::span<const program> levels,
+                                       std::span<const sample> samples,
+                                       std::span<double> out) const {
+    const bool needs_rng = config_.sampling_mode != sampling::exact;
+    validate_level_batch(levels, samples, out, needs_rng);
+    for (const program& level : levels) {
+        QUORUM_EXPECTS_MSG(level.readout.kind ==
+                               readout_kind::cbit_probability,
+                           "the density backend reads classical bits");
+    }
+
+    // Lower every level's shared suffix once per batch; per sample, the
+    // state prep is synthesised once, each level's full circuit is
+    // peephole-optimized exactly as run_batch would, and the noisy
+    // density evolution — the expensive part — runs the op prefix the
+    // levels share (prep + encoder + nested resets) ONCE, forking a copy
+    // of the cached state per level at the first divergent op.
+    const std::size_t count = levels.size();
+    const qsim::compiled_program& first = levels[0].circuit;
+    std::vector<qsim::circuit> suffixes_lowered;
+    suffixes_lowered.reserve(count);
+    for (const program& level : levels) {
+        suffixes_lowered.push_back(
+            qsim::decompose_to_basis(suffix_circuit(level.circuit)));
+    }
+    std::vector<qsim::qubit_t> identity(first.num_qubits());
+    std::iota(identity.begin(), identity.end(), qsim::qubit_t{0});
+
+    std::vector<qsim::circuit> level_circuits;
+    level_circuits.reserve(count);
+    std::vector<std::size_t> fork(count, 0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const qsim::circuit prep =
+            first.slots().empty()
+                ? qsim::circuit(0)
+                : lowered_prep(samples[i].amplitudes,
+                               first.slots()[0].qubits.size());
+        level_circuits.clear();
+        for (std::size_t k = 0; k < count; ++k) {
+            level_circuits.push_back(
+                qsim::optimize_basis_circuit(assemble_lowered(
+                    levels[k].circuit, samples[i], prep,
+                    suffixes_lowered[k], identity)));
+            QUORUM_EXPECTS_MSG(qsim::is_basis_circuit(level_circuits[k]),
+                               "optimized level circuit left the hardware "
+                               "basis");
+            if (k > 0) {
+                const auto& previous = level_circuits[k - 1].ops();
+                const auto& current = level_circuits[k].ops();
+                const std::size_t limit =
+                    std::min(previous.size(), current.size());
+                std::size_t shared = 0;
+                while (shared < limit &&
+                       qsim::replays_identically(previous[shared],
+                                                 current[shared])) {
+                    ++shared;
+                }
+                fork[k] = shared;
+            }
+        }
+
+        qsim::noisy_run_result trunk{
+            qsim::density_matrix(first.num_qubits()), {}};
+        std::size_t trunk_pos = 0;
+        for (std::size_t k = 0; k < count; ++k) {
+            const qsim::circuit& circuit = level_circuits[k];
+            if (k + 1 < count && fork[k + 1] > trunk_pos) {
+                qsim::density_runner::apply_lowered_ops(
+                    trunk, circuit, trunk_pos, fork[k + 1], config_.noise);
+                trunk_pos = fork[k + 1];
+            }
+            qsim::noisy_run_result state = trunk;
+            qsim::density_runner::apply_lowered_ops(
+                state, circuit, trunk_pos, circuit.ops().size(),
+                config_.noise);
+            const double p_one = state.cbit_probability_one(
+                levels[k].readout.cbit, config_.noise);
+            if (config_.sampling_mode == sampling::exact) {
+                out[i * count + k] = p_one;
+            } else {
+                out[i * count + k] =
+                    static_cast<double>(samples[i].level_gens[k]->binomial(
+                        config_.shots, p_one)) /
+                    static_cast<double>(config_.shots);
+            }
+            if (k + 1 < count && trunk_pos > fork[k + 1]) {
+                // Non-nested ordering: rebuild the trunk along the next
+                // level's ops (bit-identical to a fresh evolution).
+                trunk = qsim::noisy_run_result{
+                    qsim::density_matrix(first.num_qubits()), {}};
+                qsim::density_runner::apply_lowered_ops(
+                    trunk, level_circuits[k + 1], 0, fork[k + 1],
+                    config_.noise);
+                trunk_pos = fork[k + 1];
+            }
         }
     }
 }

@@ -1,8 +1,51 @@
 #include "exec/executor.h"
 
+#include <vector>
+
 #include "util/contracts.h"
 
 namespace quorum::exec {
+
+void executor::run_batch_levels(std::span<const program> levels,
+                                std::span<const sample> samples,
+                                std::span<double> out) const {
+    // Naive per-level fallback: correct for every backend, fused for none.
+    // Backends advertising capability::fused_levels override this with an
+    // implementation that shares the per-sample prefix work; results must
+    // stay ==-equal to this loop.
+    QUORUM_EXPECTS_MSG(!levels.empty(),
+                       "run_batch_levels needs at least one level program");
+    QUORUM_EXPECTS_MSG(out.size() == samples.size() * levels.size(),
+                       "run_batch_levels output span must be samples x "
+                       "levels");
+    std::vector<sample> level_samples(samples.begin(), samples.end());
+    std::vector<double> level_out(samples.size());
+    for (std::size_t k = 0; k < levels.size(); ++k) {
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            if (!samples[i].level_gens.empty()) {
+                QUORUM_EXPECTS_MSG(samples[i].level_gens.size() ==
+                                       levels.size(),
+                                   "sample level_gens count must match the "
+                                   "level count");
+                level_samples[i].gen = samples[i].level_gens[k];
+            } else {
+                // Reusing one stream sequentially across levels would make
+                // level k's draws depend on level k-1's — silently breaking
+                // the ==-equal-to-per-level contract. Demand explicit
+                // per-level streams instead.
+                QUORUM_EXPECTS_MSG(samples[i].gen == nullptr ||
+                                       levels.size() == 1,
+                                   "multi-level sampling needs level_gens "
+                                   "(one rng stream per level), not a "
+                                   "single shared gen");
+            }
+        }
+        run_batch(levels[k], level_samples, level_out);
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            out[i * levels.size() + k] = level_out[i];
+        }
+    }
+}
 
 void validate_batch(const program& prog, std::span<const sample> samples,
                     std::span<double> out, bool needs_rng) {
@@ -26,6 +69,62 @@ void validate_batch(const program& prog, std::span<const sample> samples,
                            "sample prefix param count mismatch");
         QUORUM_EXPECTS_MSG(!needs_rng || s.gen != nullptr,
                            "sampling modes need a per-sample rng stream");
+    }
+}
+
+void validate_level_batch(std::span<const program> levels,
+                          std::span<const sample> samples,
+                          std::span<double> out, bool needs_rng) {
+    QUORUM_EXPECTS_MSG(!levels.empty(),
+                       "run_batch_levels needs at least one level program");
+    QUORUM_EXPECTS_MSG(out.size() == samples.size() * levels.size(),
+                       "run_batch_levels output span must be samples x "
+                       "levels");
+    // A level family must share its whole per-sample head — the SAME prep
+    // slots (qubit lists, not just counts) and the SAME parameterized
+    // prefix ops — because fused implementations prepare one state from
+    // one level's head and reuse it for every level. Divergent heads must
+    // fail loudly here, not silently return one level's numbers for
+    // another's program.
+    const qsim::compiled_program& first = levels.front().circuit;
+    for (const program& level : levels) {
+        const qsim::compiled_program& circuit = level.circuit;
+        bool same_head = circuit.num_qubits() == first.num_qubits() &&
+                         circuit.slots().size() == first.slots().size() &&
+                         circuit.prefix().size() == first.prefix().size();
+        for (std::size_t s = 0; same_head && s < first.slots().size(); ++s) {
+            same_head = circuit.slots()[s].qubits == first.slots()[s].qubits;
+        }
+        for (std::size_t p = 0; same_head && p < first.prefix().size();
+             ++p) {
+            // Prefix params are per-sample placeholders; the structural
+            // identity that matters is gate kind + operands.
+            same_head =
+                circuit.prefix()[p].gate == first.prefix()[p].gate &&
+                circuit.prefix()[p].qubits == first.prefix()[p].qubits;
+        }
+        QUORUM_EXPECTS_MSG(same_head,
+                           "all programs of a level family must share one "
+                           "prep-slot layout and parameterized prefix");
+    }
+    // Per-sample shapes (amplitudes, prefix params) are identical across
+    // the family, so checking against the first level covers every level;
+    // rng streams are per level and checked here instead.
+    validate_batch(levels.front(), samples, out.first(samples.size()),
+                   false);
+    for (const sample& s : samples) {
+        QUORUM_EXPECTS_MSG(!needs_rng || s.level_gens.size() == levels.size(),
+                           "multi-level sampling needs one rng stream per "
+                           "level per sample");
+        for (util::rng* gen : s.level_gens) {
+            QUORUM_EXPECTS_MSG(!needs_rng || gen != nullptr,
+                               "multi-level sampling needs one rng stream "
+                               "per level per sample");
+        }
+        QUORUM_EXPECTS_MSG(s.level_gens.empty() ||
+                               s.level_gens.size() == levels.size(),
+                           "sample level_gens count must match the level "
+                           "count");
     }
 }
 

@@ -66,6 +66,11 @@ struct sample {
     /// Private deterministic rng stream; may be null under
     /// sampling::exact, must be non-null otherwise.
     util::rng* gen = nullptr;
+    /// Multi-level batches only (run_batch_levels): one rng stream per
+    /// level program, in level order — level k draws from level_gens[k]
+    /// exactly as a per-level run_batch would draw from `gen`. Ignored by
+    /// run_batch; may be empty under sampling::exact.
+    std::span<util::rng* const> level_gens{};
 };
 
 /// What run_batch reports per sample.
@@ -95,6 +100,17 @@ struct program {
     readout_spec readout{};
 };
 
+/// Optional backend capabilities beyond readout evaluation, queried
+/// through executor::supports(capability).
+enum class capability {
+    /// run_batch_levels evaluates a program family with a genuinely fused
+    /// implementation (shared prep + encoder prefix evolved once per
+    /// sample). Backends without it still accept run_batch_levels via the
+    /// naive per-level base implementation — the capability only tells
+    /// callers whether fusing buys anything.
+    fused_levels,
+};
+
 /// Abstract execution engine. Implementations are registered with the
 /// backend registry (exec/registry.h) and selected by name.
 class executor {
@@ -115,6 +131,12 @@ public:
     [[nodiscard]] virtual bool
     supports(readout_kind kind) const noexcept = 0;
 
+    /// True when the backend implements the given optional capability
+    /// (default: none). See exec::capability.
+    [[nodiscard]] virtual bool supports(capability) const noexcept {
+        return false;
+    }
+
     /// Runs one complete circuit and reports P(cbit = 1) under this
     /// backend's sampling semantics. `gen` may be null under
     /// sampling::exact and must be non-null otherwise.
@@ -126,6 +148,21 @@ public:
     virtual void run_batch(const program& prog,
                            std::span<const sample> samples,
                            std::span<double> out) const = 0;
+
+    /// Evaluates a program FAMILY — one program per compression level,
+    /// all sharing the same prep slots / parameterized prefix (e.g. state
+    /// prep + encoder E(θ) followed by level-specific resets + decoder) —
+    /// for every sample, writing results sample-major:
+    /// out[i * levels.size() + k] = readout of levels[k] for samples[i].
+    ///
+    /// Contract: results are EQUAL (IEEE ==) to running each level alone
+    /// through run_batch with sample.gen = sample.level_gens[k]; fused
+    /// implementations (supports(capability::fused_levels)) only amortise
+    /// the work the levels share. The base implementation is that naive
+    /// per-level loop. Thread-safe.
+    virtual void run_batch_levels(std::span<const program> levels,
+                                  std::span<const sample> samples,
+                                  std::span<double> out) const;
 
 protected:
     executor() = default;
@@ -139,6 +176,15 @@ protected:
 /// identically.
 void validate_batch(const program& prog, std::span<const sample> samples,
                     std::span<double> out, bool needs_rng);
+
+/// The run_batch_levels analogue: a non-empty family whose programs all
+/// share one prep-slot/prefix shape, an output span of
+/// samples.size() * levels.size(), per-sample shapes matching the family,
+/// and (when needs_rng) one rng stream per level per sample. Throws
+/// util::contract_error on violations.
+void validate_level_batch(std::span<const program> levels,
+                          std::span<const sample> samples,
+                          std::span<double> out, bool needs_rng);
 
 } // namespace quorum::exec
 

@@ -99,4 +99,34 @@ void sharded_backend::run_batch(const program& prog,
     });
 }
 
+void sharded_backend::run_batch_levels(std::span<const program> levels,
+                                       std::span<const sample> samples,
+                                       std::span<double> out) const {
+    validate_level_batch(levels, samples, out, needs_rng_);
+    // The plan stays keyed by sample index ONLY (levels ride along in the
+    // sample-major output layout), so shard invariance and per-sample rng
+    // derivation are preserved bit-for-bit for fused families too.
+    const std::vector<shard_work> plan =
+        make_shard_plan(samples.size(), shards_, nullptr);
+    const std::size_t count = levels.size();
+    if (plan.size() <= 1) {
+        inner_->run_batch_levels(levels, samples, out);
+        return;
+    }
+    pool().parallel_for(plan.size(), [&](std::size_t k) {
+        const shard_work& work = plan[k];
+        try {
+            inner_->run_batch_levels(
+                levels, samples.subspan(work.first, work.count),
+                out.subspan(work.first * count, work.count * count));
+        } catch (const util::contract_error& error) {
+            throw util::contract_error(
+                "shard " + std::to_string(work.shard) + " (samples [" +
+                std::to_string(work.first) + ", " +
+                std::to_string(work.first + work.count) +
+                ")) failed: " + error.what());
+        }
+    });
+}
+
 } // namespace quorum::exec

@@ -72,6 +72,12 @@ public:
         return inner_->supports(kind);
     }
 
+    /// Capabilities are the inner backend's: a sharded engine fuses
+    /// compression levels exactly when its lanes do.
+    [[nodiscard]] bool supports(capability what) const noexcept override {
+        return inner_->supports(what);
+    }
+
     /// Single circuits have nothing to partition; delegates to the inner
     /// backend.
     [[nodiscard]] double run(const qsim::circuit& c, int cbit,
@@ -87,6 +93,14 @@ public:
     /// propagate unchanged.
     void run_batch(const program& prog, std::span<const sample> samples,
                    std::span<double> out) const override;
+
+    /// Multi-level batches partition exactly like run_batch — the plan is
+    /// keyed by sample index only; each shard's span (and its slice of
+    /// the sample-major output) runs the whole level family through the
+    /// inner backend, so fused evaluation composes with shard invariance.
+    void run_batch_levels(std::span<const program> levels,
+                          std::span<const sample> samples,
+                          std::span<double> out) const override;
 
     /// Number of shards run_batch partitions across.
     [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }

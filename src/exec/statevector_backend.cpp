@@ -1,6 +1,7 @@
 #include "exec/statevector_backend.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "qml/observables.h"
@@ -28,6 +29,7 @@ struct replay_buffers {
     std::vector<amp> slot_amplitudes;
     std::vector<qsim::branch> branches;
     std::vector<qsim::branch> next_branches;
+    std::vector<qsim::branch> work;
     std::vector<amp> scratch;
 };
 
@@ -100,29 +102,30 @@ statevector prepare_state(const compiled_program& prog, const sample& s,
     return state;
 }
 
-/// Exact replay: evolves the branch mixture through the shared suffix.
-/// Bit-identical to statevector_runner::run_exact on the original circuit.
-void replay_exact(const compiled_program& prog, const sample& s,
-                  replay_buffers& buffers) {
-    buffers.branches.clear();
-    buffers.branches.push_back(
-        qsim::branch{1.0, prepare_state(prog, s, buffers)});
-    for (const compiled_op& compiled : prog.suffix()) {
+/// Evolves a branch mixture through suffix ops [first, last) of `prog` —
+/// the same op-by-op order statevector_runner::run_exact would use on the
+/// original circuit, so the mixture stays bit-identical however the range
+/// is chunked.
+void apply_suffix_ops(const compiled_program& prog,
+                      std::vector<qsim::branch>& branches,
+                      std::vector<qsim::branch>& next, std::size_t first,
+                      std::size_t last) {
+    for (std::size_t index = first; index < last; ++index) {
+        const compiled_op& compiled = prog.suffix()[index];
         const operation& op = compiled.op;
         switch (op.kind) {
         case op_kind::gate:
-            for (qsim::branch& b : buffers.branches) {
+            for (qsim::branch& b : branches) {
                 apply_compiled_op(b.state, compiled);
             }
             break;
         case op_kind::initialize:
-            for (qsim::branch& b : buffers.branches) {
+            for (qsim::branch& b : branches) {
                 b.state.initialize_register(op.qubits, op.init_amplitudes);
             }
             break;
         case op_kind::reset:
-            split_on_reset(buffers.branches, buffers.next_branches,
-                           op.qubits[0]);
+            split_on_reset(branches, next, op.qubits[0]);
             break;
         case op_kind::measure:
             break; // recorded in prog.measures() at compile time
@@ -132,15 +135,91 @@ void replay_exact(const compiled_program& prog, const sample& s,
     }
 }
 
+/// Exact replay of suffix ops [0, body_end) from a fresh prepared state.
+void replay_exact(const compiled_program& prog, const sample& s,
+                  replay_buffers& buffers, std::size_t body_end) {
+    buffers.branches.clear();
+    buffers.branches.push_back(
+        qsim::branch{1.0, prepare_state(prog, s, buffers)});
+    apply_suffix_ops(prog, buffers.branches, buffers.next_branches, 0,
+                     body_end);
+}
+
+/// SWAP-test short-circuit for prep-overlap programs. The suffix splits at
+/// the last structural op into a body (state prep + encoder + resets,
+/// evolved as a branch mixture) and a trailing all-gate tail (the decoder
+/// D(θ)). Since <psi|D phi_b> == <D†psi|phi_b>, the tail's ADJOINT is
+/// applied once per sample to the reference state and no reset branch is
+/// ever evolved through the decoder — the per-level work collapses to one
+/// inner product per branch.
+struct overlap_tail {
+    std::size_t body_end = 0;
+    /// Tail ops in reverse circuit order with adjoint matrices (id/x/cx
+    /// are self-adjoint and keep their fast paths).
+    std::vector<compiled_op> adjoint_ops;
+};
+
+overlap_tail make_overlap_tail(const compiled_program& prog) {
+    QUORUM_EXPECTS_MSG(prog.slots().size() >= 1 &&
+                           prog.slots()[0].qubits.size() ==
+                               prog.num_qubits(),
+                       "prep-overlap programs must initialize the full "
+                       "register per prep slot");
+    overlap_tail tail;
+    tail.body_end = qsim::trailing_gate_run_start(prog);
+    tail.adjoint_ops.reserve(prog.suffix().size() - tail.body_end);
+    for (std::size_t i = prog.suffix().size(); i > tail.body_end; --i) {
+        compiled_op adjoint = prog.suffix()[i - 1];
+        if (adjoint.matrix.rows() != 0) {
+            adjoint.matrix = adjoint.matrix.adjoint();
+        }
+        tail.adjoint_ops.push_back(std::move(adjoint));
+    }
+    return tail;
+}
+
+/// D†|psi>: the sample's own prep amplitudes evolved through the adjoint
+/// tail.
+statevector reference_through_tail(const overlap_tail& tail,
+                                   const sample& s) {
+    std::vector<amp> reference(s.amplitudes.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        reference[i] = s.amplitudes[i];
+    }
+    statevector chi = statevector::from_amplitudes(std::move(reference));
+    for (const compiled_op& compiled : tail.adjoint_ops) {
+        apply_compiled_op(chi, compiled);
+    }
+    return chi;
+}
+
+/// SWAP-test P(1) over the pre-decoder mixture:
+/// fidelity = sum_b w_b |<chi|phi_b>|^2 with chi = D†|psi>.
+double overlap_p1(const statevector& chi,
+                  const std::vector<qsim::branch>& branches) {
+    const std::span<const amp> reference = chi.amplitudes();
+    double fidelity = 0.0;
+    for (const qsim::branch& b : branches) {
+        const std::span<const amp> state = b.state.amplitudes();
+        amp inner{};
+        for (std::size_t i = 0; i < state.size(); ++i) {
+            inner += std::conj(reference[i]) * state[i];
+        }
+        fidelity += b.weight * std::norm(inner);
+    }
+    return qml::swap_test_p1_from_overlap(fidelity);
+}
+
 /// Readout over the final mixture (see readout_kind for semantics).
+/// prep_overlap_p1 never reaches this — it takes the short-circuit path.
 double read_out(const readout_spec& spec, const compiled_program& prog,
-                const sample& s, const replay_buffers& buffers) {
+                const std::vector<qsim::branch>& branches) {
     switch (spec.kind) {
     case readout_kind::cbit_probability: {
         for (const auto& [qubit, bit] : prog.measures()) {
             if (bit == spec.cbit) {
                 double p = 0.0;
-                for (const qsim::branch& b : buffers.branches) {
+                for (const qsim::branch& b : branches) {
                     p += b.weight * b.state.probability_one(qubit);
                 }
                 return p;
@@ -148,23 +227,12 @@ double read_out(const readout_spec& spec, const compiled_program& prog,
         }
         throw util::contract_error("no measurement wrote the requested cbit");
     }
-    case readout_kind::prep_overlap_p1: {
-        // Tr(rho |psi><psi|) against the sample's own prep amplitudes,
-        // then the SWAP-test identity P(1) = (1 - fidelity)/2.
-        double fidelity = 0.0;
-        for (const qsim::branch& b : buffers.branches) {
-            const std::span<const amp> state = b.state.amplitudes();
-            amp inner{};
-            for (std::size_t i = 0; i < state.size(); ++i) {
-                inner += std::conj(amp{s.amplitudes[i], 0.0}) * state[i];
-            }
-            fidelity += b.weight * std::norm(inner);
-        }
-        return qml::swap_test_p1_from_overlap(fidelity);
-    }
+    case readout_kind::prep_overlap_p1:
+        throw util::contract_error(
+            "prep-overlap readouts take the short-circuit path");
     case readout_kind::excited_population: {
         double population = 0.0;
-        for (const qsim::branch& b : buffers.branches) {
+        for (const qsim::branch& b : branches) {
             for (const qubit_t q : spec.qubits) {
                 population += b.weight * b.state.probability_one(q);
             }
@@ -173,13 +241,42 @@ double read_out(const readout_spec& spec, const compiled_program& prog,
     }
     case readout_kind::z_probability: {
         double z_value = 0.0;
-        for (const qsim::branch& b : buffers.branches) {
+        for (const qsim::branch& b : branches) {
             z_value += b.weight * qml::z_expectation(b.state, spec.qubits[0]);
         }
         return qml::z_to_probability(z_value);
     }
     }
     throw util::contract_error("unknown readout kind");
+}
+
+/// Everything the exact/binomial paths precompute per program: where the
+/// branch-mixture body ends and, for prep-overlap programs, the adjoint
+/// decoder tail.
+struct program_plan {
+    std::size_t body_end = 0;
+    bool shortcut = false;
+    overlap_tail tail;
+};
+
+program_plan make_plan(const program& prog) {
+    program_plan plan;
+    plan.shortcut = prog.readout.kind == readout_kind::prep_overlap_p1;
+    if (plan.shortcut) {
+        plan.tail = make_overlap_tail(prog.circuit);
+        plan.body_end = plan.tail.body_end;
+    } else {
+        plan.body_end = prog.circuit.suffix().size();
+    }
+    return plan;
+}
+
+void check_probability_readout(const readout_spec& spec, sampling mode) {
+    QUORUM_EXPECTS_MSG(mode == sampling::exact ||
+                           spec.kind == readout_kind::cbit_probability ||
+                           spec.kind == readout_kind::prep_overlap_p1,
+                       "binomial sampling applies to probability "
+                       "readouts only");
 }
 
 /// Applies one fused op's unitary block.
@@ -214,6 +311,14 @@ bool statevector_backend::supports(readout_kind kind) const noexcept {
         return kind == readout_kind::cbit_probability;
     }
     return false;
+}
+
+bool statevector_backend::supports(capability what) const noexcept {
+    // Per-shot replay is stochastic per (level, shot), so there is no
+    // shared deterministic prefix to fuse — run_batch_levels falls back to
+    // the naive per-level loop there.
+    return what == capability::fused_levels &&
+           config_.sampling_mode != sampling::per_shot;
 }
 
 double statevector_backend::run(const qsim::circuit& c, int cbit,
@@ -256,18 +361,20 @@ void statevector_backend::run_batch(const program& prog,
     validate_batch(prog, samples, out, needs_rng);
 
     if (config_.sampling_mode != sampling::per_shot) {
-        QUORUM_EXPECTS_MSG(config_.sampling_mode == sampling::exact ||
-                               prog.readout.kind ==
-                                   readout_kind::cbit_probability ||
-                               prog.readout.kind ==
-                                   readout_kind::prep_overlap_p1,
-                           "binomial sampling applies to probability "
-                           "readouts only");
+        check_probability_readout(prog.readout, config_.sampling_mode);
+        const program_plan plan = make_plan(prog);
         replay_buffers buffers;
         for (std::size_t i = 0; i < samples.size(); ++i) {
-            replay_exact(prog.circuit, samples[i], buffers);
-            const double p_one =
-                read_out(prog.readout, prog.circuit, samples[i], buffers);
+            replay_exact(prog.circuit, samples[i], buffers, plan.body_end);
+            double p_one = 0.0;
+            if (plan.shortcut) {
+                const statevector chi =
+                    reference_through_tail(plan.tail, samples[i]);
+                p_one = overlap_p1(chi, buffers.branches);
+            } else {
+                p_one = read_out(prog.readout, prog.circuit,
+                                 buffers.branches);
+            }
             if (config_.sampling_mode == sampling::exact) {
                 out[i] = p_one;
             } else {
@@ -342,6 +449,117 @@ void statevector_backend::run_batch(const program& prog,
         }
         out[i] = static_cast<double>(ones) /
                  static_cast<double>(config_.shots);
+    }
+}
+
+void statevector_backend::run_batch_levels(std::span<const program> levels,
+                                           std::span<const sample> samples,
+                                           std::span<double> out) const {
+    const bool needs_rng = config_.sampling_mode != sampling::exact;
+    validate_level_batch(levels, samples, out, needs_rng);
+    if (config_.sampling_mode == sampling::per_shot) {
+        executor::run_batch_levels(levels, samples, out);
+        return;
+    }
+
+    // Per-level structural plans + fork points: fork[k] is the number of
+    // leading suffix ops level k shares with level k-1 (state prep +
+    // encoder + the nested reset prefix for Quorum families), capped at
+    // both levels' branch-mixture bodies.
+    const std::size_t count = levels.size();
+    std::vector<program_plan> plans;
+    plans.reserve(count);
+    for (const program& level : levels) {
+        check_probability_readout(level.readout, config_.sampling_mode);
+        plans.push_back(make_plan(level));
+    }
+    std::vector<std::size_t> fork(count, 0);
+    for (std::size_t k = 1; k < count; ++k) {
+        fork[k] = std::min({qsim::shared_suffix_ops(levels[k - 1].circuit,
+                                                    levels[k].circuit),
+                            plans[k - 1].body_end, plans[k].body_end});
+    }
+    // One reference evolution D†|psi> serves every level when all levels
+    // short-circuit through the same decoder tail (Quorum shares one θ
+    // across compression levels).
+    bool shared_tail =
+        std::all_of(plans.begin(), plans.end(),
+                    [](const program_plan& plan) { return plan.shortcut; });
+    for (std::size_t k = 1; shared_tail && k < count; ++k) {
+        const auto& a = plans[0].tail.adjoint_ops;
+        const auto& b = plans[k].tail.adjoint_ops;
+        shared_tail = a.size() == b.size();
+        for (std::size_t j = 0; shared_tail && j < a.size(); ++j) {
+            shared_tail = qsim::replays_identically(a[j], b[j]);
+        }
+    }
+
+    replay_buffers buffers;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const sample& s = samples[i];
+        // The trunk mixture holds the ops every remaining level still
+        // shares; each level forks off it (or reads it directly when its
+        // whole body is shared, as in nested reset families).
+        buffers.branches.clear();
+        buffers.branches.push_back(
+            qsim::branch{1.0, prepare_state(levels[0].circuit, s, buffers)});
+        std::size_t trunk_pos = 0;
+        std::optional<statevector> chi;
+        if (shared_tail) {
+            chi = reference_through_tail(plans[0].tail, s);
+        }
+        for (std::size_t k = 0; k < count; ++k) {
+            const program& level = levels[k];
+            if (k + 1 < count) {
+                const std::size_t target =
+                    std::min(fork[k + 1], plans[k].body_end);
+                if (target > trunk_pos) {
+                    apply_suffix_ops(level.circuit, buffers.branches,
+                                     buffers.next_branches, trunk_pos,
+                                     target);
+                    trunk_pos = target;
+                }
+            }
+            const std::vector<qsim::branch>* final_branches =
+                &buffers.branches;
+            if (trunk_pos < plans[k].body_end) {
+                buffers.work = buffers.branches;
+                apply_suffix_ops(level.circuit, buffers.work,
+                                 buffers.next_branches, trunk_pos,
+                                 plans[k].body_end);
+                final_branches = &buffers.work;
+            }
+            double p_one = 0.0;
+            if (plans[k].shortcut) {
+                if (!shared_tail) {
+                    chi = reference_through_tail(plans[k].tail, s);
+                }
+                p_one = overlap_p1(*chi, *final_branches);
+            } else {
+                p_one =
+                    read_out(level.readout, level.circuit, *final_branches);
+            }
+            if (config_.sampling_mode == sampling::exact) {
+                out[i * count + k] = p_one;
+            } else {
+                out[i * count + k] =
+                    static_cast<double>(
+                        s.level_gens[k]->binomial(config_.shots, p_one)) /
+                    static_cast<double>(config_.shots);
+            }
+            if (k + 1 < count && trunk_pos > fork[k + 1]) {
+                // The trunk evolved past the next level's fork point (only
+                // possible for non-nested level orderings): rebuild it
+                // along the next level's ops — bit-identical to a fresh
+                // per-level replay, just without the sharing.
+                buffers.branches.clear();
+                buffers.branches.push_back(qsim::branch{
+                    1.0, prepare_state(levels[k + 1].circuit, s, buffers)});
+                apply_suffix_ops(levels[k + 1].circuit, buffers.branches,
+                                 buffers.next_branches, 0, fork[k + 1]);
+                trunk_pos = fork[k + 1];
+            }
+        }
     }
 }
 

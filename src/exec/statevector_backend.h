@@ -4,10 +4,15 @@
 //
 // Batched replay amortises everything sample-independent — circuit build,
 // validation, gate-matrix trigonometry, and (per-shot) the unitary head
-// before the first reset — across the whole batch. The exact replay path
-// applies the same kernels in the same order as running the original
-// circuit through qsim::statevector_runner, so exact-mode results are
-// bit-identical to the legacy per-sample path.
+// before the first reset — across the whole batch. Prep-overlap programs
+// additionally take the SWAP-test short-circuit: the trailing decoder run
+// is applied (adjoint) to the reference state once per sample instead of
+// to every reset branch, since <psi|D phi_b> == <D†psi|phi_b>.
+//
+// run_batch_levels fuses a whole compression-level family: the shared
+// state prep + encoder + nested reset prefix evolves ONCE per sample as a
+// trunk branch mixture, and each level forks (or reads the trunk
+// directly) at its first divergent op — ==-equal to per-level run_batch.
 #ifndef QUORUM_EXEC_STATEVECTOR_BACKEND_H
 #define QUORUM_EXEC_STATEVECTOR_BACKEND_H
 
@@ -25,11 +30,19 @@ public:
 
     [[nodiscard]] bool supports(readout_kind kind) const noexcept override;
 
+    /// Fused multi-level evaluation, except under per-shot sampling
+    /// (stochastic per shot — no deterministic prefix to share).
+    [[nodiscard]] bool supports(capability what) const noexcept override;
+
     [[nodiscard]] double run(const qsim::circuit& c, int cbit,
                              util::rng* gen) const override;
 
     void run_batch(const program& prog, std::span<const sample> samples,
                    std::span<double> out) const override;
+
+    void run_batch_levels(std::span<const program> levels,
+                          std::span<const sample> samples,
+                          std::span<double> out) const override;
 
 private:
     engine_config config_;

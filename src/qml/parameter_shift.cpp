@@ -26,6 +26,31 @@ parameter_shift_gradient(const expectation_fn& evaluate,
 }
 
 std::vector<double>
+parameter_shift_gradient_batched(const batch_expectation_fn& evaluate_batch,
+                                 std::span<const double> params,
+                                 double shift) {
+    QUORUM_EXPECTS(std::abs(std::sin(shift)) > 1e-9);
+    std::vector<std::vector<double>> variants;
+    variants.reserve(2 * params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        for (const double direction : {shift, -shift}) {
+            std::vector<double> shifted(params.begin(), params.end());
+            shifted[i] = params[i] + direction;
+            variants.push_back(std::move(shifted));
+        }
+    }
+    const std::vector<double> values = evaluate_batch(variants);
+    QUORUM_EXPECTS_MSG(values.size() == variants.size(),
+                       "batch evaluator must return one value per variant");
+    std::vector<double> gradient(params.size());
+    const double denom = 2.0 * std::sin(shift);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        gradient[i] = (values[2 * i] - values[2 * i + 1]) / denom;
+    }
+    return gradient;
+}
+
+std::vector<double>
 finite_difference_gradient(const expectation_fn& evaluate,
                            std::span<const double> params, double step) {
     QUORUM_EXPECTS(step > 0.0);

@@ -15,6 +15,13 @@ namespace quorum::qml {
 /// An expectation-value evaluator E(θ) over a parameter vector.
 using expectation_fn = std::function<double(std::span<const double>)>;
 
+/// A batched evaluator: one expectation per parameter vector, in order.
+/// Backends that replay a compiled circuit (exec::executor::run_batch)
+/// evaluate all vectors in one submission, amortising everything the
+/// evaluations share.
+using batch_expectation_fn = std::function<std::vector<double>(
+    const std::vector<std::vector<double>>&)>;
+
 /// Exact gradient of E for circuits whose parameters enter through
 /// standard rotation gates (generator eigenvalues ±1/2):
 ///   dE/dθ_i = [E(θ + s e_i) - E(θ - s e_i)] / (2 sin s),  s = π/2.
@@ -23,6 +30,15 @@ using expectation_fn = std::function<double(std::span<const double>)>;
 parameter_shift_gradient(const expectation_fn& evaluate,
                          std::span<const double> params,
                          double shift = 1.5707963267948966);
+
+/// The same gradient with all 2·|θ| shifted evaluations submitted as ONE
+/// batch — the shape the trained baselines feed through the execution
+/// engine. Values are identical to the sequential overload (each shifted
+/// evaluation is independent; only the submission granularity changes).
+[[nodiscard]] std::vector<double>
+parameter_shift_gradient_batched(const batch_expectation_fn& evaluate_batch,
+                                 std::span<const double> params,
+                                 double shift = 1.5707963267948966);
 
 /// Central finite-difference gradient (for cross-checking only).
 [[nodiscard]] std::vector<double>

@@ -313,6 +313,39 @@ std::size_t compiled_program::fused_unitary_count() const noexcept {
         }));
 }
 
+bool replays_identically(const operation& a, const operation& b) {
+    return a.kind == b.kind && a.gate == b.gate && a.qubits == b.qubits &&
+           a.params == b.params && a.init_amplitudes == b.init_amplitudes &&
+           a.cbit == b.cbit;
+}
+
+bool replays_identically(const compiled_op& a, const compiled_op& b) {
+    return replays_identically(a.op, b.op) &&
+           a.matrix.rows() == b.matrix.rows() &&
+           a.matrix.cols() == b.matrix.cols() &&
+           a.matrix.data() == b.matrix.data();
+}
+
+std::size_t shared_suffix_ops(const compiled_program& a,
+                              const compiled_program& b) {
+    const std::size_t limit = std::min(a.suffix().size(), b.suffix().size());
+    std::size_t shared = 0;
+    while (shared < limit &&
+           replays_identically(a.suffix()[shared], b.suffix()[shared])) {
+        ++shared;
+    }
+    return shared;
+}
+
+std::size_t trailing_gate_run_start(const compiled_program& prog) {
+    std::size_t start = prog.suffix().size();
+    while (start > 0 &&
+           prog.suffix()[start - 1].op.kind == op_kind::gate) {
+        --start;
+    }
+    return start;
+}
+
 circuit compiled_program::materialize(std::span<const double> amplitudes,
                                       std::span<const double> prefix_params)
     const {

@@ -160,6 +160,32 @@ private:
 [[nodiscard]] std::vector<fused_op>
 fuse_operations(std::span<const operation> ops, bool fuse_two_qubit = true);
 
+/// True when replaying `a` and `b` produces equal results: same structural
+/// fields and (==-equal) parameters/amplitudes. Equality here is IEEE ==
+/// (the same contract the golden fixtures and bit-identity suites use),
+/// not bit-pattern equality, so ±0.0 params compare equal.
+[[nodiscard]] bool replays_identically(const operation& a, const operation& b);
+
+/// compiled_op variant: additionally requires ==-equal precomputed gate
+/// matrices, so replaying either op through an engine kernel gives equal
+/// amplitudes.
+[[nodiscard]] bool replays_identically(const compiled_op& a,
+                                       const compiled_op& b);
+
+/// Number of leading suffix ops `a` and `b` share (replays_identically).
+/// Two compression levels of one Quorum group share their state prep +
+/// encoder + the nested reset prefix; the fused multi-level executor path
+/// evolves that prefix once and forks per level at the first divergence.
+[[nodiscard]] std::size_t shared_suffix_ops(const compiled_program& a,
+                                            const compiled_program& b);
+
+/// Index into `prog.suffix()` where the maximal trailing run of gate ops
+/// begins (== suffix().size() when the suffix ends with a non-gate op).
+/// For Quorum's register-A programs this run is the decoder D(θ); the
+/// SWAP-test short-circuit applies its adjoint to the reference state once
+/// instead of evolving every reset branch through it.
+[[nodiscard]] std::size_t trailing_gate_run_start(const compiled_program& prog);
+
 } // namespace quorum::qsim
 
 #endif // QUORUM_QSIM_COMPILED_PROGRAM_H

@@ -26,8 +26,16 @@ noisy_run_result density_runner::run_lowered(const circuit& lowered,
                        "run_lowered needs a circuit in the hardware basis "
                        "(use run() for arbitrary circuits)");
     noisy_run_result result{density_matrix(lowered.num_qubits()), {}};
+    apply_lowered_ops(result, lowered, 0, lowered.ops().size(), noise);
+    return result;
+}
 
-    for (const operation& op : lowered.ops()) {
+void density_runner::apply_lowered_ops(noisy_run_result& result,
+                                       const circuit& lowered,
+                                       std::size_t first, std::size_t last,
+                                       const noise_model& noise) {
+    for (std::size_t index = first; index < last; ++index) {
+        const operation& op = lowered.ops()[index];
         switch (op.kind) {
         case op_kind::barrier:
             break;
@@ -65,7 +73,6 @@ noisy_run_result density_runner::run_lowered(const circuit& lowered,
         }
         }
     }
-    return result;
 }
 
 double density_runner::probability_one(const circuit& c, qubit_t q,

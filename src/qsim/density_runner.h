@@ -40,6 +40,17 @@ public:
     static noisy_run_result run_lowered(const circuit& lowered,
                                         const noise_model& noise);
 
+    /// Applies ops [first, last) of an already-lowered circuit to an
+    /// existing run state (gate + noise channels, resets, measure
+    /// recording — the same evolution run_lowered performs). This is the
+    /// incremental seam for callers that cache a shared evolution prefix
+    /// across related circuits: run_lowered(c) == fresh state +
+    /// apply_lowered_ops(state, c, 0, c.ops().size()). No basis check —
+    /// the caller validates the circuit once.
+    static void apply_lowered_ops(noisy_run_result& state,
+                                  const circuit& lowered, std::size_t first,
+                                  std::size_t last, const noise_model& noise);
+
     /// Convenience: P[measuring qubit `q` yields 1] after running `c`
     /// under `noise`, including readout confusion.
     static double probability_one(const circuit& c, qubit_t q,

@@ -16,7 +16,7 @@ group_result make_group(std::vector<double> z, std::size_t bucket_size) {
     return g;
 }
 
-TEST(AnomalyScore, AggregatesAcrossGroups) {
+TEST(AnomalyScore, AggregatesAcrossGroupsAsMeanAbsZ) {
     const std::vector<group_result> groups{
         make_group({1.0, 2.0, 3.0}, 5),
         make_group({0.5, 0.5, 0.5}, 5),
@@ -24,9 +24,40 @@ TEST(AnomalyScore, AggregatesAcrossGroups) {
     const score_report report = aggregate_groups(groups);
     EXPECT_EQ(report.groups, 2u);
     EXPECT_EQ(report.bucket_size, 5u);
-    EXPECT_DOUBLE_EQ(report.scores[0], 1.5);
-    EXPECT_DOUBLE_EQ(report.scores[2], 3.5);
+    // Mean |z| per contributing run: 4 runs per sample across the groups.
+    EXPECT_DOUBLE_EQ(report.scores[0], 1.5 / 4.0);
+    EXPECT_DOUBLE_EQ(report.scores[2], 3.5 / 4.0);
     EXPECT_EQ(report.run_counts[1], 4u);
+}
+
+TEST(AnomalyScore, UnequalRunCountsDoNotUnderRankASample) {
+    // Sample 0 deviates by |z| = 1.2 in each of its 2 contributing runs;
+    // sample 1 deviates by only 0.9 per run but landed in signal-carrying
+    // buckets 4 times. A raw sum would rank sample 1 (3.6) above sample 0
+    // (2.4) purely because sample 0's other runs were sigma-floored; the
+    // normalised score must rank the stronger per-run deviator first.
+    group_result g;
+    g.abs_z_sum = {2.4, 3.6};
+    g.run_count = {2, 4};
+    g.bucket_size = 4;
+    const score_report report =
+        aggregate_groups(std::vector<group_result>{g});
+    EXPECT_DOUBLE_EQ(report.scores[0], 1.2);
+    EXPECT_DOUBLE_EQ(report.scores[1], 0.9);
+    EXPECT_EQ(report.ranking().front(), 0u);
+}
+
+TEST(AnomalyScore, ZeroRunCountScoresZero) {
+    // A sample whose every (bucket, level) run was sigma-floored carries
+    // no evidence: its score is 0, not NaN.
+    group_result g;
+    g.abs_z_sum = {0.0, 1.0};
+    g.run_count = {0, 2};
+    g.bucket_size = 2;
+    const score_report report =
+        aggregate_groups(std::vector<group_result>{g});
+    EXPECT_EQ(report.scores[0], 0.0);
+    EXPECT_DOUBLE_EQ(report.scores[1], 0.5);
 }
 
 TEST(AnomalyScore, EmptyGroupsRejected) {

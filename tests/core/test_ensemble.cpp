@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/anomaly_score.h"
 #include "core/ensemble.h"
 #include "data/bucketing.h"
 #include "data/generators.h"
@@ -72,10 +73,33 @@ TEST(Ensemble, BucketSizeMatchesSolver) {
     config.bucket_probability = 0.75;
     const group_result result = run_ensemble_group(d, config, 0);
     const auto expected_anomalies = static_cast<std::size_t>(
-        std::lround(0.05 * static_cast<double>(d.num_samples())));
+        std::ceil(0.05 * static_cast<double>(d.num_samples())));
     EXPECT_EQ(result.bucket_size,
               quorum::data::solve_bucket_size(d.num_samples(),
                                               expected_anomalies, 0.75));
+}
+
+TEST(Ensemble, FractionalAnomalyEstimatesRoundUpLikeFlagCount) {
+    // §IV-C regression: bucket sizing and quorum_detector::flag_count
+    // round estimated_anomaly_rate * n with ONE rule (ceil). Pin the
+    // fractional cases on both sides of .5: rate*n = 2.4 and 2.5 both
+    // plan for 3 anomalies.
+    quorum::util::rng gen(23);
+    quorum::data::generator_spec spec;
+    spec.samples = 20;
+    spec.anomalies = 2;
+    spec.features = 8;
+    const dataset d = quorum::data::normalize_for_quorum(
+        quorum::data::generate_clustered(spec, gen).without_labels());
+    for (const double rate : {0.12, 0.125}) { // 20 * rate = 2.4, 2.5
+        quorum_config config;
+        config.estimated_anomaly_rate = rate;
+        const group_result result = run_ensemble_group(d, config, 0);
+        EXPECT_EQ(result.bucket_size,
+                  quorum::data::solve_bucket_size(20, 3,
+                                                  config.bucket_probability))
+            << "rate " << rate;
+    }
 }
 
 TEST(Ensemble, SampledModeAddsShotNoiseOnly) {
@@ -125,6 +149,64 @@ TEST(Ensemble, SingleCompressionLevelHalvesRuns) {
         runs_one += one_level.run_count[i];
     }
     EXPECT_GT(runs_two, runs_one);
+}
+
+TEST(Ensemble, SigmaFlooredBucketsCannotBiasNormalizedScores) {
+    // Three identical samples + one distinct one, bucket size 2: whichever
+    // bucket pairs two of the duplicates has zero spread and is skipped by
+    // the sigma floor, so run counts are UNEQUAL across samples. The
+    // normalised aggregate (mean |z| per contributing run) must not
+    // under-rank anyone for landing in the degenerate bucket.
+    dataset d(4, 3);
+    for (const std::size_t i : {0u, 1u, 2u}) {
+        d.at(i, 0) = 0.2;
+        d.at(i, 1) = 0.8;
+        d.at(i, 2) = 0.5;
+    }
+    d.at(3, 0) = 0.9;
+    d.at(3, 1) = 0.1;
+    d.at(3, 2) = 0.3;
+    const dataset normalized = quorum::data::normalize_for_quorum(d);
+
+    quorum_config config;
+    config.estimated_anomaly_rate = 0.5; // ceil(0.5 * 4) = 2 -> buckets of 2
+    const group_result result = run_ensemble_group(normalized, config, 0);
+    ASSERT_EQ(result.bucket_size, 2u);
+
+    const std::size_t levels =
+        config.effective_compression_levels().size();
+    std::size_t floored = 0;
+    std::size_t contributing = 0;
+    for (const std::size_t runs : result.run_count) {
+        if (runs == 0) {
+            ++floored;
+        } else {
+            EXPECT_EQ(runs, levels);
+            ++contributing;
+        }
+    }
+    // The duplicate-duplicate bucket is floored at every level; the
+    // mixed bucket contributes at every level.
+    EXPECT_EQ(floored, 2u);
+    EXPECT_EQ(contributing, 2u);
+
+    const score_report report =
+        aggregate_groups(std::vector<group_result>{result});
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (result.run_count[i] == 0) {
+            EXPECT_EQ(report.scores[i], 0.0) << i;
+        } else {
+            // In a two-element bucket both members sit exactly one
+            // population-stddev from the mean, so the MEAN |z| is 1
+            // regardless of how many runs were sigma-floored elsewhere —
+            // the raw sum (abs_z_sum ~= levels) would instead scale with
+            // the run count.
+            EXPECT_NEAR(report.scores[i], 1.0, 1e-9) << i;
+            EXPECT_NEAR(result.abs_z_sum[i],
+                        static_cast<double>(levels), 1e-9)
+                << i;
+        }
+    }
 }
 
 TEST(Ensemble, TinyDatasetStillWorks) {

@@ -1,0 +1,143 @@
+// Core-level fused-evaluation contract: run_ensemble_group with
+// config.fused_levels (one run_batch_levels call per bucket) produces
+// scores EQUAL (IEEE ==, identical at 17 significant digits) to the
+// per-level path (--no-fused) in all four execution modes on every
+// registered backend combination. This suite ran green BEFORE the
+// run-count-normalization fixture regeneration, so the regenerated golden
+// numbers were produced by an evaluation path already proven equivalent.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "data/preprocess.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+using core::exec_mode;
+using core::group_result;
+using core::quorum_config;
+
+data::dataset small_normalized_dataset(std::uint64_t seed,
+                                       std::size_t samples) {
+    util::rng gen(seed);
+    data::generator_spec spec;
+    spec.samples = samples;
+    spec.anomalies = 2;
+    spec.features = 10;
+    spec.anomaly_shift = 0.35;
+    const data::dataset raw = data::generate_clustered(spec, gen);
+    return data::normalize_for_quorum(raw.without_labels());
+}
+
+void expect_fused_equals_per_level(const quorum_config& fused_config,
+                                   const data::dataset& d,
+                                   const std::string& label) {
+    quorum_config per_level_config = fused_config;
+    per_level_config.fused_levels = false;
+    for (std::size_t group = 0; group < 2; ++group) {
+        const group_result fused =
+            core::run_ensemble_group(d, fused_config, group);
+        const group_result per_level =
+            core::run_ensemble_group(d, per_level_config, group);
+        ASSERT_EQ(fused.abs_z_sum.size(), per_level.abs_z_sum.size());
+        for (std::size_t i = 0; i < fused.abs_z_sum.size(); ++i) {
+            EXPECT_EQ(fused.abs_z_sum[i], per_level.abs_z_sum[i])
+                << label << " group " << group << " sample " << i;
+        }
+        EXPECT_EQ(fused.run_count, per_level.run_count) << label;
+        EXPECT_EQ(fused.bucket_size, per_level.bucket_size) << label;
+    }
+}
+
+quorum_config mode_config(exec_mode mode, const std::string& backend,
+                          std::size_t shards = 0) {
+    quorum_config config;
+    config.mode = mode;
+    config.shots = mode == exec_mode::per_shot  ? 24
+                   : mode == exec_mode::noisy   ? 128
+                   : mode == exec_mode::sampled ? 512
+                                                : 0;
+    config.backend = backend;
+    config.shards = shards;
+    config.seed = 314;
+    return config;
+}
+
+TEST(FusedEnsemble, ExactModeEveryBackend) {
+    const data::dataset d = small_normalized_dataset(51, 24);
+    for (const char* backend : {"statevector", "density"}) {
+        expect_fused_equals_per_level(
+            mode_config(exec_mode::exact, backend), d, backend);
+    }
+    for (const std::size_t shards : {1u, 2u, 3u}) {
+        expect_fused_equals_per_level(
+            mode_config(exec_mode::exact, "sharded:statevector", shards), d,
+            "sharded@" + std::to_string(shards));
+    }
+}
+
+TEST(FusedEnsemble, ExactModeFullCircuit) {
+    const data::dataset d = small_normalized_dataset(53, 16);
+    quorum_config config = mode_config(exec_mode::exact, "statevector");
+    config.use_full_circuit = true;
+    expect_fused_equals_per_level(config, d, "full-circuit");
+}
+
+TEST(FusedEnsemble, SampledModeEveryBackend) {
+    const data::dataset d = small_normalized_dataset(55, 24);
+    expect_fused_equals_per_level(
+        mode_config(exec_mode::sampled, "statevector"), d, "statevector");
+    for (const std::size_t shards : {1u, 2u, 3u}) {
+        expect_fused_equals_per_level(
+            mode_config(exec_mode::sampled, "sharded:statevector", shards),
+            d, "sharded@" + std::to_string(shards));
+    }
+}
+
+TEST(FusedEnsemble, PerShotMode) {
+    const data::dataset d = small_normalized_dataset(57, 12);
+    expect_fused_equals_per_level(
+        mode_config(exec_mode::per_shot, "statevector"), d, "statevector");
+    expect_fused_equals_per_level(
+        mode_config(exec_mode::per_shot, "sharded:statevector", 2), d,
+        "sharded@2");
+}
+
+TEST(FusedEnsemble, NoisyMode) {
+    const data::dataset d = small_normalized_dataset(59, 10);
+    expect_fused_equals_per_level(mode_config(exec_mode::noisy, "density"),
+                                  d, "density");
+    expect_fused_equals_per_level(
+        mode_config(exec_mode::noisy, "sharded:density", 2), d,
+        "sharded:density@2");
+}
+
+TEST(FusedEnsemble, DetectorScoresIdenticalEitherPath) {
+    // End to end through quorum_detector: fused and per-level land on the
+    // same final report.
+    util::rng gen(61);
+    data::generator_spec spec;
+    spec.samples = 30;
+    spec.anomalies = 2;
+    spec.features = 9;
+    const data::dataset d = data::generate_clustered(spec, gen);
+
+    quorum_config config;
+    config.ensemble_groups = 4;
+    config.mode = exec_mode::sampled;
+    config.shots = 512;
+    config.seed = 7;
+    const core::score_report fused = core::quorum_detector(config).score(d);
+    config.fused_levels = false;
+    const core::score_report per_level =
+        core::quorum_detector(config).score(d);
+    EXPECT_EQ(fused.scores, per_level.scores);
+    EXPECT_EQ(fused.run_counts, per_level.run_counts);
+}
+
+} // namespace

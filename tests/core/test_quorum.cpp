@@ -6,7 +6,9 @@
 #include "util/contracts.h"
 
 #include "core/quorum.h"
+#include "data/bucketing.h"
 #include "data/generators.h"
+#include "data/preprocess.h"
 #include "metrics/confusion.h"
 #include "metrics/detection_curve.h"
 #include "util/rng.h"
@@ -151,6 +153,32 @@ TEST(QuorumDetector, DetectReturnsFlagCountIndices) {
     EXPECT_EQ(detector.flag_count(10), 1u);  // ceil(0.5) floor of 1
 }
 
+TEST(QuorumDetector, FlagCountAndBucketSizingShareCeilRounding) {
+    // §IV-C regression: estimated_anomaly_rate * n is rounded with ceil
+    // EVERYWHERE — flag_count here, bucket sizing in run_ensemble_group
+    // (see Ensemble.FractionalAnomalyEstimatesRoundUpLikeFlagCount). Pin
+    // the fractional cases on both sides of .5.
+    quorum_config config = fast_config();
+    config.estimated_anomaly_rate = 0.12; // 20 * 0.12 = 2.4
+    EXPECT_EQ(quorum_detector(config).flag_count(20), 3u);
+    config.estimated_anomaly_rate = 0.125; // 20 * 0.125 = 2.5
+    EXPECT_EQ(quorum_detector(config).flag_count(20), 3u);
+
+    // The same estimate drives bucket sizing: a 20-sample group plans for
+    // 3 anomalies in both cases.
+    const dataset d = planted_dataset(29, 20, 2);
+    const quorum::data::dataset normalized =
+        quorum::data::normalize_for_quorum(d.without_labels());
+    for (const double rate : {0.12, 0.125}) {
+        config.estimated_anomaly_rate = rate;
+        const group_result group = run_ensemble_group(normalized, config, 0);
+        EXPECT_EQ(group.bucket_size,
+                  quorum::data::solve_bucket_size(
+                      20, 3, config.bucket_probability))
+            << "rate " << rate;
+    }
+}
+
 TEST(QuorumDetector, ProgressCallbackSeesEveryGroup) {
     const dataset d = planted_dataset(19, 40, 2);
     quorum_config config = fast_config();
@@ -166,6 +194,39 @@ TEST(QuorumDetector, ProgressCallbackSeesEveryGroup) {
     (void)detector.score(d);
     EXPECT_EQ(calls.load(), 10u);
     EXPECT_EQ(final_done.load(), 10u);
+}
+
+TEST(QuorumDetector, ProgressCallbackDeliveryIsSerialized) {
+    // Many groups, many pool workers: without the detector's internal
+    // mutex, callbacks would run concurrently (the `inside` flag would
+    // trip) and completion counts could arrive out of order. The state
+    // below is deliberately unsynchronised beyond the detector's own
+    // guarantee.
+    const dataset d = planted_dataset(21, 30, 2);
+    quorum_config config = fast_config();
+    config.ensemble_groups = 24;
+    config.threads = 8;
+    quorum_detector detector(config);
+
+    std::atomic<bool> inside{false};
+    std::atomic<bool> overlapped{false};
+    std::size_t last_done = 0; // plain: protected only by serialization
+    std::atomic<bool> out_of_order{false};
+    detector.set_progress_callback([&](std::size_t done, std::size_t) {
+        if (inside.exchange(true)) {
+            overlapped.store(true);
+        }
+        if (done != last_done + 1) {
+            out_of_order.store(true);
+        }
+        last_done = done;
+        inside.store(false);
+    });
+    (void)detector.score(d);
+    EXPECT_FALSE(overlapped.load()) << "progress callbacks overlapped";
+    EXPECT_FALSE(out_of_order.load())
+        << "completion counts did not arrive strictly increasing";
+    EXPECT_EQ(last_done, 24u);
 }
 
 TEST(QuorumDetector, RejectsDegenerateDatasets) {

@@ -215,4 +215,71 @@ TEST(CompiledProgram, RejectsOverlongParameterizedPrefix) {
                  quorum::util::contract_error);
 }
 
+TEST(CompiledProgram, SharedSuffixOpsFindsTheNestedResetPrefix) {
+    // Two compression levels of one Quorum group share state prep,
+    // encoder, and the nested reset run: level 2's suffix is level 1's
+    // [encoder + reset] prefix plus one more reset before the decoder.
+    util::rng gen(33);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    const compiled_program level1 = compiled_program::compile(
+        qml::autoencoder_reg_a_template(params, 1));
+    const compiled_program level2 = compiled_program::compile(
+        qml::autoencoder_reg_a_template(params, 2));
+
+    const std::size_t shared = qsim::shared_suffix_ops(level1, level2);
+    // Everything up to and including the first reset is shared; the next
+    // op diverges (decoder gate vs. second reset).
+    std::size_t first_reset = 0;
+    while (level1.suffix()[first_reset].op.kind != qsim::op_kind::reset) {
+        ++first_reset;
+    }
+    EXPECT_EQ(shared, first_reset + 1);
+    EXPECT_EQ(qsim::shared_suffix_ops(level1, level1),
+              level1.suffix().size());
+}
+
+TEST(CompiledProgram, SharedSuffixOpsIsZeroForDifferentAngles) {
+    util::rng gen(35);
+    const qml::ansatz_params a = qml::random_ansatz_params(3, 2, gen);
+    const qml::ansatz_params b = qml::random_ansatz_params(3, 2, gen);
+    const compiled_program first = compiled_program::compile(
+        qml::autoencoder_reg_a_template(a, 1));
+    const compiled_program second = compiled_program::compile(
+        qml::autoencoder_reg_a_template(b, 1));
+    EXPECT_EQ(qsim::shared_suffix_ops(first, second), 0u);
+}
+
+TEST(CompiledProgram, TrailingGateRunIsTheDecoder) {
+    // The register-A program ends in the decoder: a pure gate run after
+    // the last reset, exactly what the SWAP-test short-circuit adjoints.
+    util::rng gen(37);
+    const qml::ansatz_params params = qml::random_ansatz_params(3, 2, gen);
+    const compiled_program program = compiled_program::compile(
+        qml::autoencoder_reg_a_template(params, 2));
+    const std::size_t start = qsim::trailing_gate_run_start(program);
+    ASSERT_LT(start, program.suffix().size());
+    EXPECT_EQ(program.suffix()[start - 1].op.kind, qsim::op_kind::reset);
+    for (std::size_t i = start; i < program.suffix().size(); ++i) {
+        EXPECT_EQ(program.suffix()[i].op.kind, qsim::op_kind::gate);
+    }
+    // Decoder length == encoder length for the inverse ansatz: the suffix
+    // is encoder + 2 resets + decoder.
+    const std::size_t decoder_gates = program.suffix().size() - start;
+    EXPECT_EQ(2 * decoder_gates + 2, program.suffix().size());
+}
+
+TEST(CompiledProgram, ReplaysIdenticallyComparesParamsAndMatrices) {
+    circuit a(2);
+    a.rx(0.25, 0);
+    circuit b(2);
+    b.rx(0.25, 0);
+    circuit c(2);
+    c.rx(0.5, 0);
+    const compiled_program pa = compiled_program::compile(a);
+    const compiled_program pb = compiled_program::compile(b);
+    const compiled_program pc = compiled_program::compile(c);
+    EXPECT_TRUE(qsim::replays_identically(pa.suffix()[0], pb.suffix()[0]));
+    EXPECT_FALSE(qsim::replays_identically(pa.suffix()[0], pc.suffix()[0]));
+}
+
 } // namespace

@@ -20,6 +20,9 @@
 //                         split across N lanes (default: all cores;
 //                         ignored unless --backend is sharded[:inner])
 //   --threads N           worker threads (default: all cores)
+//   --no-fused            evaluate compression levels one batch at a time
+//                         instead of through the fused multi-level path
+//                         (identical scores; A/B validation hatch)
 //   --seed S              master seed (default 2025)
 //   --top K               print the K strongest suspects (default 10)
 //   --demo                run on a bundled synthetic dataset instead
@@ -73,7 +76,7 @@ void print_usage() {
         "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
         "             [--backend auto|NAME|sharded:NAME] [--shards N]\n"
-        "             [--threads N] [--seed S]\n"
+        "             [--threads N] [--no-fused] [--seed S]\n"
         "             [--top K] [--qasm out.qasm]\n"
         "  quorum_cli --demo\n"
         "\n"
@@ -243,6 +246,8 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
             if (!next_count(options.config.shards)) {
                 return false;
             }
+        } else if (arg == "--no-fused") {
+            options.config.fused_levels = false;
         } else if (arg == "--seed") {
             if (!next_count(options.config.seed)) {
                 return false;
