@@ -50,6 +50,9 @@ std::string quorum_config::resolved_backend() const {
     if (backend == "sharded" || backend == "sharded:auto") {
         return "sharded:" + by_mode;
     }
+    if (backend == "remote" || backend == "remote:auto") {
+        return "remote:" + by_mode;
+    }
     return backend;
 }
 

@@ -71,10 +71,11 @@ struct quorum_config {
     /// Worker threads for the ensemble loop; 0 = all hardware threads.
     /// Results are identical for any thread count.
     std::size_t threads = 0;
-    /// In-process shards for the "sharded" execution backend: every
-    /// run_batch is partitioned across this many lanes (0 = one per
-    /// hardware thread). Ignored unless the backend spec is sharded.
-    /// Results are identical for any shard count.
+    /// Lanes for the wrapper execution backends: the "sharded" backend
+    /// partitions every run_batch across this many in-process shards, the
+    /// "remote" backend across this many quorum_worker processes (0 = one
+    /// per hardware thread). Ignored by plain backends. Results are
+    /// identical for any lane count.
     std::size_t shards = 0;
     /// Master seed; every ensemble group derives child stream g.
     std::uint64_t seed = 2025;
@@ -93,9 +94,11 @@ struct quorum_config {
     qsim::noise_model noise = qsim::noise_model::ibm_brisbane_median();
     /// Execution backend spec (exec/registry.h). "auto" picks the density
     /// engine for noisy mode and the state-vector engine otherwise;
-    /// "sharded" / "sharded:auto" wraps that same choice in the sharded
-    /// engine; "sharded:<name>" wraps a specific backend; anything else
-    /// must be a registered backend name.
+    /// "sharded" / "sharded:auto" wraps that same choice in the
+    /// in-process sharded engine and "remote" / "remote:auto" in the
+    /// multi-process remote engine; "sharded:<name>" / "remote:<name>"
+    /// wrap a specific backend; anything else must be a registered
+    /// backend name.
     std::string backend = "auto";
 
     /// The compression levels actually run: configured ones, or 1..n-1.

@@ -1,10 +1,19 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace quorum::exec {
+
+std::size_t resolve_lane_count(std::size_t configured,
+                               std::size_t max_lanes) noexcept {
+    return std::min(configured == 0 ? util::default_thread_count()
+                                    : configured,
+                    max_lanes);
+}
 
 void executor::run_batch_levels(std::span<const program> levels,
                                 std::span<const sample> samples,

@@ -56,6 +56,16 @@ struct engine_config {
 };
 
 /// One sample of a batch.
+///
+/// RNG stream contract: streams are SINGLE-USE PER BATCH. A backend may
+/// consume draws from the stream object in place (the in-process
+/// engines) or from a value snapshot of it (the remote backend ships
+/// util::rng_state over the wire and advances only the worker-side
+/// copy), so the object's state AFTER a batch is unspecified. Callers
+/// must derive a fresh stream per (sample, batch) — exactly what core's
+/// ensemble loop does — and never reuse one across run_batch calls;
+/// reuse would silently diverge between backends that are otherwise
+/// bit-identical.
 struct sample {
     /// Amplitudes fed to every prep slot of the program (empty when the
     /// program has no slots).
@@ -64,7 +74,8 @@ struct sample {
     /// order (empty when the program has none).
     std::span<const double> prefix_params{};
     /// Private deterministic rng stream; may be null under
-    /// sampling::exact, must be non-null otherwise.
+    /// sampling::exact, must be non-null otherwise. Single-use per
+    /// batch (see the struct comment).
     util::rng* gen = nullptr;
     /// Multi-level batches only (run_batch_levels): one rng stream per
     /// level program, in level order — level k draws from level_gens[k]
@@ -167,6 +178,14 @@ public:
 protected:
     executor() = default;
 };
+
+/// Resolves a wrapper backend's configured lane count (engine_config::
+/// shards): 0 means one lane per hardware thread, anything beyond
+/// `max_lanes` is clamped. Shared by the sharded backend, the remote
+/// backend and the CLI banner so the reported lane count can never
+/// drift from the one actually used.
+[[nodiscard]] std::size_t resolve_lane_count(std::size_t configured,
+                                             std::size_t max_lanes) noexcept;
 
 /// Validates a batch's shape against a program: the output span matches
 /// the batch, per-sample amplitude counts match the program's prep slots,

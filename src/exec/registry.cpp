@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exec/density_backend.h"
+#include "exec/remote_backend.h"
 #include "exec/sharded_backend.h"
 #include "exec/statevector_backend.h"
 #include "util/contracts.h"
@@ -37,6 +38,10 @@ void ensure_builtins() {
         register_backend("sharded", [](const engine_config& config) {
             return std::unique_ptr<executor>(
                 new sharded_backend(config, "statevector"));
+        });
+        register_backend("remote", [](const engine_config& config) {
+            return std::unique_ptr<executor>(
+                new remote_backend(config, "statevector"));
         });
         return true;
     }();
@@ -71,16 +76,19 @@ backend_spec parse_backend_spec(std::string_view spec) {
     QUORUM_EXPECTS_MSG(!parsed.name.empty(),
                        "backend spec must start with a backend name");
     if (colon != std::string_view::npos) {
-        QUORUM_EXPECTS_MSG(parsed.name == "sharded",
-                           "only the 'sharded' backend takes an ':inner' "
-                           "spec (got '" + std::string(spec) + "')");
+        QUORUM_EXPECTS_MSG(parsed.name == "sharded" ||
+                               parsed.name == "remote",
+                           "only the 'sharded' and 'remote' backends take "
+                           "an ':inner' spec (got '" + std::string(spec) +
+                               "')");
         QUORUM_EXPECTS_MSG(!parsed.inner.empty(),
-                           "'sharded:' needs an inner backend name (e.g. "
-                           "sharded:statevector)");
+                           "'" + parsed.name + ":' needs an inner backend "
+                           "name (e.g. " + parsed.name + ":statevector)");
         QUORUM_EXPECTS_MSG(parsed.inner.find(':') == std::string::npos &&
-                               parsed.inner != "sharded",
-                           "the sharded backend cannot nest (inner must be "
-                           "a plain backend name)");
+                               parsed.inner != "sharded" &&
+                               parsed.inner != "remote",
+                           "the " + parsed.name + " backend cannot nest "
+                           "(inner must be a plain backend name)");
     }
     return parsed;
 }
@@ -119,9 +127,13 @@ std::unique_ptr<executor> make_executor(std::string_view spec,
     ensure_builtins();
     const backend_spec parsed = parse_backend_spec(spec);
     if (!parsed.inner.empty()) {
-        // Composite spec: the sharded engine wraps the inner backend (the
+        // Composite specs: the wrapper engine wraps the inner backend (the
         // inner name is resolved through this registry, so unknown inners
         // throw the same known-names error as unknown base names).
+        if (parsed.name == "remote") {
+            return std::unique_ptr<executor>(
+                new remote_backend(config, parsed.inner));
+        }
         return std::unique_ptr<executor>(
             new sharded_backend(config, parsed.inner));
     }

@@ -25,17 +25,18 @@ using backend_factory =
 bool register_backend(std::string name, backend_factory factory);
 
 /// A parsed backend spec. Specs are either a plain registered name
-/// ("statevector") or a composite "sharded:<inner>" pair, where <inner> is
-/// any plain registered name the sharded backend wraps.
+/// ("statevector") or a composite "sharded:<inner>" / "remote:<inner>"
+/// pair, where <inner> is any plain registered name the wrapper backend
+/// runs its lanes (in-process shards / worker processes) on.
 struct backend_spec {
     std::string name;  ///< base backend name
     std::string inner; ///< inner backend of a composite spec; else empty
 };
 
 /// Splits a spec string into (name, inner) and validates its shape:
-/// non-empty parts, at most one ':', and only "sharded" may carry an
-/// inner. Throws util::contract_error on malformed specs. Does NOT check
-/// registration — make_executor does.
+/// non-empty parts, at most one ':', and only "sharded" and "remote" may
+/// carry an inner. Throws util::contract_error on malformed specs. Does
+/// NOT check registration — make_executor does.
 [[nodiscard]] backend_spec parse_backend_spec(std::string_view spec);
 
 /// True when `spec` is well-formed and every name in it is registered.
@@ -45,12 +46,13 @@ struct backend_spec {
 [[nodiscard]] std::vector<std::string> backend_names();
 
 /// Instantiates the backend a spec describes ("sharded:<inner>" wraps the
-/// inner backend in the sharded engine; "sharded" alone wraps
+/// inner backend in the in-process sharded engine, "remote:<inner>" in
+/// the multi-process remote engine; bare "sharded"/"remote" wrap
 /// "statevector"). Throws util::contract_error (listing the known names)
 /// when a name is not registered or the spec is malformed. Note:
-/// composite specs are always served by the built-in sharded engine —
-/// re-registering a factory under "sharded" affects only the plain name,
-/// not "sharded:<inner>" resolution.
+/// composite specs are always served by the built-in wrapper engines —
+/// re-registering a factory under "sharded"/"remote" affects only the
+/// plain name, not "<name>:<inner>" resolution.
 [[nodiscard]] std::unique_ptr<executor>
 make_executor(std::string_view spec, const engine_config& config);
 

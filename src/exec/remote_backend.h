@@ -1,0 +1,206 @@
+// Remote sharded execution backend: partitions every batch with the SAME
+// deterministic plan the in-process sharded backend uses (make_shard_plan,
+// keyed by sample index only), but evaluates each span in a quorum_worker
+// process that speaks the binary wire protocol (exec/serialise.h) over a
+// pluggable message transport.
+//
+// Determinism: the plan, the per-sample rng stream snapshots and the
+// IEEE-754 bit patterns of every double all travel verbatim, and the
+// worker runs the identical inner backend code — so remote scores are
+// IEEE == to the un-wrapped inner backend for ANY worker count in every
+// mode, exactly like the in-process sharded engine (enforced by
+// tests/exec/test_remote_backend.cpp and the golden fixtures).
+//
+// Fault handling: a worker that dies mid-span (transport_error) is
+// restarted through the transport factory and its span is requeued ONCE;
+// a second death, a malformed reply, or a protocol version mismatch
+// surfaces as a structured util::contract_error naming the worker and its
+// sample span. Worker-side failures (engine contract violations, decode
+// errors) come back as error messages and are rethrown the same way.
+#ifndef QUORUM_EXEC_REMOTE_BACKEND_H
+#define QUORUM_EXEC_REMOTE_BACKEND_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/sharded_backend.h"
+
+namespace quorum::exec {
+
+/// Thrown by transports when the peer is gone (process death, closed
+/// pipe, spawn failure). Distinct from util::contract_error so the remote
+/// backend can classify it as retryable — restart the worker, requeue the
+/// span — instead of a protocol/programming error.
+class transport_error : public std::runtime_error {
+public:
+    explicit transport_error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+/// One bidirectional message channel to a worker. Messages are the wire
+/// payloads of exec/serialise.h; framing (length prefixes, fds, sockets)
+/// is the transport's business. Implementations throw transport_error
+/// when the peer is unreachable.
+class wire_transport {
+public:
+    virtual ~wire_transport() = default;
+
+    wire_transport(const wire_transport&) = delete;
+    wire_transport& operator=(const wire_transport&) = delete;
+
+    virtual void send_message(std::span<const std::uint8_t> payload) = 0;
+    [[nodiscard]] virtual std::vector<std::uint8_t> recv_message() = 0;
+
+protected:
+    wire_transport() = default;
+};
+
+/// Creates the transport for worker `index` — called once per worker at
+/// first use and again after a worker death (restart). The default
+/// factory spawns quorum_worker subprocesses (exec/process_transport.h);
+/// tests substitute in-process loopback and fault-injecting transports.
+using transport_factory =
+    std::function<std::unique_ptr<wire_transport>(std::size_t index)>;
+
+/// The worker side of the protocol, transport-agnostic: feed one request
+/// payload, get the reply payload. The quorum_worker binary wraps this in
+/// a stdin/stdout frame loop; in-process loopback transports call it
+/// directly, which is what lets the test suite drive every protocol path
+/// (including fault injection) without spawning processes.
+class worker_session {
+public:
+    worker_session() = default;
+
+    /// Handles one request and returns the reply payload (result, error,
+    /// or hello_ack). Never throws for malformed/failed requests — those
+    /// become error replies — so one bad span cannot kill a worker that
+    /// other spans are queued on. The reply to `shutdown` is empty and
+    /// shutdown_requested() flips to true.
+    [[nodiscard]] std::vector<std::uint8_t>
+    handle(std::span<const std::uint8_t> request);
+
+    [[nodiscard]] bool shutdown_requested() const noexcept {
+        return shutdown_;
+    }
+
+private:
+    std::unique_ptr<executor> engine_;
+    bool shutdown_ = false;
+    /// Decode cache: consecutive spans of one batch carry byte-identical
+    /// program blocks, so the recompile is paid once per batch, not once
+    /// per span.
+    std::vector<std::uint8_t> cached_block_;
+    std::vector<program> cached_programs_;
+};
+
+class remote_backend final : public executor {
+public:
+    /// Workers are whole processes; beyond this a worker count is a
+    /// misconfiguration, not a parallelism request.
+    static constexpr std::size_t max_workers = 64;
+
+    /// Spawns quorum_worker subprocesses on demand (the default
+    /// transport). `config.shards` is the worker count (0 = one per
+    /// hardware thread, clamped to max_workers); `inner` is the plain
+    /// backend name each worker runs. Construction is process-free: it
+    /// only instantiates a local probe of the inner backend (which
+    /// validates the name/mode combination); workers start lazily at the
+    /// first batch.
+    remote_backend(const engine_config& config, const std::string& inner);
+
+    /// Same, with an explicit transport factory (tests).
+    remote_backend(const engine_config& config, const std::string& inner,
+                   transport_factory factory);
+
+    ~remote_backend() override;
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return spec_;
+    }
+
+    [[nodiscard]] bool supports(readout_kind kind) const noexcept override {
+        return probe_->supports(kind);
+    }
+
+    /// Capabilities are the inner backend's: workers fuse compression
+    /// levels exactly when their engine does (and fused == per-level is
+    /// the engine contract either way).
+    [[nodiscard]] bool supports(capability what) const noexcept override {
+        return probe_->supports(what);
+    }
+
+    /// Single circuits have nothing to distribute; runs on the local
+    /// probe instance of the inner backend.
+    [[nodiscard]] double run(const qsim::circuit& c, int cbit,
+                             util::rng* gen) const override {
+        return probe_->run(c, cbit, gen);
+    }
+
+    /// Plans with make_shard_plan (one span per worker, keyed by sample
+    /// index only), ships every span, and reassembles the replies into
+    /// `out`. One batch is in flight per engine at a time (concurrent
+    /// callers serialise on an internal mutex).
+    void run_batch(const program& prog, std::span<const sample> samples,
+                   std::span<double> out) const override;
+
+    /// Level families partition exactly like run_batch; each span runs
+    /// the whole family on its worker and returns its sample-major slice.
+    void run_batch_levels(std::span<const program> levels,
+                          std::span<const sample> samples,
+                          std::span<double> out) const override;
+
+    /// Number of workers batches are partitioned across.
+    [[nodiscard]] std::size_t worker_count() const noexcept {
+        return workers_;
+    }
+
+private:
+    [[nodiscard]] wire_transport& lane(std::size_t index) const;
+    void restart_lane(std::size_t index) const;
+    /// The span's single requeue attempt after an observed worker death:
+    /// runs the request on a freshly restarted lane; a second death
+    /// fails the span (structured contract_error). Called at most once
+    /// per span per batch, which is what makes "restarted and requeued
+    /// ONCE" literally true.
+    [[nodiscard]] std::vector<std::uint8_t>
+    exchange(std::size_t index, const shard_work& span,
+             std::span<const std::uint8_t> request) const;
+    /// Runs the plan under the pool mutex; on ANY failure every lane the
+    /// plan touched is reset, so a lane left with an unread reply can
+    /// never leak this batch's values into the next one.
+    void dispatch(std::span<const shard_work> plan,
+                  const std::vector<std::vector<std::uint8_t>>& requests,
+                  std::size_t values_per_sample,
+                  std::span<double> out) const;
+    void
+    dispatch_locked(std::span<const shard_work> plan,
+                    const std::vector<std::vector<std::uint8_t>>& requests,
+                    std::size_t values_per_sample,
+                    std::span<double> out) const;
+    [[noreturn]] static void fail_span(std::size_t index,
+                                       const shard_work& span,
+                                       const std::string& why);
+
+    engine_config config_;
+    std::string inner_;
+    std::string spec_;
+    std::size_t workers_;
+    bool needs_rng_;
+    transport_factory factory_;
+    std::unique_ptr<executor> probe_;
+    /// One batch in flight at a time: workers hold per-connection state
+    /// (handshake, program cache), so the lane pool is serialised.
+    mutable std::mutex mutex_;
+    mutable std::vector<std::unique_ptr<wire_transport>> lanes_;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_REMOTE_BACKEND_H

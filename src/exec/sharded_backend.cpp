@@ -56,9 +56,7 @@ sharded_backend::sharded_backend(const engine_config& config,
                                  const std::string& inner)
     : inner_(make_inner(config, inner)),
       spec_("sharded:" + inner),
-      shards_(std::min(config.shards == 0 ? util::default_thread_count()
-                                          : config.shards,
-                       max_shards)),
+      shards_(resolve_lane_count(config.shards, max_shards)),
       needs_rng_(config.sampling_mode != sampling::exact) {}
 
 util::thread_pool& sharded_backend::pool() const {

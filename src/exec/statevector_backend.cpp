@@ -24,14 +24,47 @@ using qsim::qubit_t;
 using qsim::statevector;
 
 /// Reusable per-batch buffers (one set per run_batch call, so the backend
-/// itself stays stateless and thread-safe).
+/// itself stays stateless and thread-safe). `spare` is the branch arena:
+/// retired branches park here with their amplitude buffers intact, so
+/// the reset splits of later levels/samples assign into warm allocations
+/// instead of copy-constructing a fresh 2^n vector per branch.
 struct replay_buffers {
     std::vector<amp> slot_amplitudes;
     std::vector<qsim::branch> branches;
     std::vector<qsim::branch> next_branches;
     std::vector<qsim::branch> work;
+    std::vector<qsim::branch> spare;
     std::vector<amp> scratch;
 };
+
+/// Retires a mixture into the spare pool (keeping every branch's buffer
+/// alive for reuse) and clears it. Moved-from shells (states whose buffer
+/// a one-branch already stole) carry no storage and are dropped, so every
+/// pooled slot is a real warm buffer.
+void recycle_branches(std::vector<qsim::branch>& mixture,
+                      std::vector<qsim::branch>& spare) {
+    for (qsim::branch& b : mixture) {
+        if (b.state.dim() > 0) {
+            spare.push_back(std::move(b));
+        }
+    }
+    mixture.clear();
+}
+
+/// A branch whose statevector storage is drawn from the spare pool when
+/// one is available: copy-assignment into the retired state reuses its
+/// allocation (and is bit-identical to a fresh copy).
+qsim::branch make_branch(std::vector<qsim::branch>& spare, double weight,
+                         const qsim::statevector& state) {
+    if (spare.empty()) {
+        return qsim::branch{weight, state};
+    }
+    qsim::branch slot = std::move(spare.back());
+    spare.pop_back();
+    slot.weight = weight;
+    slot.state = state;
+    return slot;
+}
 
 /// Applies one unfused suffix op to a state — the same kernels (and hence
 /// the same floating-point results) statevector::apply_gate dispatches to,
@@ -56,16 +89,21 @@ void apply_compiled_op(statevector& state, const compiled_op& compiled) {
 }
 
 /// Splits every branch on a reset of qubit `q` — verbatim the exact
-/// runner's mixture semantics (zero-probability branches pruned).
+/// runner's mixture semantics (zero-probability branches pruned). The
+/// outgoing mixture's zero-branches draw their storage from the spare
+/// pool (the states retired by earlier splits), so after the first level
+/// of the first sample a batch replays reset splits allocation-free.
 void split_on_reset(std::vector<qsim::branch>& branches,
-                    std::vector<qsim::branch>& next, qubit_t q) {
-    next.clear();
+                    std::vector<qsim::branch>& next,
+                    std::vector<qsim::branch>& spare, qubit_t q) {
+    recycle_branches(next, spare);
     next.reserve(branches.size() * 2);
     for (qsim::branch& b : branches) {
         const double p_one = b.state.probability_one(q);
         const double p_zero = 1.0 - p_one;
         if (p_zero > qsim::probability_epsilon) {
-            qsim::branch zero_branch{b.weight * p_zero, b.state};
+            qsim::branch zero_branch = make_branch(spare, b.weight * p_zero,
+                                                   b.state);
             zero_branch.state.collapse(q, false);
             next.push_back(std::move(zero_branch));
         }
@@ -108,7 +146,8 @@ statevector prepare_state(const compiled_program& prog, const sample& s,
 /// is chunked.
 void apply_suffix_ops(const compiled_program& prog,
                       std::vector<qsim::branch>& branches,
-                      std::vector<qsim::branch>& next, std::size_t first,
+                      std::vector<qsim::branch>& next,
+                      std::vector<qsim::branch>& spare, std::size_t first,
                       std::size_t last) {
     for (std::size_t index = first; index < last; ++index) {
         const compiled_op& compiled = prog.suffix()[index];
@@ -125,7 +164,7 @@ void apply_suffix_ops(const compiled_program& prog,
             }
             break;
         case op_kind::reset:
-            split_on_reset(branches, next, op.qubits[0]);
+            split_on_reset(branches, next, spare, op.qubits[0]);
             break;
         case op_kind::measure:
             break; // recorded in prog.measures() at compile time
@@ -138,11 +177,11 @@ void apply_suffix_ops(const compiled_program& prog,
 /// Exact replay of suffix ops [0, body_end) from a fresh prepared state.
 void replay_exact(const compiled_program& prog, const sample& s,
                   replay_buffers& buffers, std::size_t body_end) {
-    buffers.branches.clear();
+    recycle_branches(buffers.branches, buffers.spare);
     buffers.branches.push_back(
         qsim::branch{1.0, prepare_state(prog, s, buffers)});
-    apply_suffix_ops(prog, buffers.branches, buffers.next_branches, 0,
-                     body_end);
+    apply_suffix_ops(prog, buffers.branches, buffers.next_branches,
+                     buffers.spare, 0, body_end);
 }
 
 /// SWAP-test short-circuit for prep-overlap programs. The suffix splits at
@@ -500,7 +539,7 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
         // The trunk mixture holds the ops every remaining level still
         // shares; each level forks off it (or reads it directly when its
         // whole body is shared, as in nested reset families).
-        buffers.branches.clear();
+        recycle_branches(buffers.branches, buffers.spare);
         buffers.branches.push_back(
             qsim::branch{1.0, prepare_state(levels[0].circuit, s, buffers)});
         std::size_t trunk_pos = 0;
@@ -515,18 +554,20 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
                     std::min(fork[k + 1], plans[k].body_end);
                 if (target > trunk_pos) {
                     apply_suffix_ops(level.circuit, buffers.branches,
-                                     buffers.next_branches, trunk_pos,
-                                     target);
+                                     buffers.next_branches, buffers.spare,
+                                     trunk_pos, target);
                     trunk_pos = target;
                 }
             }
             const std::vector<qsim::branch>* final_branches =
                 &buffers.branches;
             if (trunk_pos < plans[k].body_end) {
+                // Vector copy-assignment reuses the slots (and their
+                // amplitude buffers) a previous level's fork left behind.
                 buffers.work = buffers.branches;
                 apply_suffix_ops(level.circuit, buffers.work,
-                                 buffers.next_branches, trunk_pos,
-                                 plans[k].body_end);
+                                 buffers.next_branches, buffers.spare,
+                                 trunk_pos, plans[k].body_end);
                 final_branches = &buffers.work;
             }
             double p_one = 0.0;
@@ -552,11 +593,12 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
                 // possible for non-nested level orderings): rebuild it
                 // along the next level's ops — bit-identical to a fresh
                 // per-level replay, just without the sharing.
-                buffers.branches.clear();
+                recycle_branches(buffers.branches, buffers.spare);
                 buffers.branches.push_back(qsim::branch{
                     1.0, prepare_state(levels[k + 1].circuit, s, buffers)});
                 apply_suffix_ops(levels[k + 1].circuit, buffers.branches,
-                                 buffers.next_branches, 0, fork[k + 1]);
+                                 buffers.next_branches, buffers.spare, 0,
+                                 fork[k + 1]);
                 trunk_pos = fork[k + 1];
             }
         }

@@ -209,6 +209,7 @@ compiled_program compiled_program::compile(const circuit& c,
     compiled_program program;
     program.num_qubits_ = c.num_qubits();
     program.num_clbits_ = c.num_clbits();
+    program.options_ = opt;
 
     const std::vector<operation>& ops = c.ops();
     std::size_t cursor = 0;

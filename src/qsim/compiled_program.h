@@ -101,6 +101,16 @@ public:
         return num_clbits_;
     }
 
+    /// The options this program was compiled with. Together with slots(),
+    /// prefix() and suffix() this is a complete recipe for rebuilding the
+    /// program: reassemble the (barrier-stripped) circuit and re-compile
+    /// with these options — replay is bit-identical because compile()
+    /// derives every precomputed matrix deterministically from the ops.
+    /// The wire codec (exec/serialise) round-trips programs this way.
+    [[nodiscard]] const options& compiled_with() const noexcept {
+        return options_;
+    }
+
     /// Leading initialize ops, in circuit order.
     [[nodiscard]] const std::vector<prep_slot>& slots() const noexcept {
         return slots_;
@@ -146,6 +156,7 @@ public:
 private:
     std::size_t num_qubits_ = 0;
     std::size_t num_clbits_ = 0;
+    options options_{};
     std::vector<prep_slot> slots_;
     std::vector<operation> prefix_;
     std::size_t prefix_param_count_ = 0;

@@ -62,9 +62,26 @@ double noise_model::depolarizing_param(gate_kind kind) const {
     return it == depol_.end() ? 0.0 : it->second;
 }
 
+void noise_model::set_depolarizing_param(gate_kind kind, double p) {
+    QUORUM_EXPECTS(p >= 0.0 && p <= 1.0);
+    depol_[kind] = p;
+}
+
 double noise_model::duration_ns(gate_kind kind) const {
     const auto it = duration_ns_.find(kind);
     return it == duration_ns_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<gate_kind, double>>
+noise_model::depolarizing_table() const {
+    return std::vector<std::pair<gate_kind, double>>(depol_.begin(),
+                                                     depol_.end());
+}
+
+std::vector<std::pair<gate_kind, double>>
+noise_model::duration_table() const {
+    return std::vector<std::pair<gate_kind, double>>(duration_ns_.begin(),
+                                                     duration_ns_.end());
 }
 
 noise_model::thermal_coefficients_result

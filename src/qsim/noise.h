@@ -11,6 +11,7 @@
 #define QUORUM_QSIM_NOISE_H
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "qsim/gates.h"
@@ -59,8 +60,27 @@ public:
     /// Depolarizing parameter for a gate kind (0 when unset).
     [[nodiscard]] double depolarizing_param(gate_kind kind) const;
 
+    /// Sets the depolarizing parameter p for a gate kind DIRECTLY (no
+    /// rate -> p conversion) — the exact inverse of depolarizing_param,
+    /// used by the wire codec (exec/serialise) to rebuild a model from
+    /// its tables without re-applying set_gate_error's arithmetic.
+    void set_depolarizing_param(gate_kind kind, double p);
+
     /// Duration in nanoseconds for a gate kind (0 when unset).
     [[nodiscard]] double duration_ns(gate_kind kind) const;
+
+    /// The raw per-gate tables, in gate_kind order — complete model
+    /// introspection for serialisation and tests. Entries hold the stored
+    /// values (depolarizing parameter p, duration in ns) verbatim.
+    [[nodiscard]] std::vector<std::pair<gate_kind, double>>
+    depolarizing_table() const;
+    [[nodiscard]] std::vector<std::pair<gate_kind, double>>
+    duration_table() const;
+
+    /// The thermal-relaxation time constants this model was built with.
+    [[nodiscard]] const thermal_params& thermal() const noexcept {
+        return thermal_;
+    }
 
     /// Duration of the measurement operation in nanoseconds.
     void set_measure_duration(double nanoseconds) { measure_ns_ = nanoseconds; }

@@ -53,6 +53,16 @@ public:
         }
     }
 
+    /// The four raw state words — a complete snapshot of the engine.
+    [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+        return state_;
+    }
+
+    /// Restores a snapshot taken with state().
+    void set_state(const std::array<std::uint64_t, 4>& words) noexcept {
+        state_ = words;
+    }
+
     result_type operator()() noexcept {
         const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
         const std::uint64_t t = state_[1] << 17;
@@ -78,6 +88,15 @@ private:
     std::array<std::uint64_t, 4> state_{};
 };
 
+/// A value snapshot of an rng stream: the construction seed plus the four
+/// engine state words. Restoring it resumes the stream at exactly the draw
+/// it was captured at — the remote execution backend ships these over the
+/// wire so worker processes consume bit-identical draw sequences.
+struct rng_state {
+    std::uint64_t seed = 0;
+    std::array<std::uint64_t, 4> words{};
+};
+
 /// Convenience façade over xoshiro256** with the draws Quorum needs.
 /// Copyable; child(i) derives a statistically independent stream.
 class rng {
@@ -87,6 +106,21 @@ public:
     /// Derives an independent child stream for (this stream's seed, index).
     /// Deterministic: does not consume state from this stream.
     [[nodiscard]] rng child(std::uint64_t index) const noexcept;
+
+    /// Captures the stream (seed + engine words) as plain data. Every draw
+    /// helper constructs its distribution per call, so the engine words
+    /// are the stream's complete state.
+    [[nodiscard]] rng_state state() const noexcept {
+        return rng_state{seed_, engine_.state()};
+    }
+
+    /// Reconstructs a stream from a snapshot: the returned stream produces
+    /// exactly the draws the captured stream would have produced next.
+    [[nodiscard]] static rng from_state(const rng_state& snapshot) noexcept {
+        rng restored(snapshot.seed);
+        restored.engine_.set_state(snapshot.words);
+        return restored;
+    }
 
     /// Uniform double in [0, 1).
     double uniform();

@@ -101,6 +101,39 @@ TEST(Config, ShardedBackendSpecsResolveAndValidate) {
     EXPECT_EQ(config.to_engine_config().shards, 2u);
 }
 
+TEST(Config, RemoteBackendSpecsResolveAndValidate) {
+    quorum_config config;
+    config.backend = "remote";
+    config.shards = 2;
+    EXPECT_EQ(config.resolved_backend(), "remote:statevector");
+    // Validation instantiates the backend; remote construction is
+    // process-free (only the local probe of the inner engine), so this
+    // must succeed without any quorum_worker binary around.
+    EXPECT_NO_THROW(config.validate());
+
+    config.mode = exec_mode::noisy;
+    EXPECT_EQ(config.resolved_backend(), "remote:density");
+    EXPECT_NO_THROW(config.validate());
+
+    config.backend = "remote:auto";
+    EXPECT_EQ(config.resolved_backend(), "remote:density");
+    config.mode = exec_mode::exact;
+    EXPECT_EQ(config.resolved_backend(), "remote:statevector");
+
+    config.backend = "remote:bogus";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.backend = "remote:";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.backend = "remote:remote";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    config.backend = "remote:sharded";
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+    // Incompatible mode/inner pairs fail at the local probe.
+    config.backend = "remote:density";
+    config.mode = exec_mode::per_shot;
+    EXPECT_THROW(config.validate(), quorum::util::contract_error);
+}
+
 TEST(Config, RejectsMalformedOrIncompatibleShardedSpecs) {
     quorum_config config;
     config.backend = "sharded:bogus";

@@ -171,6 +171,35 @@ TEST(GoldenScores, FlagshipNoisyScoresMatchFixture) {
     check_fixture("flagship_noisy_scores.csv", {"noisy"}, {noisy});
 }
 
+#ifdef QUORUM_WORKER_BIN
+TEST(GoldenScores, RemoteDetectorReproducesPlainScoresBitForBit) {
+    // End-to-end worker-count invariance: the full detector run through
+    // the REMOTE backend — compiled programs, spans and rng snapshots
+    // serialised to real quorum_worker processes — lands on the same
+    // scores as the plain backend, bit for bit.
+    const char* old = std::getenv("QUORUM_WORKER");
+    const std::string saved = old == nullptr ? "" : old;
+    setenv("QUORUM_WORKER", QUORUM_WORKER_BIN, 1);
+    const data::dataset d = flagship_dataset(48);
+    const std::vector<double> reference =
+        score_with(flagship_config(core::exec_mode::sampled, 4), d);
+    core::quorum_config config =
+        flagship_config(core::exec_mode::sampled, 4);
+    config.backend = "remote:statevector";
+    config.shards = 2;
+    const std::vector<double> remote = score_with(config, d);
+    ASSERT_EQ(remote.size(), reference.size());
+    for (std::size_t i = 0; i < remote.size(); ++i) {
+        EXPECT_EQ(remote[i], reference[i]) << "sample=" << i;
+    }
+    if (old == nullptr) {
+        unsetenv("QUORUM_WORKER");
+    } else {
+        setenv("QUORUM_WORKER", saved.c_str(), 1);
+    }
+}
+#endif // QUORUM_WORKER_BIN
+
 TEST(GoldenScores, ShardedDetectorReproducesPlainScoresBitForBit) {
     // End-to-end shard invariance: the full detector run through the
     // sharded backend lands on the SAME scores as the plain backend (the

@@ -14,11 +14,14 @@
 //   --bucket-prob P       bucket containment probability (default 0.75)
 //   --mode M              exact | sampled | per_shot | noisy (default sampled)
 //   --backend B           execution engine: auto | statevector | density |
-//                         sharded[:inner] | any registered backend
-//                         (default auto)
-//   --shards N            shards for the sharded backend: every batch is
-//                         split across N lanes (default: all cores;
-//                         ignored unless --backend is sharded[:inner])
+//                         sharded[:inner] | remote[:inner] | any registered
+//                         backend (default auto)
+//   --shards N            lanes for the sharded/remote backends: every
+//                         batch is split across N in-process shards or N
+//                         quorum_worker processes (default: all cores;
+//                         ignored by plain backends)
+//   --workers N           alias for --shards (reads better with --backend
+//                         remote:...)
 //   --threads N           worker threads (default: all cores)
 //   --no-fused            evaluate compression levels one batch at a time
 //                         instead of through the fused multi-level path
@@ -41,6 +44,7 @@
 #include "data/csv.h"
 #include "data/generators.h"
 #include "exec/registry.h"
+#include "exec/remote_backend.h"
 #include "exec/sharded_backend.h"
 #include "metrics/confusion.h"
 #include "metrics/detection_curve.h"
@@ -75,7 +79,8 @@ void print_usage() {
         "             [--label-column K] [--no-header]\n"
         "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
-        "             [--backend auto|NAME|sharded:NAME] [--shards N]\n"
+        "             [--backend auto|NAME|sharded:NAME|remote:NAME]\n"
+        "             [--shards N] [--workers N]\n"
         "             [--threads N] [--no-fused] [--seed S]\n"
         "             [--top K] [--qasm out.qasm]\n"
         "  quorum_cli --demo\n"
@@ -242,7 +247,7 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
             if (!next_count(options.config.threads)) {
                 return false;
             }
-        } else if (arg == "--shards") {
+        } else if (arg == "--shards" || arg == "--workers") {
             if (!next_count(options.config.shards)) {
                 return false;
             }
@@ -326,13 +331,17 @@ int main(int argc, char** argv) {
                          options.config.mode)
                   << " backend=" << options.config.resolved_backend();
         if (options.config.resolved_backend().starts_with("sharded")) {
-            // Mirror the backend's resolution (0 = hardware threads,
-            // clamped) so the header reports the lanes actually used.
+            // The backend's own resolution (0 = hardware threads,
+            // clamped), so the header reports the lanes actually used.
             std::cout << " shards="
-                      << std::min(options.config.shards == 0
-                                      ? quorum::util::default_thread_count()
-                                      : options.config.shards,
-                                  exec::sharded_backend::max_shards);
+                      << exec::resolve_lane_count(
+                             options.config.shards,
+                             exec::sharded_backend::max_shards);
+        } else if (options.config.resolved_backend().starts_with("remote")) {
+            std::cout << " workers="
+                      << exec::resolve_lane_count(
+                             options.config.shards,
+                             exec::remote_backend::max_workers);
         }
         std::cout << " groups=" << options.config.ensemble_groups
                   << " qubits=" << options.config.n_qubits

@@ -1,0 +1,147 @@
+// quorum_worker — remote execution worker for the "remote:<inner>"
+// backend.
+//
+// Speaks the binary wire protocol (src/exec/serialise.h, documented in
+// docs/ARCHITECTURE.md) over stdin/stdout: length-prefixed frames carrying
+// hello / run_span / run_levels_span / shutdown requests. It is spawned by
+// exec::process_transport — one worker per remote lane — and exits when
+// its channel reaches EOF or a shutdown message arrives. Not meant to be
+// run interactively; see `quorum_worker --help`.
+//
+// All logging goes to stderr: stdout is the protocol channel.
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exec/remote_backend.h"
+#include "exec/serialise.h"
+
+namespace {
+
+using quorum::exec::wire::max_message_bytes;
+
+/// Reads exactly `size` bytes from fd 0. Returns false on clean EOF at a
+/// frame boundary; a short read mid-frame is a protocol error (the client
+/// died mid-send) and also ends the loop.
+bool read_exact(std::uint8_t* data, std::size_t size, bool& mid_frame) {
+    std::size_t received = 0;
+    while (received < size) {
+        const ssize_t n =
+            ::read(STDIN_FILENO, data + received, size - received);
+        if (n < 0 && errno == EINTR) {
+            continue; // a signal is not the client dying
+        }
+        if (n <= 0) {
+            mid_frame = received > 0;
+            return false;
+        }
+        received += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool write_exact(const std::uint8_t* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+        const ssize_t n =
+            ::write(STDOUT_FILENO, data + sent, size - sent);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void print_usage() {
+    std::fprintf(
+        stderr,
+        "quorum_worker — remote execution worker (protocol version %u)\n"
+        "\n"
+        "Speaks the Quorum wire protocol over stdin/stdout; spawned by\n"
+        "the remote:<backend> execution engine (quorum_cli --backend\n"
+        "remote:statevector), one process per worker lane. Not an\n"
+        "interactive tool.\n",
+        quorum::exec::wire::protocol_version);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        }
+        if (arg == "--version") {
+            std::fprintf(stdout, "%u\n",
+                         quorum::exec::wire::protocol_version);
+            return 0;
+        }
+        std::fprintf(stderr, "quorum_worker: unknown option %s\n",
+                     arg.c_str());
+        print_usage();
+        return 2;
+    }
+    if (::isatty(STDIN_FILENO) != 0) {
+        print_usage();
+        return 2;
+    }
+    // A client that dies mid-reply must surface as a write error, not
+    // kill the worker with SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    quorum::exec::worker_session session;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        std::uint8_t header[4];
+        bool mid_frame = false;
+        if (!read_exact(header, sizeof(header), mid_frame)) {
+            if (mid_frame) {
+                std::fprintf(stderr,
+                             "quorum_worker: client died mid-frame\n");
+                return 1;
+            }
+            return 0; // clean EOF: the client closed the channel
+        }
+        std::uint32_t size = 0;
+        for (int shift = 0; shift < 32; shift += 8) {
+            size |= static_cast<std::uint32_t>(header[shift / 8]) << shift;
+        }
+        if (size > max_message_bytes) {
+            std::fprintf(stderr, "quorum_worker: oversized frame (%u)\n",
+                         size);
+            return 1;
+        }
+        payload.resize(size);
+        if (!read_exact(payload.data(), payload.size(), mid_frame)) {
+            std::fprintf(stderr, "quorum_worker: client died mid-frame\n");
+            return 1;
+        }
+        const std::vector<std::uint8_t> reply = session.handle(payload);
+        if (session.shutdown_requested()) {
+            return 0;
+        }
+        std::uint8_t reply_header[4];
+        const auto reply_size = static_cast<std::uint32_t>(reply.size());
+        for (int shift = 0; shift < 32; shift += 8) {
+            reply_header[shift / 8] =
+                static_cast<std::uint8_t>(reply_size >> shift);
+        }
+        if (!write_exact(reply_header, sizeof(reply_header)) ||
+            !write_exact(reply.data(), reply.size())) {
+            std::fprintf(stderr,
+                         "quorum_worker: client closed the channel\n");
+            return 1;
+        }
+    }
+}
