@@ -1,0 +1,401 @@
+#include "exec/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "exec/registry.h"
+#include "exec/serialise.h"
+#include "util/contracts.h"
+
+namespace quorum::exec {
+
+namespace {
+
+[[noreturn]] void fail_span(const shard_work& span, const std::string& why) {
+    throw util::contract_error(
+        "fleet span (samples [" + std::to_string(span.first) + ", " +
+        std::to_string(span.first + span.count) + ")) failed: " + why);
+}
+
+/// Mirrors the remote backend's reply validation: error replies and
+/// malformed results surface as structured contract_errors naming the
+/// span; the worker that produced the reply already named itself in any
+/// death message.
+void decode_result_into(std::span<const std::uint8_t> reply,
+                        const shard_work& span,
+                        std::size_t values_per_sample,
+                        std::span<double> out) {
+    if (reply.empty()) {
+        fail_span(span, "empty reply");
+    }
+    wire::reader in(reply);
+    const std::uint8_t type = in.u8();
+    if (type == static_cast<std::uint8_t>(wire::message::error)) {
+        std::string message = "malformed error reply";
+        try {
+            message = in.str();
+        } catch (const util::contract_error&) {
+        }
+        fail_span(span, message);
+    }
+    if (type != static_cast<std::uint8_t>(wire::message::result)) {
+        fail_span(span, "unexpected reply type " + std::to_string(type));
+    }
+    try {
+        const std::uint64_t count = in.u64();
+        QUORUM_EXPECTS_MSG(count == span.count * values_per_sample,
+                           "result count does not match the span");
+        in.expect_available(count, 8);
+        double* slot = out.data() + span.first * values_per_sample;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            slot[i] = in.f64();
+        }
+        in.expect_done();
+    } catch (const util::contract_error& error) {
+        fail_span(span, std::string("malformed reply: ") + error.what());
+    }
+}
+
+} // namespace
+
+// --- worker_fleet -----------------------------------------------------------
+
+worker_fleet::worker_fleet(fleet_config config) : config_(std::move(config)) {
+    QUORUM_EXPECTS_MSG(!config_.inner.empty() && config_.inner != "remote" &&
+                           config_.inner != "sharded" &&
+                           config_.inner != "fleet" &&
+                           config_.inner.find(':') == std::string::npos,
+                       "the fleet wraps one plain inner backend name (no "
+                       "nesting)");
+    QUORUM_EXPECTS_MSG(config_.max_pending_spans >= 1,
+                       "fleet needs a positive pending-span bound");
+    QUORUM_EXPECTS_MSG(config_.rejoin_attempts >= 0 &&
+                           config_.rejoin_delay_ms >= 0,
+                       "fleet rejoin parameters must be non-negative");
+    hello_ = wire::encode_hello(config_.inner, config_.engine);
+}
+
+worker_fleet::~worker_fleet() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+    lanes_cv_.notify_all();
+    for (const std::unique_ptr<lane_state>& lane : lanes_) {
+        if (lane->thread.joinable()) {
+            lane->thread.join();
+        }
+    }
+    // Jobs the lanes never claimed: fail their batches instead of leaving
+    // collectors blocked on futures that will never resolve.
+    for (span_job& job : queue_) {
+        job.batch->promises[job.index].set_exception(
+            std::make_exception_ptr(
+                util::contract_error("fleet is shutting down")));
+    }
+    queue_.clear();
+}
+
+void worker_fleet::add_factory_lane(transport_factory factory,
+                                    std::string label) {
+    QUORUM_EXPECTS_MSG(static_cast<bool>(factory),
+                       "fleet lane needs a transport factory");
+    auto lane = std::make_unique<lane_state>();
+    lane->label = std::move(label);
+    lane->factory = std::move(factory);
+    lane_state* raw = lane.get();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QUORUM_EXPECTS_MSG(!stopping_, "fleet is shutting down");
+    raw->factory_index = lanes_.size();
+    ++pending_lanes_;
+    lanes_.push_back(std::move(lane));
+    raw->thread = std::thread([this, raw] { lane_main(*raw); });
+}
+
+void worker_fleet::add_lane(std::unique_ptr<wire_transport> transport,
+                            std::string label) {
+    QUORUM_EXPECTS_MSG(transport != nullptr,
+                       "fleet lane needs a transport");
+    auto lane = std::make_unique<lane_state>();
+    lane->label = std::move(label);
+    lane->adopted = std::move(transport);
+    lane_state* raw = lane.get();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QUORUM_EXPECTS_MSG(!stopping_, "fleet is shutting down");
+    ++pending_lanes_;
+    lanes_.push_back(std::move(lane));
+    raw->thread = std::thread([this, raw] { lane_main(*raw); });
+}
+
+std::size_t worker_fleet::lane_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return live_lanes_;
+}
+
+std::size_t worker_fleet::requeued_spans() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return requeued_;
+}
+
+void worker_fleet::wait_for_lanes(std::size_t lanes, int timeout_ms) const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool ready =
+        lanes_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           [&] { return live_lanes_ >= lanes; });
+    QUORUM_EXPECTS_MSG(
+        ready, "fleet: timed out waiting for " + std::to_string(lanes) +
+                   " live workers (have " + std::to_string(live_lanes_) +
+                   (last_lane_error_.empty()
+                        ? std::string(")")
+                        : "; last failure: " + last_lane_error_ + ")"));
+}
+
+std::string worker_fleet::no_workers_message_locked() const {
+    std::string message = "fleet has no live workers";
+    if (!last_lane_error_.empty()) {
+        message += " (last failure: " + last_lane_error_ + ")";
+    }
+    return message;
+}
+
+void worker_fleet::note_lane_gone_locked() {
+    if (!no_lanes_locked() || stopping_) {
+        return;
+    }
+    for (span_job& job : queue_) {
+        job.batch->promises[job.index].set_exception(
+            std::make_exception_ptr(
+                util::contract_error(no_workers_message_locked())));
+    }
+    queue_.clear();
+    space_cv_.notify_all();
+}
+
+void worker_fleet::lane_main(lane_state& lane) {
+    int failures = 0;
+    for (;;) {
+        // Connect + handshake. Factory lanes retry (bounded) — this is
+        // both the initial connect and the post-death rejoin; registered
+        // lanes get exactly the one connection their worker dialed in.
+        std::unique_ptr<wire_transport> transport;
+        try {
+            if (lane.adopted != nullptr) {
+                transport = std::move(lane.adopted);
+            } else {
+                transport = lane.factory(lane.factory_index);
+                QUORUM_EXPECTS_MSG(transport != nullptr,
+                                   "transport factory returned null");
+            }
+            transport->send_message(hello_);
+            wire::check_hello_ack(transport->recv_message(),
+                                  "fleet worker " + lane.label);
+        } catch (const std::exception& error) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            last_lane_error_ = lane.label + ": " + error.what();
+            ++failures;
+            const bool abandoned = lane.factory == nullptr ||
+                                   failures > config_.rejoin_attempts;
+            if (stopping_ || abandoned) {
+                --pending_lanes_;
+                note_lane_gone_locked();
+                lanes_cv_.notify_all();
+                return;
+            }
+            lock.unlock();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(config_.rejoin_delay_ms));
+            continue;
+        }
+        failures = 0;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --pending_lanes_;
+            ++live_lanes_;
+            lanes_cv_.notify_all();
+        }
+        if (serve_on(lane, *transport)) {
+            // Fleet shutdown: tell the worker to exit cleanly (EOF on
+            // transport destruction also works, so failures are
+            // ignorable).
+            try {
+                transport->send_message(wire::encode_shutdown());
+            } catch (...) { // NOLINT(bugprone-empty-catch)
+            }
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --live_lanes_;
+            lanes_cv_.notify_all();
+            return;
+        }
+        // The transport died mid-serve. Registered lanes drop out (their
+        // worker rejoins by dialing in again); factory lanes go back to
+        // the top and reconnect.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --live_lanes_;
+        if (lane.factory == nullptr || stopping_) {
+            note_lane_gone_locked();
+            lanes_cv_.notify_all();
+            return;
+        }
+        ++pending_lanes_;
+        lanes_cv_.notify_all();
+    }
+}
+
+bool worker_fleet::serve_on(lane_state& lane, wire_transport& transport) {
+    for (;;) {
+        span_job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queue_cv_.wait(lock,
+                           [&] { return stopping_ || !queue_.empty(); });
+            if (stopping_) {
+                return true;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            space_cv_.notify_one();
+        }
+        std::vector<std::uint8_t> reply;
+        try {
+            // Send + receive as one unit: a lane never holds an unread
+            // reply for a batch it is not currently serving, so an
+            // aborted batch can never leak values into a later one.
+            transport.send_message(job.batch->requests[job.index]);
+            reply = transport.recv_message();
+        } catch (const transport_error& error) {
+            handle_lane_death(lane, std::move(job), error.what());
+            return false;
+        }
+        job.batch->promises[job.index].set_value(std::move(reply));
+    }
+}
+
+void worker_fleet::handle_lane_death(const lane_state& lane, span_job job,
+                                     const std::string& why) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        last_lane_error_ = lane.label + ": " + why;
+        if (job.attempts == 0 && !stopping_) {
+            // THE span's one requeue: any live lane — possibly this one,
+            // reconnected — re-runs it. Deliberately not bounded by
+            // max_pending_spans: a lane blocking on its own requeue would
+            // deadlock the bound.
+            job.attempts = 1;
+            ++requeued_;
+            queue_.push_back(std::move(job));
+            queue_cv_.notify_one();
+            return;
+        }
+    }
+    job.batch->promises[job.index].set_exception(std::make_exception_ptr(
+        util::contract_error("fleet worker " + lane.label + " (samples [" +
+                             std::to_string(job.span.first) + ", " +
+                             std::to_string(job.span.first +
+                                            job.span.count) +
+                             ")) failed: worker died (requeue "
+                             "exhausted): " +
+                             why)));
+}
+
+void worker_fleet::run_spans(std::span<const shard_work> plan,
+                             std::vector<std::vector<std::uint8_t>> requests,
+                             std::size_t values_per_sample,
+                             std::span<double> out) {
+    QUORUM_EXPECTS_MSG(plan.size() == requests.size(),
+                       "fleet: one request per planned span");
+    auto batch = std::make_shared<batch_state>();
+    batch->requests = std::move(requests);
+    batch->promises.resize(plan.size());
+    std::vector<std::future<std::vector<std::uint8_t>>> replies;
+    replies.reserve(plan.size());
+    for (std::promise<std::vector<std::uint8_t>>& p : batch->promises) {
+        replies.push_back(p.get_future());
+    }
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_cv_.wait(lock, [&] {
+            return stopping_ || no_lanes_locked() ||
+                   queue_.size() < config_.max_pending_spans;
+        });
+        QUORUM_EXPECTS_MSG(!stopping_, "fleet is shutting down");
+        if (no_lanes_locked()) {
+            throw util::contract_error(no_workers_message_locked());
+        }
+        queue_.push_back(span_job{batch, k, plan[k], 0});
+        queue_cv_.notify_one();
+    }
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+        const std::vector<std::uint8_t> reply = replies[k].get();
+        decode_result_into(reply, plan[k], values_per_sample, out);
+    }
+}
+
+// --- fleet_executor ---------------------------------------------------------
+
+fleet_executor::fleet_executor(std::shared_ptr<worker_fleet> fleet)
+    : fleet_(std::move(fleet)) {
+    QUORUM_EXPECTS_MSG(fleet_ != nullptr, "fleet executor needs a fleet");
+    const fleet_config& config = fleet_->config();
+    spec_ = "fleet:" + config.inner;
+    needs_rng_ = config.engine.sampling_mode != sampling::exact;
+    probe_ = make_executor(config.inner, config.engine);
+}
+
+std::size_t fleet_executor::plan_lanes() const {
+    return std::clamp<std::size_t>(fleet_->lane_count(), 1,
+                                   sharded_backend::max_shards);
+}
+
+void fleet_executor::run_batch(const program& prog,
+                               std::span<const sample> samples,
+                               std::span<double> out) const {
+    validate_batch(prog, samples, out, needs_rng_);
+    if (samples.empty()) {
+        return;
+    }
+    wire::writer block;
+    wire::encode_program(block, prog);
+    const std::vector<std::uint8_t> blob = block.take();
+    const std::vector<shard_work> plan =
+        make_shard_plan(samples.size(), plan_lanes(), &prog);
+    std::vector<std::vector<std::uint8_t>> requests;
+    requests.reserve(plan.size());
+    for (const shard_work& span : plan) {
+        requests.push_back(wire::encode_span_request(
+            span, blob, samples.subspan(span.first, span.count), 0,
+            needs_rng_));
+    }
+    fleet_->run_spans(plan, std::move(requests), 1, out);
+}
+
+void fleet_executor::run_batch_levels(std::span<const program> levels,
+                                      std::span<const sample> samples,
+                                      std::span<double> out) const {
+    validate_level_batch(levels, samples, out, needs_rng_);
+    if (samples.empty()) {
+        return;
+    }
+    wire::writer block;
+    block.u32(static_cast<std::uint32_t>(levels.size()));
+    for (const program& level : levels) {
+        wire::encode_program(block, level);
+    }
+    const std::vector<std::uint8_t> blob = block.take();
+    // Keyed by sample index only, exactly like the sharded and remote
+    // plans, so fused evaluation composes with fleet-size invariance.
+    const std::vector<shard_work> plan =
+        make_shard_plan(samples.size(), plan_lanes(), nullptr);
+    std::vector<std::vector<std::uint8_t>> requests;
+    requests.reserve(plan.size());
+    for (const shard_work& span : plan) {
+        requests.push_back(wire::encode_span_request(
+            span, blob, samples.subspan(span.first, span.count),
+            levels.size(), needs_rng_));
+    }
+    fleet_->run_spans(plan, std::move(requests), levels.size(), out);
+}
+
+} // namespace quorum::exec

@@ -1,0 +1,213 @@
+// Persistent worker fleet: the coordinator side of the serving layer.
+//
+// The remote backend (exec/remote_backend.h) pins a private set of worker
+// lanes to one engine and serialises its batches on a mutex — the right
+// shape for a CLI run, the wrong one for a daemon. worker_fleet
+// generalises it: the fleet owns long-lived lanes (each a wire_transport
+// plus a thread), a single bounded queue of span jobs, and multiplexes
+// MANY concurrent in-flight batches across those lanes. Any live lane may
+// execute any span; results are keyed by sample index alone, and every
+// double travels as its IEEE-754 bit pattern — so scores are IEEE == to
+// the plain backend for any fleet size and any interleaving of concurrent
+// clients (tests/exec/test_fleet_faults.cpp, tests/core/
+// test_serve_golden.cpp).
+//
+// Lanes come in two flavours:
+//   * factory lanes (add_factory_lane) create their transport through a
+//     transport_factory — spawned subprocesses or outbound TCP connects —
+//     and RECONNECT through it after a worker death (bounded attempts),
+//     rejoining the fleet;
+//   * registered lanes (add_lane) adopt a connection a worker dialed in
+//     on; when that worker dies the lane is dropped, and the worker
+//     rejoins by dialing in again.
+//
+// Fault model, generalising PR 5's requeue-once rule: a span whose lane
+// dies mid-flight is requeued ONCE and any live lane re-runs it (spans
+// are idempotent — same plan, same RNG snapshots, same bits); a second
+// death fails that span's batch with a structured util::contract_error
+// naming the lane and sample span, leaving other in-flight batches
+// untouched. When the last lane is gone queued work fails structurally
+// instead of waiting forever.
+//
+// Backpressure rule: batch submission blocks while the queue holds
+// fleet_config::max_pending_spans jobs; requeues BYPASS the bound — a
+// lane must never block on its own requeue, which is what keeps the
+// bound deadlock-free (concurrency stress test pins this).
+#ifndef QUORUM_EXEC_FLEET_H
+#define QUORUM_EXEC_FLEET_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/remote_backend.h"
+#include "exec/sharded_backend.h"
+
+namespace quorum::exec {
+
+struct fleet_config {
+    /// Plain inner backend every worker runs (no nesting).
+    std::string inner = "statevector";
+    /// Engine parameters shipped in the handshake; `shards` is ignored
+    /// (fleet size is the set of lanes, not a config field).
+    engine_config engine{};
+    /// Bound on queued-but-unclaimed spans before submitters block.
+    std::size_t max_pending_spans = 64;
+    /// Reconnect attempts a factory lane makes after each death before
+    /// it is abandoned. Registered lanes never reconnect (their worker
+    /// dials back in instead).
+    int rejoin_attempts = 5;
+    int rejoin_delay_ms = 100;
+};
+
+class worker_fleet {
+public:
+    explicit worker_fleet(fleet_config config);
+    ~worker_fleet();
+
+    worker_fleet(const worker_fleet&) = delete;
+    worker_fleet& operator=(const worker_fleet&) = delete;
+
+    /// Adds a lane that creates — and, after a death, re-creates — its
+    /// transport through `factory` (called with a stable per-lane index).
+    /// The handshake runs on the lane thread; the lane counts as live
+    /// only after its hello_ack checks out.
+    void add_factory_lane(transport_factory factory, std::string label);
+
+    /// Registers an already-connected worker (one that dialed into the
+    /// coordinator). The fleet is the protocol client on this connection
+    /// too: the lane thread sends the hello and checks the ack.
+    void add_lane(std::unique_ptr<wire_transport> transport,
+                  std::string label);
+
+    /// Lanes that have completed the handshake and are serving.
+    [[nodiscard]] std::size_t lane_count() const;
+
+    /// Spans requeued after an observed worker death (fault telemetry).
+    [[nodiscard]] std::size_t requeued_spans() const;
+
+    /// Blocks until at least `lanes` lanes are live. Throws
+    /// util::contract_error (citing the last lane failure) on timeout.
+    void wait_for_lanes(std::size_t lanes, int timeout_ms) const;
+
+    /// Runs one planned batch: queues every span (blocking on the
+    /// backpressure bound), waits for the replies, and reassembles them
+    /// sample-major into `out` (`values_per_sample` doubles per sample —
+    /// 1 for run_batch shape, the level count for level families).
+    /// Thread-safe; any number of batches may be in flight at once.
+    void run_spans(std::span<const shard_work> plan,
+                   std::vector<std::vector<std::uint8_t>> requests,
+                   std::size_t values_per_sample, std::span<double> out);
+
+    [[nodiscard]] const fleet_config& config() const noexcept {
+        return config_;
+    }
+
+private:
+    /// One batch's shared state: the request payloads (jobs reference
+    /// them by index, so they must outlive any abandoned batch) and one
+    /// promise per span.
+    struct batch_state {
+        std::vector<std::vector<std::uint8_t>> requests;
+        std::vector<std::promise<std::vector<std::uint8_t>>> promises;
+    };
+
+    struct span_job {
+        std::shared_ptr<batch_state> batch;
+        std::size_t index = 0;
+        shard_work span{};
+        int attempts = 0;
+    };
+
+    struct lane_state {
+        std::string label;
+        transport_factory factory; ///< null for registered lanes
+        std::size_t factory_index = 0;
+        std::unique_ptr<wire_transport> adopted;
+        std::thread thread;
+    };
+
+    void lane_main(lane_state& lane);
+    /// Serves jobs on a connected transport. Returns true when the fleet
+    /// is stopping (clean exit), false when the transport died.
+    bool serve_on(lane_state& lane, wire_transport& transport);
+    void handle_lane_death(const lane_state& lane, span_job job,
+                           const std::string& why);
+    /// Called (locked) whenever a lane leaves the live/pending set: once
+    /// nobody is left to serve, fails all queued jobs structurally.
+    void note_lane_gone_locked();
+    [[nodiscard]] bool no_lanes_locked() const {
+        return live_lanes_ == 0 && pending_lanes_ == 0;
+    }
+    [[nodiscard]] std::string no_workers_message_locked() const;
+
+    fleet_config config_;
+    std::vector<std::uint8_t> hello_;
+
+    mutable std::mutex mutex_;
+    mutable std::condition_variable queue_cv_; ///< lanes: work available
+    mutable std::condition_variable space_cv_; ///< producers: room in queue
+    mutable std::condition_variable lanes_cv_; ///< watchers: lane counts
+    std::deque<span_job> queue_;
+    std::vector<std::unique_ptr<lane_state>> lanes_;
+    std::size_t live_lanes_ = 0;
+    std::size_t pending_lanes_ = 0;
+    std::size_t requeued_ = 0;
+    bool stopping_ = false;
+    std::string last_lane_error_;
+};
+
+/// Executor adapter: scoring through a shared fleet. Construction
+/// instantiates a local probe of the inner backend (config validation +
+/// single-circuit runs); batches are planned with make_shard_plan over
+/// the CURRENT lane count — scores are fleet-size-invariant, so a fleet
+/// that grew or shrank between batches changes nothing but the split —
+/// and shipped through worker_fleet::run_spans, which multiplexes
+/// concurrent callers. quorum_serve registers one of these per request
+/// via exec::register_backend, all sharing one fleet.
+class fleet_executor final : public executor {
+public:
+    explicit fleet_executor(std::shared_ptr<worker_fleet> fleet);
+
+    [[nodiscard]] std::string_view name() const noexcept override {
+        return spec_;
+    }
+    [[nodiscard]] bool supports(readout_kind kind) const noexcept override {
+        return probe_->supports(kind);
+    }
+    [[nodiscard]] bool supports(capability what) const noexcept override {
+        return probe_->supports(what);
+    }
+
+    /// Single circuits have nothing to distribute; local probe.
+    [[nodiscard]] double run(const qsim::circuit& c, int cbit,
+                             util::rng* gen) const override {
+        return probe_->run(c, cbit, gen);
+    }
+
+    void run_batch(const program& prog, std::span<const sample> samples,
+                   std::span<double> out) const override;
+    void run_batch_levels(std::span<const program> levels,
+                          std::span<const sample> samples,
+                          std::span<double> out) const override;
+
+private:
+    [[nodiscard]] std::size_t plan_lanes() const;
+
+    std::shared_ptr<worker_fleet> fleet_;
+    std::string spec_;
+    bool needs_rng_;
+    std::unique_ptr<executor> probe_;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_FLEET_H

@@ -27,34 +27,6 @@ std::unique_ptr<executor> make_probe(const engine_config& config,
     return make_executor(inner, config);
 }
 
-std::vector<std::uint8_t> make_hello(const std::string& inner,
-                                     const engine_config& config) {
-    wire::writer out;
-    out.u8(static_cast<std::uint8_t>(wire::message::hello));
-    out.u32(wire::protocol_magic);
-    out.u32(wire::protocol_version);
-    out.str(inner);
-    wire::encode_engine_config(out, config);
-    return out.take();
-}
-
-std::vector<std::uint8_t> make_error_reply(const std::string& message) {
-    wire::writer out;
-    out.u8(static_cast<std::uint8_t>(wire::message::error));
-    out.str(message);
-    return out.take();
-}
-
-std::vector<std::uint8_t> make_result_reply(std::span<const double> values) {
-    wire::writer out;
-    out.u8(static_cast<std::uint8_t>(wire::message::result));
-    out.u64(values.size());
-    for (const double value : values) {
-        out.f64(value);
-    }
-    return out.take();
-}
-
 } // namespace
 
 // --- worker_session ---------------------------------------------------------
@@ -153,7 +125,7 @@ worker_session::handle(std::span<const std::uint8_t> request) {
                 engine_->run_batch(cached_programs_[0], samples.samples,
                                    out_values);
             }
-            return make_result_reply(out_values);
+            return wire::encode_result_reply(out_values);
         }
         case wire::message::shutdown: {
             in.expect_done();
@@ -165,7 +137,7 @@ worker_session::handle(std::span<const std::uint8_t> request) {
                 "wire: unexpected message type " + std::to_string(type));
         }
     } catch (const std::exception& error) {
-        return make_error_reply(error.what());
+        return wire::encode_error_reply(error.what());
     }
 }
 
@@ -192,14 +164,13 @@ remote_backend::remote_backend(const engine_config& config,
 remote_backend::~remote_backend() {
     // Best-effort clean shutdown; transports also terminate their worker
     // on destruction (EOF), so failures here are ignorable.
-    wire::writer out;
-    out.u8(static_cast<std::uint8_t>(wire::message::shutdown));
+    const std::vector<std::uint8_t> out = wire::encode_shutdown();
     for (const std::unique_ptr<wire_transport>& lane : lanes_) {
         if (lane == nullptr) {
             continue;
         }
         try {
-            lane->send_message(out.data());
+            lane->send_message(out);
         } catch (...) { // NOLINT(bugprone-empty-catch)
         }
     }
@@ -213,31 +184,9 @@ wire_transport& remote_backend::lane(std::size_t index) const {
         std::unique_ptr<wire_transport> transport = factory_(index);
         QUORUM_EXPECTS_MSG(transport != nullptr,
                            "transport factory returned null");
-        transport->send_message(make_hello(inner_, config_));
-        const std::vector<std::uint8_t> reply = transport->recv_message();
-        wire::reader in(reply);
-        const std::uint8_t type = in.u8();
-        if (type == static_cast<std::uint8_t>(wire::message::error)) {
-            throw util::contract_error(
-                "remote worker " + std::to_string(index) +
-                " rejected the handshake: " + in.str());
-        }
-        QUORUM_EXPECTS_MSG(
-            type == static_cast<std::uint8_t>(wire::message::hello_ack),
-            "remote worker " + std::to_string(index) +
-                " sent a malformed handshake reply");
-        const std::uint32_t magic = in.u32();
-        const std::uint32_t version = in.u32();
-        in.expect_done();
-        QUORUM_EXPECTS_MSG(magic == wire::protocol_magic,
-                           "remote worker " + std::to_string(index) +
-                               " answered with a bad protocol magic");
-        QUORUM_EXPECTS_MSG(
-            version == wire::protocol_version,
-            "remote worker " + std::to_string(index) +
-                " speaks protocol version " + std::to_string(version) +
-                ", this client speaks " +
-                std::to_string(wire::protocol_version));
+        transport->send_message(wire::encode_hello(inner_, config_));
+        wire::check_hello_ack(transport->recv_message(),
+                              "remote worker " + std::to_string(index));
         lanes_[index] = std::move(transport);
     }
     return *lanes_[index];
@@ -380,15 +329,9 @@ void remote_backend::run_batch(const program& prog,
     std::vector<std::vector<std::uint8_t>> requests;
     requests.reserve(plan.size());
     for (const shard_work& span : plan) {
-        wire::writer request;
-        request.u8(static_cast<std::uint8_t>(wire::message::run_span));
-        wire::encode_shard_work(request, span);
-        request.u32(static_cast<std::uint32_t>(blob.size()));
-        request.bytes(blob);
-        wire::encode_samples(request,
-                             samples.subspan(span.first, span.count), 0,
-                             needs_rng_);
-        requests.push_back(request.take());
+        requests.push_back(wire::encode_span_request(
+            span, blob, samples.subspan(span.first, span.count), 0,
+            needs_rng_));
     }
     dispatch(plan, requests, 1, out);
 }
@@ -413,16 +356,9 @@ void remote_backend::run_batch_levels(std::span<const program> levels,
     std::vector<std::vector<std::uint8_t>> requests;
     requests.reserve(plan.size());
     for (const shard_work& span : plan) {
-        wire::writer request;
-        request.u8(
-            static_cast<std::uint8_t>(wire::message::run_levels_span));
-        wire::encode_shard_work(request, span);
-        request.u32(static_cast<std::uint32_t>(blob.size()));
-        request.bytes(blob);
-        wire::encode_samples(request,
-                             samples.subspan(span.first, span.count),
-                             levels.size(), needs_rng_);
-        requests.push_back(request.take());
+        requests.push_back(wire::encode_span_request(
+            span, blob, samples.subspan(span.first, span.count),
+            levels.size(), needs_rng_));
     }
     dispatch(plan, requests, levels.size(), out);
 }

@@ -484,4 +484,76 @@ sample_block decode_samples(reader& in, std::size_t levels) {
     return block;
 }
 
+std::vector<std::uint8_t> encode_hello(const std::string& inner,
+                                       const engine_config& config) {
+    writer out;
+    out.u8(static_cast<std::uint8_t>(message::hello));
+    out.u32(protocol_magic);
+    out.u32(protocol_version);
+    out.str(inner);
+    encode_engine_config(out, config);
+    return out.take();
+}
+
+void check_hello_ack(std::span<const std::uint8_t> reply,
+                     const std::string& peer) {
+    reader in(reply);
+    const std::uint8_t type = in.u8();
+    if (type == static_cast<std::uint8_t>(message::error)) {
+        throw util::contract_error(peer + " rejected the handshake: " +
+                                   in.str());
+    }
+    QUORUM_EXPECTS_MSG(type == static_cast<std::uint8_t>(message::hello_ack),
+                       peer + " sent a malformed handshake reply");
+    const std::uint32_t magic = in.u32();
+    const std::uint32_t version = in.u32();
+    in.expect_done();
+    QUORUM_EXPECTS_MSG(magic == protocol_magic,
+                       peer + " answered with a bad protocol magic");
+    QUORUM_EXPECTS_MSG(version == protocol_version,
+                       peer + " speaks protocol version " +
+                           std::to_string(version) +
+                           ", this client speaks " +
+                           std::to_string(protocol_version));
+}
+
+std::vector<std::uint8_t>
+encode_span_request(const shard_work& span,
+                    std::span<const std::uint8_t> program_block,
+                    std::span<const sample> span_samples, std::size_t levels,
+                    bool with_rng) {
+    writer request;
+    request.u8(static_cast<std::uint8_t>(
+        levels == 0 ? message::run_span : message::run_levels_span));
+    encode_shard_work(request, span);
+    request.u32(static_cast<std::uint32_t>(program_block.size()));
+    request.bytes(program_block);
+    encode_samples(request, span_samples, levels, with_rng);
+    return request.take();
+}
+
+std::vector<std::uint8_t> encode_error_reply(const std::string& text) {
+    writer out;
+    out.u8(static_cast<std::uint8_t>(message::error));
+    out.str(text);
+    return out.take();
+}
+
+std::vector<std::uint8_t>
+encode_result_reply(std::span<const double> values) {
+    writer out;
+    out.u8(static_cast<std::uint8_t>(message::result));
+    out.u64(values.size());
+    for (const double value : values) {
+        out.f64(value);
+    }
+    return out.take();
+}
+
+std::vector<std::uint8_t> encode_shutdown() {
+    writer out;
+    out.u8(static_cast<std::uint8_t>(message::shutdown));
+    return out.take();
+}
+
 } // namespace quorum::exec::wire

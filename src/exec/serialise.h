@@ -155,6 +155,39 @@ void encode_samples(writer& out, std::span<const sample> samples,
                     std::size_t levels, bool with_rng);
 [[nodiscard]] sample_block decode_samples(reader& in, std::size_t levels);
 
+// --- whole-message builders -------------------------------------------------
+//
+// Shared by every protocol participant (remote backend, worker fleet,
+// quorum_worker), so there is exactly one place each message's layout is
+// written down in code.
+
+/// A hello body: magic + version + the inner backend name + engine
+/// parameters the worker must instantiate.
+[[nodiscard]] std::vector<std::uint8_t>
+encode_hello(const std::string& inner, const engine_config& config);
+
+/// Validates a handshake reply against this build's magic/version.
+/// Throws util::contract_error naming `peer` on an error reply, a
+/// malformed ack, or a protocol version mismatch.
+void check_hello_ack(std::span<const std::uint8_t> reply,
+                     const std::string& peer);
+
+/// One run_span / run_levels_span request: span metadata, the (shared,
+/// byte-identical per batch) program block, and the span's samples.
+/// `levels` == 0 builds a run_span request; >= 1 a run_levels_span over
+/// that many levels.
+[[nodiscard]] std::vector<std::uint8_t>
+encode_span_request(const shard_work& span,
+                    std::span<const std::uint8_t> program_block,
+                    std::span<const sample> span_samples, std::size_t levels,
+                    bool with_rng);
+
+[[nodiscard]] std::vector<std::uint8_t>
+encode_error_reply(const std::string& text);
+[[nodiscard]] std::vector<std::uint8_t>
+encode_result_reply(std::span<const double> values);
+[[nodiscard]] std::vector<std::uint8_t> encode_shutdown();
+
 } // namespace quorum::exec::wire
 
 #endif // QUORUM_EXEC_SERIALISE_H

@@ -1,0 +1,89 @@
+#include "exec/tcp_transport.h"
+
+#include <utility>
+
+#include "exec/serialise.h"
+#include "util/contracts.h"
+
+namespace quorum::exec {
+
+namespace {
+
+/// Collapses every runtime socket failure into the transport layer's
+/// retryable error type; util::net messages already name the peer.
+[[noreturn]] void rethrow_as_transport(const util::net_error& error) {
+    throw transport_error(error.what());
+}
+
+} // namespace
+
+tcp_transport::tcp_transport(const util::endpoint& peer,
+                             const tcp_options& options)
+    : peer_(peer.str()), options_(options) {
+    try {
+        fd_ = util::connect_tcp(peer, options_.connect_timeout_ms);
+    } catch (const util::net_error& error) {
+        rethrow_as_transport(error);
+    }
+}
+
+tcp_transport::tcp_transport(util::unique_fd fd, std::string peer_label,
+                             const tcp_options& options)
+    : fd_(std::move(fd)), peer_(std::move(peer_label)), options_(options) {
+    QUORUM_EXPECTS_MSG(fd_.valid(),
+                       "tcp transport adopted an invalid socket");
+}
+
+void tcp_transport::send_message(std::span<const std::uint8_t> payload) {
+    QUORUM_EXPECTS_MSG(payload.size() <= wire::max_message_bytes,
+                       "wire: message exceeds the frame size limit");
+    std::uint8_t header[4];
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    for (int shift = 0; shift < 32; shift += 8) {
+        header[shift / 8] = static_cast<std::uint8_t>(size >> shift);
+    }
+    try {
+        util::send_all(fd_.get(), header, sizeof(header),
+                       options_.io_timeout_ms, peer_);
+        util::send_all(fd_.get(), payload.data(), payload.size(),
+                       options_.io_timeout_ms, peer_);
+    } catch (const util::net_error& error) {
+        rethrow_as_transport(error);
+    }
+}
+
+std::vector<std::uint8_t> tcp_transport::recv_message() {
+    std::uint8_t header[4];
+    std::uint32_t size = 0;
+    try {
+        util::recv_all(fd_.get(), header, sizeof(header),
+                       options_.io_timeout_ms, peer_);
+        for (int shift = 0; shift < 32; shift += 8) {
+            size |= static_cast<std::uint32_t>(header[shift / 8]) << shift;
+        }
+        if (size > wire::max_message_bytes) {
+            throw transport_error(peer_ + ": sent an oversized frame (" +
+                                  std::to_string(size) + " bytes)");
+        }
+        std::vector<std::uint8_t> payload(size);
+        util::recv_all(fd_.get(), payload.data(), payload.size(),
+                       options_.io_timeout_ms, peer_);
+        return payload;
+    } catch (const util::net_error& error) {
+        rethrow_as_transport(error);
+    }
+}
+
+transport_factory
+tcp_transport_factory(std::vector<util::endpoint> endpoints,
+                      tcp_options options) {
+    QUORUM_EXPECTS_MSG(!endpoints.empty(),
+                       "tcp transport factory needs at least one endpoint");
+    return [endpoints = std::move(endpoints),
+            options](std::size_t index) -> std::unique_ptr<wire_transport> {
+        return std::make_unique<tcp_transport>(
+            endpoints[index % endpoints.size()], options);
+    };
+}
+
+} // namespace quorum::exec

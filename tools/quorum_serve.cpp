@@ -1,0 +1,522 @@
+// quorum_serve — long-running Quorum scoring daemon.
+//
+// The serving shape the paper's zero-training pitch implies: no fit
+// phase means a detector can sit behind a socket and score whatever
+// arrives. This daemon owns a persistent worker fleet (exec/fleet.h) —
+// local quorum_worker processes that dial the registry port, plus any
+// `quorum_worker --listen` endpoints named with --connect-worker — and
+// serves the QSRV1 line protocol (exec/serve_client.h, spec in
+// docs/ARCHITECTURE.md) to any number of concurrent clients.
+//
+// Every client request builds a detector over the shared fleet backend
+// and scores in the requested configuration; concurrent requests
+// multiplex their sample spans through the fleet's bounded queue. Scores
+// are IEEE == to a local run with the same configuration: the wire
+// protocol ships bit patterns, the text protocol ships %.17g, and
+// neither loses a bit. A client that disconnects mid-batch costs the
+// fleet nothing — its spans drain, the handler notices on reply, and
+// every other client is unaffected.
+//
+// stdout carries exactly three parseable startup lines (registry
+// address, worker count, serving address); logs go to stderr.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/quorum.h"
+#include "data/dataset.h"
+#include "exec/fleet.h"
+#include "exec/process_transport.h"
+#include "exec/registry.h"
+#include "exec/serve_client.h"
+#include "exec/tcp_transport.h"
+#include "util/contracts.h"
+#include "util/net.h"
+
+namespace {
+
+namespace core = quorum::core;
+namespace data = quorum::data;
+namespace exec = quorum::exec;
+namespace util = quorum::util;
+
+struct serve_options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;          ///< 0 = ephemeral (printed)
+    std::uint16_t registry_port = 0; ///< 0 = ephemeral (printed)
+    std::size_t workers = 2;         ///< locally spawned fleet workers
+    std::vector<util::endpoint> connect_workers; ///< --listen workers
+    std::string backend = "auto";
+    std::size_t max_queue = 64;
+    int rejoin_attempts = 5;
+    std::size_t max_requests = 0; ///< 0 = serve forever
+    core::quorum_config config;
+};
+
+/// Caps a client can hit without it being a config error on our side.
+constexpr std::size_t max_request_rows = 100000;
+constexpr std::size_t max_request_cols = 4096;
+
+void print_usage() {
+    std::fprintf(
+        stderr,
+        "quorum_serve — persistent Quorum scoring daemon\n"
+        "\n"
+        "usage: quorum_serve [options]\n"
+        "  --port N              client port (default 0 = ephemeral; the\n"
+        "                        bound address is printed to stdout)\n"
+        "  --host H              bind address (default 127.0.0.1)\n"
+        "  --registry-port N     worker registration port (default 0)\n"
+        "  --workers N           spawn N local quorum_worker processes\n"
+        "                        that dial the registry (default 2)\n"
+        "  --connect-worker H:P  add a fleet lane to a running\n"
+        "                        `quorum_worker --listen` (repeatable)\n"
+        "  --backend B           inner backend each worker runs: auto |\n"
+        "                        statevector | density (default auto)\n"
+        "  --mode M              exact | sampled | per_shot | noisy\n"
+        "                        (default sampled)\n"
+        "  --groups N            ensemble groups (default 200)\n"
+        "  --shots N             shots per circuit (default 4096)\n"
+        "  --qubits N            data-register qubits (default 3)\n"
+        "  --rate R              estimated anomaly rate (default 0.03)\n"
+        "  --bucket-prob P       bucket probability target (default 0.75)\n"
+        "  --threads N           ensemble threads per request (default\n"
+        "                        all cores)\n"
+        "  --seed S              master seed (default 2025)\n"
+        "  --max-queue N         pending-span backpressure bound\n"
+        "                        (default 64)\n"
+        "  --rejoin-attempts N   reconnect budget per worker death\n"
+        "                        (default 5)\n"
+        "  --max-requests N      exit after N scored requests (default\n"
+        "                        0 = serve forever)\n"
+        "\n"
+        "Protocol (one TCP connection = one session; see\n"
+        "docs/ARCHITECTURE.md):\n"
+        "  -> QSRV1 SCORE <rows> <cols>\\n + <rows> CSV feature lines\n"
+        "  <- QSRV1 OK <rows>\\n + <rows> score lines (%%.17g), or\n"
+        "     QSRV1 ERR <message>\\n\n");
+}
+
+bool parse_count(const char* text, std::size_t& value) {
+    if (text == nullptr || *text == '\0') {
+        return false;
+    }
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (*end != '\0') {
+        return false;
+    }
+    value = static_cast<std::size_t>(parsed);
+    return true;
+}
+
+bool parse_real(const char* text, double& value) {
+    if (text == nullptr || *text == '\0') {
+        return false;
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    if (*end != '\0') {
+        return false;
+    }
+    value = parsed;
+    return true;
+}
+
+bool parse_mode(const std::string& text, core::exec_mode& mode) {
+    if (text == "exact") {
+        mode = core::exec_mode::exact;
+    } else if (text == "sampled") {
+        mode = core::exec_mode::sampled;
+    } else if (text == "per_shot") {
+        mode = core::exec_mode::per_shot;
+    } else if (text == "noisy") {
+        mode = core::exec_mode::noisy;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool parse_port(const char* text, std::uint16_t& port) {
+    std::size_t value = 0;
+    if (!parse_count(text, value) || value > 65535) {
+        return false;
+    }
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+/// Forks one local fleet worker that dials the registry. Called before
+/// any thread exists, so the child side may stay simple (no
+/// async-signal-safety gymnastics beyond the usual close/exec rules).
+void spawn_registry_worker(const std::string& binary,
+                           const util::endpoint& registry) {
+    const std::string target = registry.str();
+    const char* argv[] = {binary.c_str(), "--connect", target.c_str(),
+                          "--retry",      "25",        nullptr};
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw util::net_error("fork failed for " + binary);
+    }
+    if (pid == 0) {
+        ::execv(binary.c_str(), const_cast<char* const*>(argv));
+        ::_exit(127);
+    }
+    // No pid bookkeeping: SIGCHLD is SIG_IGN (no zombies), and workers
+    // exit on the fleet's shutdown message or after their retry budget.
+}
+
+/// Splits a CSV feature line with strict numeric parsing.
+bool parse_feature_row(const std::string& line, std::size_t cols,
+                       std::vector<double>& row) {
+    row.clear();
+    std::size_t begin = 0;
+    while (begin <= line.size()) {
+        std::size_t end = line.find(',', begin);
+        if (end == std::string::npos) {
+            end = line.size();
+        }
+        double value = 0.0;
+        if (!exec::serve_parse_double(line.substr(begin, end - begin),
+                                      value)) {
+            return false;
+        }
+        row.push_back(value);
+        begin = end + 1;
+    }
+    return row.size() == cols;
+}
+
+struct serve_state {
+    core::quorum_config config;
+    std::size_t max_requests = 0;
+    std::atomic<std::size_t> served{0};
+};
+
+/// One client connection: a loop of SCORE requests until the client
+/// closes. Failures the client caused (malformed header, ragged rows)
+/// get an ERR reply and close the connection; failures on our side
+/// (fleet errors) get an ERR reply too — the daemon never dies for a
+/// request.
+void handle_client(util::unique_fd fd, serve_state& state) {
+    const std::string peer = "client";
+    util::line_reader reader(fd.get(), 120000, peer);
+    const std::string tag(exec::serve_protocol_tag);
+    try {
+        std::string line;
+        while (reader.read_line(line)) {
+            std::string reply;
+            bool fatal = false;
+            std::size_t rows = 0;
+            std::size_t cols = 0;
+            const std::string prefix = tag + " SCORE ";
+            if (line.rfind(prefix, 0) != 0) {
+                reply = tag + " ERR malformed request header\n";
+                fatal = true;
+            } else {
+                const std::string counts = line.substr(prefix.size());
+                const std::size_t space = counts.find(' ');
+                if (space == std::string::npos ||
+                    !parse_count(counts.substr(0, space).c_str(), rows) ||
+                    !parse_count(counts.substr(space + 1).c_str(),
+                                 cols) ||
+                    rows < 1 || rows > max_request_rows || cols < 1 ||
+                    cols > max_request_cols) {
+                    reply = tag + " ERR malformed request header\n";
+                    fatal = true;
+                }
+            }
+            std::vector<std::vector<double>> features;
+            if (!fatal) {
+                features.resize(rows);
+                for (std::size_t i = 0; i < rows && !fatal; ++i) {
+                    if (!reader.read_line(line) ||
+                        !parse_feature_row(line, cols, features[i])) {
+                        reply = tag + " ERR malformed feature row " +
+                                std::to_string(i) + "\n";
+                        fatal = true;
+                    }
+                }
+            }
+            if (!fatal) {
+                try {
+                    const core::quorum_detector detector(state.config);
+                    const core::score_report report =
+                        detector.score(data::dataset::from_rows(features));
+                    reply = tag + " OK " + std::to_string(rows) + "\n";
+                    for (const double score : report.scores) {
+                        reply += exec::serve_format_double(score);
+                        reply += '\n';
+                    }
+                } catch (const std::exception& error) {
+                    std::string what = error.what();
+                    for (char& c : what) {
+                        if (c == '\n' || c == '\r') {
+                            c = ' ';
+                        }
+                    }
+                    reply = tag + " ERR " + what + "\n";
+                    fatal = true;
+                }
+            }
+            util::send_all(fd.get(), reply.data(), reply.size(), 120000,
+                           peer);
+            state.served.fetch_add(1);
+            if (fatal) {
+                return; // cannot resync a byte stream after a bad request
+            }
+            if (state.max_requests != 0 &&
+                state.served.load() >= state.max_requests) {
+                return;
+            }
+        }
+    } catch (const std::exception& error) {
+        // The client vanished (mid-request or mid-reply). Its spans have
+        // already drained through the fleet; nobody else is affected.
+        std::fprintf(stderr,
+                     "quorum_serve: client connection ended: %s\n",
+                     error.what());
+    }
+}
+
+int run(const serve_options& options) {
+    // --- fleet ----------------------------------------------------------
+    const std::string inner =
+        options.backend == "auto"
+            ? (options.config.mode == core::exec_mode::noisy
+                   ? "density"
+                   : "statevector")
+            : options.backend;
+    exec::fleet_config fleet_config;
+    fleet_config.inner = inner;
+    fleet_config.engine = options.config.to_engine_config();
+    fleet_config.max_pending_spans = options.max_queue;
+    fleet_config.rejoin_attempts = options.rejoin_attempts;
+    auto fleet = std::make_shared<exec::worker_fleet>(fleet_config);
+    // The detector resolves backends by registry name, so the shared
+    // fleet is injected as the "fleet" backend; every request's detector
+    // multiplexes through it.
+    exec::register_backend("fleet",
+                           [fleet](const exec::engine_config&) {
+                               return std::make_unique<
+                                   exec::fleet_executor>(fleet);
+                           });
+
+    serve_state state;
+    state.config = options.config;
+    state.config.backend = "fleet";
+    state.max_requests = options.max_requests;
+    state.config.validate();
+
+    // --- workers --------------------------------------------------------
+    util::unique_fd registry = util::listen_tcp(
+        util::endpoint{options.host, options.registry_port});
+    const util::endpoint registry_at{options.host,
+                                     util::bound_port(registry.get())};
+    std::fprintf(stdout, "quorum_serve: registry on %s\n",
+                 registry_at.str().c_str());
+    const std::string worker_binary = exec::default_worker_binary();
+    for (std::size_t i = 0; i < options.workers; ++i) {
+        spawn_registry_worker(worker_binary, registry_at);
+    }
+    std::atomic<bool> stop{false};
+    std::thread registrar([&] {
+        std::size_t joined = 0;
+        while (!stop.load()) {
+            util::unique_fd conn;
+            try {
+                conn = util::accept_tcp(registry.get(), 200);
+            } catch (const std::exception& error) {
+                std::fprintf(stderr, "quorum_serve: registry: %s\n",
+                             error.what());
+                return;
+            }
+            if (!conn.valid()) {
+                continue; // poll tick: re-check stop
+            }
+            const std::string label =
+                "registered #" + std::to_string(++joined) + " via " +
+                registry_at.str();
+            fleet->add_lane(std::make_unique<exec::tcp_transport>(
+                                std::move(conn), label),
+                            label);
+            std::fprintf(stderr, "quorum_serve: %s joined the fleet\n",
+                         label.c_str());
+        }
+    });
+    for (const util::endpoint& worker : options.connect_workers) {
+        fleet->add_factory_lane(
+            [worker](std::size_t) -> std::unique_ptr<exec::wire_transport> {
+                return std::make_unique<exec::tcp_transport>(worker);
+            },
+            worker.str());
+    }
+    const std::size_t expected =
+        options.workers + options.connect_workers.size();
+    fleet->wait_for_lanes(expected, 15000);
+    std::fprintf(stdout, "quorum_serve: fleet of %zu workers ready\n",
+                 expected);
+
+    // --- clients --------------------------------------------------------
+    util::unique_fd listener =
+        util::listen_tcp(util::endpoint{options.host, options.port});
+    const util::endpoint serving_at{options.host,
+                                    util::bound_port(listener.get())};
+    std::fprintf(stdout,
+                 "quorum_serve: serving on %s (mode=%s backend=fleet:%s "
+                 "groups=%zu)\n",
+                 serving_at.str().c_str(),
+                 core::exec_mode_name(state.config.mode), inner.c_str(),
+                 state.config.ensemble_groups);
+    std::fflush(stdout);
+
+    std::vector<std::thread> handlers;
+    while (state.max_requests == 0 ||
+           state.served.load() < state.max_requests) {
+        util::unique_fd conn = util::accept_tcp(listener.get(), 200);
+        if (!conn.valid()) {
+            continue; // poll tick: re-check the request budget
+        }
+        handlers.emplace_back(
+            [fd = std::move(conn), &state]() mutable {
+                handle_client(std::move(fd), state);
+            });
+    }
+    for (std::thread& handler : handlers) {
+        handler.join();
+    }
+    stop.store(true);
+    registrar.join();
+    std::fprintf(stderr, "quorum_serve: served %zu requests, exiting\n",
+                 state.served.load());
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    serve_options options;
+    options.config.mode = core::exec_mode::sampled;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        auto next = [&]() -> const char* {
+            ++i;
+            return value;
+        };
+        bool ok = true;
+        if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        } else if (arg == "--port") {
+            ok = value != nullptr && parse_port(next(), options.port);
+        } else if (arg == "--host") {
+            ok = value != nullptr;
+            if (ok) {
+                options.host = next();
+            }
+        } else if (arg == "--registry-port") {
+            ok = value != nullptr &&
+                 parse_port(next(), options.registry_port);
+        } else if (arg == "--workers") {
+            ok = value != nullptr && parse_count(next(), options.workers);
+        } else if (arg == "--connect-worker") {
+            ok = value != nullptr;
+            if (ok) {
+                try {
+                    options.connect_workers.push_back(
+                        quorum::util::parse_endpoint(next()));
+                } catch (const quorum::util::contract_error& error) {
+                    std::fprintf(stderr, "quorum_serve: %s\n",
+                                 error.what());
+                    return 2;
+                }
+            }
+        } else if (arg == "--backend") {
+            ok = value != nullptr;
+            if (ok) {
+                options.backend = next();
+            }
+        } else if (arg == "--mode") {
+            ok = value != nullptr &&
+                 parse_mode(next(), options.config.mode);
+        } else if (arg == "--groups") {
+            ok = value != nullptr &&
+                 parse_count(next(), options.config.ensemble_groups);
+        } else if (arg == "--shots") {
+            ok = value != nullptr &&
+                 parse_count(next(), options.config.shots);
+        } else if (arg == "--qubits") {
+            ok = value != nullptr &&
+                 parse_count(next(), options.config.n_qubits);
+        } else if (arg == "--rate") {
+            ok = value != nullptr &&
+                 parse_real(next(),
+                            options.config.estimated_anomaly_rate);
+        } else if (arg == "--bucket-prob") {
+            ok = value != nullptr &&
+                 parse_real(next(), options.config.bucket_probability);
+        } else if (arg == "--threads") {
+            ok = value != nullptr &&
+                 parse_count(next(), options.config.threads);
+        } else if (arg == "--seed") {
+            std::size_t seed = 0;
+            ok = value != nullptr && parse_count(next(), seed);
+            options.config.seed = seed;
+        } else if (arg == "--max-queue") {
+            ok = value != nullptr &&
+                 parse_count(next(), options.max_queue);
+        } else if (arg == "--rejoin-attempts") {
+            std::size_t attempts = 0;
+            ok = value != nullptr && parse_count(next(), attempts);
+            options.rejoin_attempts = static_cast<int>(attempts);
+        } else if (arg == "--max-requests") {
+            ok = value != nullptr &&
+                 parse_count(next(), options.max_requests);
+        } else {
+            std::fprintf(stderr, "quorum_serve: unknown option %s\n",
+                         arg.c_str());
+            print_usage();
+            return 2;
+        }
+        if (!ok) {
+            std::fprintf(stderr, "quorum_serve: bad value for %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (options.backend != "auto" &&
+        (options.backend.find(':') != std::string::npos ||
+         options.backend == "sharded" || options.backend == "remote" ||
+         options.backend == "fleet")) {
+        std::fprintf(stderr,
+                     "quorum_serve: --backend must be a plain engine "
+                     "name (the fleet does the distribution)\n");
+        return 2;
+    }
+    if (options.workers + options.connect_workers.size() == 0) {
+        std::fprintf(stderr,
+                     "quorum_serve: a fleet needs at least one worker "
+                     "(--workers or --connect-worker)\n");
+        return 2;
+    }
+    // Dead clients surface as write errors, not SIGPIPE; dead worker
+    // children reap themselves.
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGCHLD, SIG_IGN);
+    try {
+        return run(options);
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "quorum_serve: %s\n", error.what());
+        return 1;
+    }
+}

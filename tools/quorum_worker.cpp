@@ -1,38 +1,52 @@
 // quorum_worker — remote execution worker for the "remote:<inner>"
-// backend.
+// backend and the quorum_serve worker fleet.
 //
 // Speaks the binary wire protocol (src/exec/serialise.h, documented in
-// docs/ARCHITECTURE.md) over stdin/stdout: length-prefixed frames carrying
-// hello / run_span / run_levels_span / shutdown requests. It is spawned by
-// exec::process_transport — one worker per remote lane — and exits when
-// its channel reaches EOF or a shutdown message arrives. Not meant to be
-// run interactively; see `quorum_worker --help`.
+// docs/ARCHITECTURE.md): length-prefixed frames carrying hello / run_span
+// / run_levels_span / shutdown requests, in one of three channel modes:
 //
-// All logging goes to stderr: stdout is the protocol channel.
+//   * default: stdin/stdout — spawned by exec::process_transport, one
+//     worker per remote lane; exits on EOF or a shutdown message;
+//   * --listen [host:]port — a persistent TCP worker: accepts any number
+//     of connections (concurrently), serves each with its own protocol
+//     session, and goes back to accepting when a client disconnects. The
+//     worker outlives every client;
+//   * --connect host:port — dials a coordinator (quorum_serve's registry)
+//     and serves that channel; with --retry N it re-dials after a
+//     disconnect, which is how a restarted/orphaned worker REJOINS a
+//     fleet. A shutdown message always exits cleanly, retries or not.
+//
+// All logging goes to stderr: stdout carries the protocol (stdio mode) or
+// the one "listening on host:port" line (--listen; port 0 binds an
+// ephemeral port, and scripts parse that line to learn it).
 #include <cerrno>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
 
 #include "exec/remote_backend.h"
 #include "exec/serialise.h"
+#include "util/contracts.h"
+#include "util/net.h"
 
 namespace {
 
 using quorum::exec::wire::max_message_bytes;
 
-/// Reads exactly `size` bytes from fd 0. Returns false on clean EOF at a
+/// Reads exactly `size` bytes from `fd`. Returns false on clean EOF at a
 /// frame boundary; a short read mid-frame is a protocol error (the client
 /// died mid-send) and also ends the loop.
-bool read_exact(std::uint8_t* data, std::size_t size, bool& mid_frame) {
+bool read_exact(int fd, std::uint8_t* data, std::size_t size,
+                bool& mid_frame) {
     std::size_t received = 0;
     while (received < size) {
-        const ssize_t n =
-            ::read(STDIN_FILENO, data + received, size - received);
+        const ssize_t n = ::read(fd, data + received, size - received);
         if (n < 0 && errno == EINTR) {
             continue; // a signal is not the client dying
         }
@@ -45,11 +59,10 @@ bool read_exact(std::uint8_t* data, std::size_t size, bool& mid_frame) {
     return true;
 }
 
-bool write_exact(const std::uint8_t* data, std::size_t size) {
+bool write_exact(int fd, const std::uint8_t* data, std::size_t size) {
     std::size_t sent = 0;
     while (sent < size) {
-        const ssize_t n =
-            ::write(STDOUT_FILENO, data + sent, size - sent);
+        const ssize_t n = ::write(fd, data + sent, size - sent);
         if (n < 0 && errno == EINTR) {
             continue;
         }
@@ -61,23 +74,167 @@ bool write_exact(const std::uint8_t* data, std::size_t size) {
     return true;
 }
 
+enum class channel_outcome {
+    clean_eof, ///< the client closed the channel between frames
+    shutdown,  ///< the client sent a shutdown message
+    error,     ///< mid-frame death, oversized frame, or a failed write
+};
+
+/// One protocol session over a byte channel: frame loop + worker_session.
+/// Every channel gets a fresh session, so no program-cache or engine
+/// state ever crosses connections.
+channel_outcome serve_channel(int in_fd, int out_fd) {
+    quorum::exec::worker_session session;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        std::uint8_t header[4];
+        bool mid_frame = false;
+        if (!read_exact(in_fd, header, sizeof(header), mid_frame)) {
+            if (mid_frame) {
+                std::fprintf(stderr,
+                             "quorum_worker: client died mid-frame\n");
+                return channel_outcome::error;
+            }
+            return channel_outcome::clean_eof;
+        }
+        std::uint32_t size = 0;
+        for (int shift = 0; shift < 32; shift += 8) {
+            size |= static_cast<std::uint32_t>(header[shift / 8]) << shift;
+        }
+        if (size > max_message_bytes) {
+            std::fprintf(stderr, "quorum_worker: oversized frame (%u)\n",
+                         size);
+            return channel_outcome::error;
+        }
+        payload.resize(size);
+        if (!read_exact(in_fd, payload.data(), payload.size(), mid_frame)) {
+            std::fprintf(stderr, "quorum_worker: client died mid-frame\n");
+            return channel_outcome::error;
+        }
+        const std::vector<std::uint8_t> reply = session.handle(payload);
+        if (session.shutdown_requested()) {
+            return channel_outcome::shutdown;
+        }
+        std::uint8_t reply_header[4];
+        const auto reply_size = static_cast<std::uint32_t>(reply.size());
+        for (int shift = 0; shift < 32; shift += 8) {
+            reply_header[shift / 8] =
+                static_cast<std::uint8_t>(reply_size >> shift);
+        }
+        if (!write_exact(out_fd, reply_header, sizeof(reply_header)) ||
+            !write_exact(out_fd, reply.data(), reply.size())) {
+            std::fprintf(stderr,
+                         "quorum_worker: client closed the channel\n");
+            return channel_outcome::error;
+        }
+    }
+}
+
 void print_usage() {
     std::fprintf(
         stderr,
         "quorum_worker — remote execution worker (protocol version %u)\n"
         "\n"
-        "Speaks the Quorum wire protocol over stdin/stdout; spawned by\n"
-        "the remote:<backend> execution engine (quorum_cli --backend\n"
-        "remote:statevector), one process per worker lane. Not an\n"
-        "interactive tool.\n",
+        "Speaks the Quorum wire protocol; spawned by the remote:<backend>\n"
+        "execution engine or run as a TCP fleet worker. Not an\n"
+        "interactive tool.\n"
+        "\n"
+        "  (no flags)            serve the protocol on stdin/stdout\n"
+        "  --listen [host:]port  serve any number of TCP clients\n"
+        "                        (port 0 = ephemeral; the bound address\n"
+        "                        is printed to stdout)\n"
+        "  --connect host:port   dial a coordinator (quorum_serve\n"
+        "                        registry) and serve that channel\n"
+        "  --retry N             with --connect: re-dial up to N times\n"
+        "                        after a failed connect or a disconnect\n"
+        "                        (rejoin); default 0\n"
+        "  --retry-delay-ms D    pause between re-dials (default 200)\n"
+        "  --version             print the protocol version\n",
         quorum::exec::wire::protocol_version);
+}
+
+int run_stdio() {
+    if (::isatty(STDIN_FILENO) != 0) {
+        print_usage();
+        return 2;
+    }
+    switch (serve_channel(STDIN_FILENO, STDOUT_FILENO)) {
+    case channel_outcome::clean_eof:
+    case channel_outcome::shutdown:
+        return 0;
+    case channel_outcome::error:
+        return 1;
+    }
+    return 1;
+}
+
+int run_listen(const quorum::util::endpoint& where) {
+    quorum::util::unique_fd listener = quorum::util::listen_tcp(where);
+    const quorum::util::endpoint bound{where.host,
+                                       quorum::util::bound_port(
+                                           listener.get())};
+    std::fprintf(stdout, "quorum_worker: listening on %s\n",
+                 bound.str().c_str());
+    std::fflush(stdout);
+    for (;;) {
+        quorum::util::unique_fd conn =
+            quorum::util::accept_tcp(listener.get(), -1);
+        if (!conn.valid()) {
+            continue;
+        }
+        // One session per connection, concurrently: a fleet may open
+        // several lanes to one worker, and a stuck client must not
+        // starve the rest. The worker runs until killed, so these
+        // threads are fire-and-forget.
+        std::thread([fd = conn.release()] {
+            serve_channel(fd, fd);
+            ::close(fd);
+        }).detach();
+    }
+}
+
+int run_connect(const quorum::util::endpoint& where, int retries,
+                int retry_delay_ms) {
+    for (;;) {
+        quorum::util::unique_fd conn;
+        try {
+            conn = quorum::util::connect_tcp(where, 5000);
+        } catch (const quorum::util::net_error& error) {
+            std::fprintf(stderr, "quorum_worker: %s\n", error.what());
+            if (retries-- > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(retry_delay_ms));
+                continue;
+            }
+            return 1;
+        }
+        const channel_outcome outcome = serve_channel(conn.get(),
+                                                      conn.get());
+        if (outcome == channel_outcome::shutdown) {
+            return 0; // the coordinator dismissed us; do not rejoin
+        }
+        conn.reset();
+        if (retries-- > 0) {
+            // Rejoin: the coordinator (or the network) dropped us; a
+            // fresh dial re-registers this worker with the fleet.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(retry_delay_ms));
+            continue;
+        }
+        return outcome == channel_outcome::clean_eof ? 0 : 1;
+    }
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
+    std::string listen_arg;
+    std::string connect_arg;
+    int retries = 0;
+    int retry_delay_ms = 200;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
         if (arg == "--help" || arg == "-h") {
             print_usage();
             return 0;
@@ -87,61 +244,60 @@ int main(int argc, char** argv) {
                          quorum::exec::wire::protocol_version);
             return 0;
         }
+        if (arg == "--listen" && value != nullptr) {
+            listen_arg = value;
+            ++i;
+            continue;
+        }
+        if (arg == "--connect" && value != nullptr) {
+            connect_arg = value;
+            ++i;
+            continue;
+        }
+        if (arg == "--retry" && value != nullptr) {
+            retries = std::atoi(value);
+            ++i;
+            continue;
+        }
+        if (arg == "--retry-delay-ms" && value != nullptr) {
+            retry_delay_ms = std::atoi(value);
+            ++i;
+            continue;
+        }
         std::fprintf(stderr, "quorum_worker: unknown option %s\n",
                      arg.c_str());
         print_usage();
         return 2;
     }
-    if (::isatty(STDIN_FILENO) != 0) {
-        print_usage();
+    if (!listen_arg.empty() && !connect_arg.empty()) {
+        std::fprintf(stderr,
+                     "quorum_worker: --listen and --connect are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+    if (retries < 0 || retry_delay_ms < 0) {
+        std::fprintf(stderr,
+                     "quorum_worker: retry parameters must be "
+                     "non-negative\n");
         return 2;
     }
     // A client that dies mid-reply must surface as a write error, not
     // kill the worker with SIGPIPE.
     std::signal(SIGPIPE, SIG_IGN);
-
-    quorum::exec::worker_session session;
-    std::vector<std::uint8_t> payload;
-    for (;;) {
-        std::uint8_t header[4];
-        bool mid_frame = false;
-        if (!read_exact(header, sizeof(header), mid_frame)) {
-            if (mid_frame) {
-                std::fprintf(stderr,
-                             "quorum_worker: client died mid-frame\n");
-                return 1;
-            }
-            return 0; // clean EOF: the client closed the channel
+    try {
+        if (!listen_arg.empty()) {
+            return run_listen(quorum::util::parse_endpoint(listen_arg));
         }
-        std::uint32_t size = 0;
-        for (int shift = 0; shift < 32; shift += 8) {
-            size |= static_cast<std::uint32_t>(header[shift / 8]) << shift;
+        if (!connect_arg.empty()) {
+            return run_connect(quorum::util::parse_endpoint(connect_arg),
+                               retries, retry_delay_ms);
         }
-        if (size > max_message_bytes) {
-            std::fprintf(stderr, "quorum_worker: oversized frame (%u)\n",
-                         size);
-            return 1;
-        }
-        payload.resize(size);
-        if (!read_exact(payload.data(), payload.size(), mid_frame)) {
-            std::fprintf(stderr, "quorum_worker: client died mid-frame\n");
-            return 1;
-        }
-        const std::vector<std::uint8_t> reply = session.handle(payload);
-        if (session.shutdown_requested()) {
-            return 0;
-        }
-        std::uint8_t reply_header[4];
-        const auto reply_size = static_cast<std::uint32_t>(reply.size());
-        for (int shift = 0; shift < 32; shift += 8) {
-            reply_header[shift / 8] =
-                static_cast<std::uint8_t>(reply_size >> shift);
-        }
-        if (!write_exact(reply_header, sizeof(reply_header)) ||
-            !write_exact(reply.data(), reply.size())) {
-            std::fprintf(stderr,
-                         "quorum_worker: client closed the channel\n");
-            return 1;
-        }
+    } catch (const quorum::util::contract_error& error) {
+        std::fprintf(stderr, "quorum_worker: %s\n", error.what());
+        return 2; // malformed endpoint: bad invocation, not a runtime loss
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "quorum_worker: %s\n", error.what());
+        return 1;
     }
+    return run_stdio();
 }
