@@ -34,6 +34,11 @@ inline std::size_t scaled_groups(std::size_t base) {
     return std::max<std::size_t>(2, scaled);
 }
 
+/// True when the extended (n = 10 / n = 12, related-work sized) bench
+/// rows should be registered: QUORUM_BENCH_SCALE >= 2. Default runs (and
+/// CI) stay at the fast n <= 7 rows.
+inline bool bench_extended_sizes() { return bench_scale() >= 2.0; }
+
 /// The master seed shared by all benches (dataset generation + detector).
 inline constexpr std::uint64_t bench_seed = 2025;
 

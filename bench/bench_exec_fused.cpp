@@ -97,28 +97,49 @@ void bm_group_sampled_fused(benchmark::State& state) {
 BENCHMARK(bm_group_sampled_fused)->Arg(5)->Unit(benchmark::kMillisecond);
 
 /// Engine-level fixture: the whole flagship dataset as one batch, the
-/// register-A level family at n_qubits = range(0).
+/// register-A level family at n_qubits = range(0). At the related-work
+/// sizes (n >= 10) the flagship dataset has too few features, so the
+/// fixture switches to synthetic 1/M-normalised feature vectors over a
+/// 64-sample batch, and caps the family at levels {1, 2} (every extra
+/// level doubles the reset branch count).
 struct batch_fixture {
     std::vector<std::vector<double>> amplitudes;
     std::vector<exec::sample> batch;
     std::vector<exec::program> family;
 
     explicit batch_fixture(std::size_t n_qubits) {
-        const data::dataset& d = flagship_normalized();
         util::rng gen(util::derive_seed(bench::bench_seed, 0));
-        const auto features = data::select_features(
-            d.num_features(), qml::max_features(n_qubits), gen);
         const qml::ansatz_params params =
             qml::random_ansatz_params(n_qubits, 2, gen);
-        amplitudes.resize(d.num_samples());
-        batch.resize(d.num_samples());
-        for (std::size_t i = 0; i < d.num_samples(); ++i) {
-            const std::vector<double> selected =
-                data::gather_features(d.row(i), features);
-            amplitudes[i] = qml::to_amplitudes(selected, n_qubits);
-            batch[i].amplitudes = amplitudes[i];
+        const bool big = n_qubits >= 10;
+        if (big) {
+            const std::size_t samples = 64;
+            amplitudes.resize(samples);
+            batch.resize(samples);
+            for (std::size_t i = 0; i < samples; ++i) {
+                std::vector<double> features(qml::max_features(n_qubits));
+                for (double& f : features) {
+                    f = gen.uniform() /
+                        static_cast<double>(features.size());
+                }
+                amplitudes[i] = qml::to_amplitudes(features, n_qubits);
+                batch[i].amplitudes = amplitudes[i];
+            }
+        } else {
+            const data::dataset& d = flagship_normalized();
+            const auto features = data::select_features(
+                d.num_features(), qml::max_features(n_qubits), gen);
+            amplitudes.resize(d.num_samples());
+            batch.resize(d.num_samples());
+            for (std::size_t i = 0; i < d.num_samples(); ++i) {
+                const std::vector<double> selected =
+                    data::gather_features(d.row(i), features);
+                amplitudes[i] = qml::to_amplitudes(selected, n_qubits);
+                batch[i].amplitudes = amplitudes[i];
+            }
         }
-        for (std::size_t level = 1; level < n_qubits; ++level) {
+        const std::size_t max_level = big ? 3 : n_qubits;
+        for (std::size_t level = 1; level < max_level; ++level) {
             exec::program program;
             program.circuit = qsim::compiled_program::compile(
                 qml::autoencoder_reg_a_template(params, level));
@@ -127,6 +148,14 @@ struct batch_fixture {
         }
     }
 };
+
+/// Adds the related-work sized rows (n = 10, 12) when
+/// QUORUM_BENCH_SCALE >= 2 — see bench_common.h.
+void extended_sizes(benchmark::internal::Benchmark* b) {
+    if (bench::bench_extended_sizes()) {
+        b->Arg(10)->Arg(12);
+    }
+}
 
 void bm_batch_levels_per_level(benchmark::State& state) {
     const batch_fixture fixture(static_cast<std::size_t>(state.range(0)));
@@ -149,7 +178,7 @@ void bm_batch_levels_per_level(benchmark::State& state) {
                                   fixture.family.size()));
 }
 BENCHMARK(bm_batch_levels_per_level)->Arg(3)->Arg(5)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->Apply(extended_sizes);
 
 void bm_batch_levels_fused(benchmark::State& state) {
     const batch_fixture fixture(static_cast<std::size_t>(state.range(0)));
@@ -166,7 +195,7 @@ void bm_batch_levels_fused(benchmark::State& state) {
                                   fixture.family.size()));
 }
 BENCHMARK(bm_batch_levels_fused)->Arg(3)->Arg(5)
-    ->Unit(benchmark::kMillisecond);
+    ->Unit(benchmark::kMillisecond)->Apply(extended_sizes);
 
 } // namespace
 

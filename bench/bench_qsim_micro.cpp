@@ -4,10 +4,13 @@
 // the full 7-qubit Quorum circuit, and transpilation.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "qml/amplitude_encoding.h"
 #include "qml/ansatz.h"
 #include "qml/autoencoder.h"
+#include "qsim/bit_ops.h"
 #include "qsim/density_runner.h"
+#include "qsim/kernels.h"
 #include "qsim/statevector_runner.h"
 #include "qsim/transpile.h"
 #include "util/rng.h"
@@ -16,6 +19,14 @@ namespace {
 
 using namespace quorum;
 using namespace quorum::qsim;
+
+/// Adds the related-work sized rows (n = 10, 12) when
+/// QUORUM_BENCH_SCALE >= 2 — see bench_common.h.
+void extended_sizes(benchmark::internal::Benchmark* b) {
+    if (bench::bench_extended_sizes()) {
+        b->Arg(10)->Arg(12);
+    }
+}
 
 void bm_statevector_1q_gate(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
@@ -51,6 +62,74 @@ void bm_statevector_cswap(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_statevector_cswap);
+
+// ---- kernel-layer benches: scalar reference vs the dispatched ISA ----
+// Both apply the same bounded unitary in place, so amplitudes stay finite
+// across iterations (no denormal/NaN timing artefacts).
+
+void run_kernel_1q_bench(benchmark::State& state, kernels::isa which) {
+    if (which == kernels::isa::avx2 &&
+        (!kernels::avx2_compiled() || !kernels::avx2_supported())) {
+        state.SkipWithError("AVX2 kernels unavailable on this build/host");
+        return;
+    }
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<amp> data(std::size_t{1} << n);
+    data[0] = 1.0;
+    const double theta[] = {0.7};
+    const util::cmatrix u = gate_matrix(gate_kind::rx, theta);
+    const auto q = static_cast<qubit_t>(n / 2);
+    for (auto _ : state) {
+        kernels::apply_1q(data.data(), n, u.data().data(), q, which);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(data.size()));
+}
+
+void bm_kernel_1q_scalar(benchmark::State& state) {
+    run_kernel_1q_bench(state, kernels::isa::scalar);
+}
+BENCHMARK(bm_kernel_1q_scalar)->Arg(3)->Arg(7)->Apply(extended_sizes);
+
+void bm_kernel_1q_simd(benchmark::State& state) {
+    run_kernel_1q_bench(state, kernels::active_isa());
+}
+BENCHMARK(bm_kernel_1q_simd)->Arg(3)->Arg(7)->Apply(extended_sizes);
+
+void run_kernel_block4_bench(benchmark::State& state, kernels::isa which) {
+    if (which == kernels::isa::avx2 &&
+        (!kernels::avx2_compiled() || !kernels::avx2_supported())) {
+        state.SkipWithError("AVX2 kernels unavailable on this build/host");
+        return;
+    }
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<amp> data(std::size_t{1} << n);
+    data[0] = 1.0;
+    // A strided qubit pair — the fused 4x4 block shape PR 2's fusion
+    // emits for the autoencoder families.
+    const std::vector<qubit_t> qubits = {1, static_cast<qubit_t>(n - 1)};
+    const std::vector<std::size_t> offsets = make_offsets(qubits);
+    const util::cmatrix u = gate_matrix(gate_kind::cx, {});
+    std::vector<amp> scratch(4);
+    for (auto _ : state) {
+        kernels::apply_block(data.data(), n, u.data().data(), qubits,
+                             offsets, scratch.data(), which);
+        benchmark::DoNotOptimize(data.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(data.size()));
+}
+
+void bm_kernel_block4_scalar(benchmark::State& state) {
+    run_kernel_block4_bench(state, kernels::isa::scalar);
+}
+BENCHMARK(bm_kernel_block4_scalar)->Arg(3)->Arg(7)->Apply(extended_sizes);
+
+void bm_kernel_block4_simd(benchmark::State& state) {
+    run_kernel_block4_bench(state, kernels::active_isa());
+}
+BENCHMARK(bm_kernel_block4_simd)->Arg(3)->Arg(7)->Apply(extended_sizes);
 
 void bm_state_prep_synthesis(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

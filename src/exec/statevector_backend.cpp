@@ -1,7 +1,6 @@
 #include "exec/statevector_backend.h"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
 #include "qml/observables.h"
@@ -35,6 +34,7 @@ struct replay_buffers {
     std::vector<qsim::branch> work;
     std::vector<qsim::branch> spare;
     std::vector<amp> scratch;
+    qsim::statevector chi; ///< D†|psi> buffer (prep-overlap shortcut)
 };
 
 /// Retires a mixture into the spare pool (keeping every branch's buffer
@@ -66,10 +66,51 @@ qsim::branch make_branch(std::vector<qsim::branch>& spare, double weight,
     return slot;
 }
 
+/// A branch shell drawn from the spare pool (empty when the pool is dry):
+/// its statevector is re-initialised by the caller via assign_zero_state,
+/// which reuses the retired amplitude buffer.
+qsim::branch take_branch(std::vector<qsim::branch>& spare) {
+    if (spare.empty()) {
+        return qsim::branch{1.0, statevector()};
+    }
+    qsim::branch slot = std::move(spare.back());
+    spare.pop_back();
+    return slot;
+}
+
+/// Copies a mixture into `dst`, drawing every destination branch's storage
+/// from the spare pool — bit-identical to `dst = src` but allocation-free
+/// once the pool is warm (plain vector copy-assignment would destroy
+/// excess slots when shrinking and copy-construct fresh 2^n buffers when
+/// growing).
+void copy_mixture(const std::vector<qsim::branch>& src,
+                  std::vector<qsim::branch>& dst,
+                  std::vector<qsim::branch>& spare) {
+    recycle_branches(dst, spare);
+    dst.reserve(src.size());
+    for (const qsim::branch& b : src) {
+        dst.push_back(make_branch(spare, b.weight, b.state));
+    }
+}
+
+/// Largest dense block (2^k amplitudes) any suffix op applies — the
+/// scratch size the prepared kernels need. The overlap tail's adjoint ops
+/// are drawn from the suffix, so this bound covers them too.
+std::size_t max_dense_block(const compiled_program& prog) {
+    std::size_t max_block = 2;
+    for (const compiled_op& compiled : prog.suffix()) {
+        max_block = std::max(max_block, compiled.matrix.rows());
+    }
+    return max_block;
+}
+
 /// Applies one unfused suffix op to a state — the same kernels (and hence
 /// the same floating-point results) statevector::apply_gate dispatches to,
-/// minus the per-call validation and gate-matrix construction.
-void apply_compiled_op(statevector& state, const compiled_op& compiled) {
+/// minus the per-call validation, gate-matrix construction and operand
+/// metadata recomputation (precomputed at compile time). `scratch` must
+/// hold max_dense_block(prog) amplitudes.
+void apply_compiled_op(statevector& state, const compiled_op& compiled,
+                       std::span<amp> scratch) {
     const operation& op = compiled.op;
     switch (op.gate) {
     case gate_kind::id:
@@ -84,7 +125,8 @@ void apply_compiled_op(statevector& state, const compiled_op& compiled) {
     if (op.qubits.size() == 1) {
         state.apply_1q(compiled.matrix, op.qubits[0]);
     } else {
-        state.apply_matrix(compiled.matrix, op.qubits);
+        state.apply_matrix_prepared(compiled.matrix, compiled.sorted_qubits,
+                                    compiled.offsets, scratch);
     }
 }
 
@@ -118,16 +160,20 @@ void split_on_reset(std::vector<qsim::branch>& branches,
     branches.swap(next);
 }
 
-/// Prepares one sample's initial pure state: |0..0>, prep slots filled
-/// with the sample amplitudes, parameterized prefix applied.
-statevector prepare_state(const compiled_program& prog, const sample& s,
-                          replay_buffers& buffers) {
-    statevector state(prog.num_qubits());
+/// Prepares one sample's initial pure state into `state` (reusing its
+/// buffer): |0..0>, prep slots filled with the sample amplitudes,
+/// parameterized prefix applied. Bit-identical to constructing a fresh
+/// statevector, but allocation-free once `state` has warm capacity.
+void prepare_state_into(const compiled_program& prog, const sample& s,
+                        replay_buffers& buffers, statevector& state) {
+    state.assign_zero_state(prog.num_qubits());
     if (!prog.slots().empty()) {
         buffers.slot_amplitudes.assign(s.amplitudes.begin(),
                                        s.amplitudes.end());
         for (const qsim::prep_slot& slot : prog.slots()) {
-            state.initialize_register(slot.qubits, buffers.slot_amplitudes);
+            state.initialize_register_prepared(buffers.slot_amplitudes,
+                                               slot.register_mask,
+                                               slot.offsets);
         }
     }
     std::size_t cursor = 0;
@@ -137,7 +183,17 @@ statevector prepare_state(const compiled_program& prog, const sample& s,
                          s.prefix_params.subspan(cursor, count));
         cursor += count;
     }
-    return state;
+}
+
+/// Seeds a one-branch mixture with a sample's prepared state, drawing the
+/// branch's storage from the spare pool.
+void seed_mixture(const compiled_program& prog, const sample& s,
+                  replay_buffers& buffers) {
+    recycle_branches(buffers.branches, buffers.spare);
+    qsim::branch root = take_branch(buffers.spare);
+    root.weight = 1.0;
+    prepare_state_into(prog, s, buffers, root.state);
+    buffers.branches.push_back(std::move(root));
 }
 
 /// Evolves a branch mixture through suffix ops [first, last) of `prog` —
@@ -147,20 +203,22 @@ statevector prepare_state(const compiled_program& prog, const sample& s,
 void apply_suffix_ops(const compiled_program& prog,
                       std::vector<qsim::branch>& branches,
                       std::vector<qsim::branch>& next,
-                      std::vector<qsim::branch>& spare, std::size_t first,
-                      std::size_t last) {
+                      std::vector<qsim::branch>& spare, std::span<amp> scratch,
+                      std::size_t first, std::size_t last) {
     for (std::size_t index = first; index < last; ++index) {
         const compiled_op& compiled = prog.suffix()[index];
         const operation& op = compiled.op;
         switch (op.kind) {
         case op_kind::gate:
             for (qsim::branch& b : branches) {
-                apply_compiled_op(b.state, compiled);
+                apply_compiled_op(b.state, compiled, scratch);
             }
             break;
         case op_kind::initialize:
             for (qsim::branch& b : branches) {
-                b.state.initialize_register(op.qubits, op.init_amplitudes);
+                b.state.initialize_register_prepared(op.init_amplitudes,
+                                                     compiled.register_mask,
+                                                     compiled.offsets);
             }
             break;
         case op_kind::reset:
@@ -177,11 +235,9 @@ void apply_suffix_ops(const compiled_program& prog,
 /// Exact replay of suffix ops [0, body_end) from a fresh prepared state.
 void replay_exact(const compiled_program& prog, const sample& s,
                   replay_buffers& buffers, std::size_t body_end) {
-    recycle_branches(buffers.branches, buffers.spare);
-    buffers.branches.push_back(
-        qsim::branch{1.0, prepare_state(prog, s, buffers)});
+    seed_mixture(prog, s, buffers);
     apply_suffix_ops(prog, buffers.branches, buffers.next_branches,
-                     buffers.spare, 0, body_end);
+                     buffers.spare, buffers.scratch, 0, body_end);
 }
 
 /// SWAP-test short-circuit for prep-overlap programs. The suffix splits at
@@ -217,19 +273,16 @@ overlap_tail make_overlap_tail(const compiled_program& prog) {
     return tail;
 }
 
-/// D†|psi>: the sample's own prep amplitudes evolved through the adjoint
-/// tail.
-statevector reference_through_tail(const overlap_tail& tail,
-                                   const sample& s) {
-    std::vector<amp> reference(s.amplitudes.size());
-    for (std::size_t i = 0; i < reference.size(); ++i) {
-        reference[i] = s.amplitudes[i];
-    }
-    statevector chi = statevector::from_amplitudes(std::move(reference));
+/// D†|psi> into buffers.chi: the sample's own prep amplitudes evolved
+/// through the adjoint tail. Same normalisation validation as
+/// from_amplitudes, but reusing the chi and slot-amplitude buffers.
+void reference_through_tail(const overlap_tail& tail, const sample& s,
+                            replay_buffers& buffers) {
+    buffers.slot_amplitudes.assign(s.amplitudes.begin(), s.amplitudes.end());
+    buffers.chi.assign_amplitudes(buffers.slot_amplitudes);
     for (const compiled_op& compiled : tail.adjoint_ops) {
-        apply_compiled_op(chi, compiled);
+        apply_compiled_op(buffers.chi, compiled, buffers.scratch);
     }
-    return chi;
 }
 
 /// SWAP-test P(1) over the pre-decoder mixture:
@@ -403,13 +456,13 @@ void statevector_backend::run_batch(const program& prog,
         check_probability_readout(prog.readout, config_.sampling_mode);
         const program_plan plan = make_plan(prog);
         replay_buffers buffers;
+        buffers.scratch.resize(max_dense_block(prog.circuit));
         for (std::size_t i = 0; i < samples.size(); ++i) {
             replay_exact(prog.circuit, samples[i], buffers, plan.body_end);
             double p_one = 0.0;
             if (plan.shortcut) {
-                const statevector chi =
-                    reference_through_tail(plan.tail, samples[i]);
-                p_one = overlap_p1(chi, buffers.branches);
+                reference_through_tail(plan.tail, samples[i], buffers);
+                p_one = overlap_p1(buffers.chi, buffers.branches);
             } else {
                 p_one = read_out(prog.readout, prog.circuit,
                                  buffers.branches);
@@ -454,8 +507,9 @@ void statevector_backend::run_batch(const program& prog,
                        "per-shot readout cbit out of range");
 
     statevector work(std::max<std::size_t>(prog.circuit.num_qubits(), 1));
+    statevector base;
     for (std::size_t i = 0; i < samples.size(); ++i) {
-        statevector base = prepare_state(prog.circuit, samples[i], buffers);
+        prepare_state_into(prog.circuit, samples[i], buffers, base);
         for (std::size_t k = 0; k < head_end; ++k) {
             apply_fused_unitary(base, fused[k], buffers.scratch);
         }
@@ -534,18 +588,20 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
     }
 
     replay_buffers buffers;
+    std::size_t scratch_size = 2;
+    for (const program& level : levels) {
+        scratch_size = std::max(scratch_size, max_dense_block(level.circuit));
+    }
+    buffers.scratch.resize(scratch_size);
     for (std::size_t i = 0; i < samples.size(); ++i) {
         const sample& s = samples[i];
         // The trunk mixture holds the ops every remaining level still
         // shares; each level forks off it (or reads it directly when its
         // whole body is shared, as in nested reset families).
-        recycle_branches(buffers.branches, buffers.spare);
-        buffers.branches.push_back(
-            qsim::branch{1.0, prepare_state(levels[0].circuit, s, buffers)});
+        seed_mixture(levels[0].circuit, s, buffers);
         std::size_t trunk_pos = 0;
-        std::optional<statevector> chi;
         if (shared_tail) {
-            chi = reference_through_tail(plans[0].tail, s);
+            reference_through_tail(plans[0].tail, s, buffers);
         }
         for (std::size_t k = 0; k < count; ++k) {
             const program& level = levels[k];
@@ -555,27 +611,29 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
                 if (target > trunk_pos) {
                     apply_suffix_ops(level.circuit, buffers.branches,
                                      buffers.next_branches, buffers.spare,
-                                     trunk_pos, target);
+                                     buffers.scratch, trunk_pos, target);
                     trunk_pos = target;
                 }
             }
             const std::vector<qsim::branch>* final_branches =
                 &buffers.branches;
             if (trunk_pos < plans[k].body_end) {
-                // Vector copy-assignment reuses the slots (and their
-                // amplitude buffers) a previous level's fork left behind.
-                buffers.work = buffers.branches;
+                // The fork copy draws its storage from the spare pool —
+                // the slots (and their amplitude buffers) previous
+                // levels' forks left behind.
+                copy_mixture(buffers.branches, buffers.work, buffers.spare);
                 apply_suffix_ops(level.circuit, buffers.work,
                                  buffers.next_branches, buffers.spare,
-                                 trunk_pos, plans[k].body_end);
+                                 buffers.scratch, trunk_pos,
+                                 plans[k].body_end);
                 final_branches = &buffers.work;
             }
             double p_one = 0.0;
             if (plans[k].shortcut) {
                 if (!shared_tail) {
-                    chi = reference_through_tail(plans[k].tail, s);
+                    reference_through_tail(plans[k].tail, s, buffers);
                 }
-                p_one = overlap_p1(*chi, *final_branches);
+                p_one = overlap_p1(buffers.chi, *final_branches);
             } else {
                 p_one =
                     read_out(level.readout, level.circuit, *final_branches);
@@ -593,12 +651,10 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
                 // possible for non-nested level orderings): rebuild it
                 // along the next level's ops — bit-identical to a fresh
                 // per-level replay, just without the sharing.
-                recycle_branches(buffers.branches, buffers.spare);
-                buffers.branches.push_back(qsim::branch{
-                    1.0, prepare_state(levels[k + 1].circuit, s, buffers)});
+                seed_mixture(levels[k + 1].circuit, s, buffers);
                 apply_suffix_ops(levels[k + 1].circuit, buffers.branches,
-                                 buffers.next_branches, buffers.spare, 0,
-                                 fork[k + 1]);
+                                 buffers.next_branches, buffers.spare,
+                                 buffers.scratch, 0, fork[k + 1]);
                 trunk_pos = fork[k + 1];
             }
         }

@@ -224,7 +224,11 @@ compiled_program compiled_program::compile(const circuit& c,
         if (op.kind != op_kind::initialize) {
             break;
         }
-        program.slots_.push_back(prep_slot{op.qubits});
+        prep_slot slot;
+        slot.qubits = op.qubits;
+        slot.register_mask = make_mask(op.qubits);
+        slot.offsets = make_offsets(op.qubits);
+        program.slots_.push_back(std::move(slot));
         ++cursor;
     }
 
@@ -266,10 +270,24 @@ compiled_program compiled_program::compile(const circuit& c,
         switch (op.kind) {
         case op_kind::gate:
             // id/x/cx have allocation-free engine fast paths; everything
-            // else replays through its precomputed dense matrix.
+            // else replays through its precomputed dense matrix. Multi-
+            // qubit dense gates additionally get the prepared-kernel
+            // operand metadata (validated here, once, instead of per
+            // sample in apply_matrix).
             if (op.gate != gate_kind::id && op.gate != gate_kind::x &&
                 op.gate != gate_kind::cx) {
                 compiled.matrix = gate_matrix(op.gate, op.params);
+                if (op.qubits.size() > 1) {
+                    compiled.sorted_qubits = op.qubits;
+                    std::sort(compiled.sorted_qubits.begin(),
+                              compiled.sorted_qubits.end());
+                    QUORUM_EXPECTS_MSG(
+                        std::adjacent_find(compiled.sorted_qubits.begin(),
+                                           compiled.sorted_qubits.end()) ==
+                            compiled.sorted_qubits.end(),
+                        "matrix operands must be distinct");
+                    compiled.offsets = make_offsets(op.qubits);
+                }
             }
             break;
         case op_kind::measure:
@@ -278,6 +296,8 @@ compiled_program compiled_program::compile(const circuit& c,
             break;
         case op_kind::initialize:
             suffix_has_initialize = true;
+            compiled.register_mask = make_mask(op.qubits);
+            compiled.offsets = make_offsets(op.qubits);
             break;
         case op_kind::reset:
             break;

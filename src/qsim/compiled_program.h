@@ -37,18 +37,30 @@ namespace quorum::qsim {
 
 /// A per-sample state-preparation slot: at run time, every slot receives
 /// the sample's amplitude vector (all slots in a program share it, which
-/// matches Quorum's "reference copy" circuit layout).
+/// matches Quorum's "reference copy" circuit layout). `register_mask` /
+/// `offsets` are the initialize_register metadata (make_mask/make_offsets
+/// over the slot qubits), precomputed so per-sample state prep is
+/// allocation-free (statevector::initialize_register_prepared).
 struct prep_slot {
     std::vector<qubit_t> qubits;
+    std::size_t register_mask = 0;
+    std::vector<std::size_t> offsets;
 };
 
 /// One suffix op in original (unfused) form. `matrix` is the precomputed
 /// gate matrix for gates that the state-vector engine applies via a dense
 /// kernel; it is empty for id/x/cx (which have allocation-free fast paths)
-/// and for non-gate ops.
+/// and for non-gate ops. For multi-qubit dense gates, `sorted_qubits` /
+/// `offsets` are the apply_matrix_prepared kernel metadata; for suffix
+/// initialize ops, `register_mask` / `offsets` are the
+/// initialize_register_prepared metadata. All derived deterministically
+/// from `op`, so replays_identically needs no new fields.
 struct compiled_op {
     operation op;
     util::cmatrix matrix;
+    std::vector<qubit_t> sorted_qubits;
+    std::vector<std::size_t> offsets;
+    std::size_t register_mask = 0;
 };
 
 /// One fused suffix op: either a dense unitary over 1-3 qubits (the merge

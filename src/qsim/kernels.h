@@ -1,0 +1,80 @@
+// Vectorised state-vector apply kernels behind runtime CPU dispatch.
+//
+// The scalar kernels are THE bit-exactness reference: they reproduce,
+// operation for operation, the arithmetic the statevector engine has
+// always used (two complex multiplies, then one complex add, per output
+// amplitude; sequential column accumulation for dense blocks). The AVX2
+// kernels vectorise ACROSS independent amplitude groups — every lane
+// performs exactly the scalar operation sequence on its own amplitude,
+// with no FMA contraction and no reassociation — so both ISAs produce
+// IEEE-identical doubles for every input. tests/qsim/test_kernels.cpp
+// pins that equivalence bit for bit across n = 1..12; the golden-fixture
+// suites pin it end to end.
+//
+// Dispatch rule: the AVX2 path is taken when it was compiled in
+// (x86-64 + GCC/Clang), the CPU reports AVX2, and QUORUM_DISABLE_AVX2 is
+// not set in the environment. The decision is made once (first use) and
+// cached; set the variable before the process starts to force the
+// portable path.
+#ifndef QUORUM_QSIM_KERNELS_H
+#define QUORUM_QSIM_KERNELS_H
+
+#include <cstddef>
+#include <span>
+
+#include "qsim/types.h"
+
+namespace quorum::qsim::kernels {
+
+/// Instruction sets a kernel can be asked to run on. `scalar` is always
+/// available and is the semantics reference.
+enum class isa { scalar, avx2 };
+
+/// The ISA the dispatching overloads use. Detected once, then cached.
+[[nodiscard]] isa active_isa() noexcept;
+
+/// Uncached detection (re-reads QUORUM_DISABLE_AVX2) — for tests of the
+/// dispatch rule; hot paths use active_isa().
+[[nodiscard]] isa detect_isa() noexcept;
+
+/// True when the AVX2 translation unit was compiled into this build.
+[[nodiscard]] bool avx2_compiled() noexcept;
+
+/// True when the host CPU reports AVX2 + FMA (ignores the env override
+/// and whether the kernels were compiled in).
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// Applies the row-major 2x2 matrix u to qubit `q` of a 2^n_qubits
+/// amplitude array: for every pair (i, i + 2^q),
+///   data[i]        = u[0]*a + u[1]*b
+///   data[i + 2^q]  = u[2]*a + u[3]*b.
+void apply_1q(amp* data, std::size_t n_qubits, const amp* u, qubit_t q,
+              isa which);
+void apply_1q(amp* data, std::size_t n_qubits, const amp* u, qubit_t q);
+
+/// Applies a dense 2^k x 2^k row-major matrix over prepared operand
+/// metadata: `sorted` is the ascending operand list, `offsets` comes
+/// from make_offsets over the operands in matrix order, and `scratch`
+/// must hold at least 2^k amplitudes (used by the scalar path; the AVX2
+/// path keeps its working set in registers / on the stack). Groups are
+/// independent, so any group order is bit-identical; within a group the
+/// scalar column-accumulation order is preserved exactly.
+void apply_block(amp* data, std::size_t n_qubits, const amp* u,
+                 std::span<const qubit_t> sorted,
+                 std::span<const std::size_t> offsets, amp* scratch,
+                 isa which);
+void apply_block(amp* data, std::size_t n_qubits, const amp* u,
+                 std::span<const qubit_t> sorted,
+                 std::span<const std::size_t> offsets, amp* scratch);
+
+/// Projection kernel backing statevector::collapse: amplitudes whose bit
+/// `q` equals `outcome` are multiplied by `scale` (re and im separately,
+/// as complex *= double always has); the rest are set to +0.0.
+void collapse(amp* data, std::size_t n_qubits, qubit_t q, bool outcome,
+              double scale, isa which);
+void collapse(amp* data, std::size_t n_qubits, qubit_t q, bool outcome,
+              double scale);
+
+} // namespace quorum::qsim::kernels
+
+#endif // QUORUM_QSIM_KERNELS_H

@@ -1,0 +1,199 @@
+// AVX2 apply kernels. Compiled with -mavx2 -mfma -ffp-contract=off and
+// linked only when the build enables QUORUM_HAVE_AVX2_KERNELS; callers
+// must check CPU support at runtime (kernels::active_isa) before
+// entering.
+//
+// Bit-exactness strategy: vectorise ACROSS independent amplitude groups
+// (two groups per 256-bit vector, one complex amplitude per 128-bit
+// lane half) so that every amplitude experiences exactly the scalar
+// operation sequence — multiply, multiply, addsub for a complex product
+// (one rounding each, matching (a*c - b*d, a*d + b*c)), then plain adds
+// in scalar accumulation order. No FMA instructions are emitted in
+// these kernels and -ffp-contract=off keeps the compiler from
+// introducing any: the results are IEEE-identical to the scalar
+// reference, which tests/qsim/test_kernels.cpp pins bit for bit.
+#include "qsim/kernels_detail.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include "qsim/bit_ops.h"
+
+namespace quorum::qsim::kernels::detail {
+
+namespace {
+
+/// Complex product u * x for two independent complex amplitudes packed
+/// as [x0.re, x0.im, x1.re, x1.im], with u broadcast as (u_re, u_im).
+/// Per lane pair this computes exactly
+///   re = (x.re * u.re) - (x.im * u.im)
+///   im = (x.im * u.re) + (x.re * u.im)
+/// — the same three roundings, in the same order, as the scalar
+/// std::complex product (multiplication operands commuted, which IEEE
+/// multiplication keeps bit-identical).
+inline __m256d cmul(__m256d u_re, __m256d u_im, __m256d x) {
+    const __m256d t1 = _mm256_mul_pd(x, u_re);
+    const __m256d xs = _mm256_permute_pd(x, 0b0101);
+    const __m256d t2 = _mm256_mul_pd(xs, u_im);
+    return _mm256_addsub_pd(t1, t2);
+}
+
+struct bcast {
+    __m256d re;
+    __m256d im;
+};
+
+inline bcast broadcast(const amp* entry) {
+    const double* parts = reinterpret_cast<const double*>(entry);
+    return {_mm256_broadcast_sd(parts), _mm256_broadcast_sd(parts + 1)};
+}
+
+/// Vector-path ceiling for dense blocks: 2^4 x 2^4. Larger blocks (not
+/// produced by fusion; only by exotic direct apply_matrix calls) fall
+/// back to the scalar reference.
+constexpr std::size_t max_vector_block_qubits = 4;
+
+} // namespace
+
+void apply_1q_avx2(amp* data, std::size_t dim, const amp* u, qubit_t q) {
+    if (dim < 4) {
+        apply_1q_scalar(data, dim, u, q);
+        return;
+    }
+    double* p = reinterpret_cast<double*>(data);
+    const bcast u00 = broadcast(u + 0);
+    const bcast u01 = broadcast(u + 1);
+    const bcast u10 = broadcast(u + 2);
+    const bcast u11 = broadcast(u + 3);
+    const std::size_t step = std::size_t{1} << q;
+    if (q == 0) {
+        // Pairs are adjacent complex values: gather two pairs per
+        // iteration and split them into an a-vector and a b-vector.
+        for (std::size_t i = 0; i < dim; i += 4) {
+            const __m256d v0 = _mm256_loadu_pd(p + 2 * i);
+            const __m256d v1 = _mm256_loadu_pd(p + 2 * i + 4);
+            const __m256d a = _mm256_permute2f128_pd(v0, v1, 0x20);
+            const __m256d b = _mm256_permute2f128_pd(v0, v1, 0x31);
+            const __m256d na =
+                _mm256_add_pd(cmul(u00.re, u00.im, a), cmul(u01.re, u01.im, b));
+            const __m256d nb =
+                _mm256_add_pd(cmul(u10.re, u10.im, a), cmul(u11.re, u11.im, b));
+            _mm256_storeu_pd(p + 2 * i, _mm256_permute2f128_pd(na, nb, 0x20));
+            _mm256_storeu_pd(p + 2 * i + 4,
+                             _mm256_permute2f128_pd(na, nb, 0x31));
+        }
+        return;
+    }
+    // step >= 2: the a-run [block, block + step) and the b-run shifted by
+    // `step` are both contiguous, so two amplitude pairs load directly.
+    for (std::size_t block = 0; block < dim; block += 2 * step) {
+        for (std::size_t i = block; i < block + step; i += 2) {
+            double* pa = p + 2 * i;
+            double* pb = p + 2 * (i + step);
+            const __m256d a = _mm256_loadu_pd(pa);
+            const __m256d b = _mm256_loadu_pd(pb);
+            const __m256d na =
+                _mm256_add_pd(cmul(u00.re, u00.im, a), cmul(u01.re, u01.im, b));
+            const __m256d nb =
+                _mm256_add_pd(cmul(u10.re, u10.im, a), cmul(u11.re, u11.im, b));
+            _mm256_storeu_pd(pa, na);
+            _mm256_storeu_pd(pb, nb);
+        }
+    }
+}
+
+void apply_block_avx2(amp* data, std::size_t dim, const amp* u,
+                      std::span<const qubit_t> sorted,
+                      std::span<const std::size_t> offsets, amp* scratch) {
+    const std::size_t k = sorted.size();
+    const std::size_t groups = dim >> k;
+    if (k < 2 || k > max_vector_block_qubits || groups < 2) {
+        apply_block_scalar(data, dim, u, sorted, offsets, scratch);
+        return;
+    }
+    const std::size_t block = std::size_t{1} << k;
+    // Two groups per iteration: groups g (even) and g+1 differ only in
+    // bit 0 of the group index, which expand_index maps onto the lowest
+    // qubit position NOT occupied by an operand. Both groups' element j
+    // therefore sit `delta` complex values apart, for every j.
+    std::size_t lowest_free = 0;
+    for (const qubit_t q : sorted) {
+        if (q != lowest_free) {
+            break;
+        }
+        ++lowest_free;
+    }
+    const std::size_t delta = std::size_t{1} << lowest_free;
+    double* p = reinterpret_cast<double*>(data);
+    __m256d s[std::size_t{1} << max_vector_block_qubits];
+    for (std::size_t g = 0; g < groups; g += 2) {
+        const std::size_t base = expand_index(g, sorted);
+        for (std::size_t j = 0; j < block; ++j) {
+            double* lo = p + 2 * (base + offsets[j]);
+            if (delta == 1) {
+                s[j] = _mm256_loadu_pd(lo);
+            } else {
+                s[j] = _mm256_set_m128d(_mm_loadu_pd(lo + 2 * delta),
+                                        _mm_loadu_pd(lo));
+            }
+        }
+        for (std::size_t row = 0; row < block; ++row) {
+            __m256d acc = _mm256_setzero_pd();
+            const amp* u_row = u + row * block;
+            for (std::size_t col = 0; col < block; ++col) {
+                const bcast e = broadcast(u_row + col);
+                acc = _mm256_add_pd(acc, cmul(e.re, e.im, s[col]));
+            }
+            double* lo = p + 2 * (base + offsets[row]);
+            if (delta == 1) {
+                _mm256_storeu_pd(lo, acc);
+            } else {
+                _mm_storeu_pd(lo, _mm256_castpd256_pd128(acc));
+                _mm_storeu_pd(lo + 2 * delta, _mm256_extractf128_pd(acc, 1));
+            }
+        }
+    }
+}
+
+void collapse_avx2(amp* data, std::size_t dim, qubit_t q, bool outcome,
+                   double scale) {
+    if (dim < 4) {
+        collapse_scalar(data, dim, q, outcome, scale);
+        return;
+    }
+    double* p = reinterpret_cast<double*>(data);
+    const __m256d vs = _mm256_set1_pd(scale);
+    const __m256d vz = _mm256_setzero_pd();
+    if (q == 0) {
+        // Complex values alternate kept/zeroed: blend per 2-amplitude
+        // vector. Zeroed amplitudes are ASSIGNED +0.0 (not multiplied),
+        // exactly like the scalar reference.
+        for (std::size_t i = 0; i < dim; i += 2) {
+            const __m256d v = _mm256_loadu_pd(p + 2 * i);
+            const __m256d scaled = _mm256_mul_pd(v, vs);
+            const __m256d out = outcome ? _mm256_blend_pd(scaled, vz, 0b0011)
+                                        : _mm256_blend_pd(scaled, vz, 0b1100);
+            _mm256_storeu_pd(p + 2 * i, out);
+        }
+        return;
+    }
+    // Runs of 2^q complex values share the bit: scale one run, zero the
+    // other. q >= 1 makes every run a whole number of 256-bit vectors.
+    const std::size_t step = std::size_t{1} << q;
+    for (std::size_t block = 0; block < dim; block += 2 * step) {
+        const std::size_t zero_run = outcome ? block : block + step;
+        const std::size_t scale_run = outcome ? block + step : block;
+        for (std::size_t i = 0; i < step; i += 2) {
+            _mm256_storeu_pd(p + 2 * (zero_run + i), vz);
+        }
+        for (std::size_t i = 0; i < step; i += 2) {
+            double* pi = p + 2 * (scale_run + i);
+            _mm256_storeu_pd(pi, _mm256_mul_pd(_mm256_loadu_pd(pi), vs));
+        }
+    }
+}
+
+} // namespace quorum::qsim::kernels::detail
+
+#endif // __AVX2__ && __FMA__

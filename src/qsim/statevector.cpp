@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "qsim/bit_ops.h"
+#include "qsim/kernels.h"
 #include "util/contracts.h"
 
 namespace quorum::qsim {
@@ -18,6 +19,14 @@ std::size_t log2_exact(std::size_t n) {
         ++bits;
     }
     return bits;
+}
+
+double norm_of(std::span<const amp> amplitudes) {
+    double norm = 0.0;
+    for (const amp& a : amplitudes) {
+        norm += std::norm(a);
+    }
+    return norm;
 }
 
 } // namespace
@@ -41,15 +50,28 @@ statevector statevector::basis_state(std::size_t num_qubits,
 statevector statevector::from_amplitudes(std::vector<amp> amplitudes) {
     QUORUM_EXPECTS_MSG(is_power_of_two(amplitudes.size()),
                        "amplitude count must be a power of two");
-    double norm = 0.0;
-    for (const amp& a : amplitudes) {
-        norm += std::norm(a);
-    }
-    QUORUM_EXPECTS_MSG(std::abs(norm - 1.0) < 1e-9,
+    QUORUM_EXPECTS_MSG(std::abs(norm_of(amplitudes) - 1.0) < 1e-9,
                        "amplitudes must be normalised");
     statevector state(log2_exact(amplitudes.size()));
     state.data_ = std::move(amplitudes);
     return state;
+}
+
+void statevector::assign_zero_state(std::size_t num_qubits) {
+    QUORUM_EXPECTS_MSG(num_qubits >= 1 && num_qubits <= 30,
+                       "statevector qubit count out of range");
+    num_qubits_ = num_qubits;
+    data_.assign(std::size_t{1} << num_qubits, amp{});
+    data_[0] = 1.0;
+}
+
+void statevector::assign_amplitudes(std::span<const amp> amplitudes) {
+    QUORUM_EXPECTS_MSG(is_power_of_two(amplitudes.size()),
+                       "amplitude count must be a power of two");
+    QUORUM_EXPECTS_MSG(std::abs(norm_of(amplitudes) - 1.0) < 1e-9,
+                       "amplitudes must be normalised");
+    num_qubits_ = log2_exact(amplitudes.size());
+    data_.assign(amplitudes.begin(), amplitudes.end());
 }
 
 void statevector::apply_gate(gate_kind kind, std::span<const qubit_t> qubits,
@@ -79,19 +101,7 @@ void statevector::apply_gate(gate_kind kind, std::span<const qubit_t> qubits,
 }
 
 void statevector::apply_1q(const util::cmatrix& u, qubit_t q) {
-    const amp u00 = u(0, 0);
-    const amp u01 = u(0, 1);
-    const amp u10 = u(1, 0);
-    const amp u11 = u(1, 1);
-    const std::size_t step = std::size_t{1} << q;
-    for (std::size_t block = 0; block < data_.size(); block += 2 * step) {
-        for (std::size_t i = block; i < block + step; ++i) {
-            const amp a = data_[i];
-            const amp b = data_[i + step];
-            data_[i] = u00 * a + u01 * b;
-            data_[i + step] = u10 * a + u11 * b;
-        }
-    }
+    kernels::apply_1q(data_.data(), num_qubits_, u.data().data(), q);
 }
 
 void statevector::apply_x(qubit_t q) {
@@ -133,44 +143,16 @@ void statevector::apply_matrix(const util::cmatrix& u,
     const std::vector<std::size_t> offsets = make_offsets(qubits);
 
     std::vector<amp> scratch(block);
-    const std::size_t groups = data_.size() >> k;
-    for (std::size_t g = 0; g < groups; ++g) {
-        const std::size_t base = expand_index(g, sorted);
-        for (std::size_t j = 0; j < block; ++j) {
-            scratch[j] = data_[base + offsets[j]];
-        }
-        for (std::size_t row = 0; row < block; ++row) {
-            amp sum{};
-            for (std::size_t col = 0; col < block; ++col) {
-                sum += u(row, col) * scratch[col];
-            }
-            data_[base + offsets[row]] = sum;
-        }
-    }
+    kernels::apply_block(data_.data(), num_qubits_, u.data().data(), sorted,
+                         offsets, scratch.data());
 }
 
 void statevector::apply_matrix_prepared(const util::cmatrix& u,
                                         std::span<const qubit_t> sorted,
                                         std::span<const std::size_t> offsets,
                                         std::span<amp> scratch) {
-    const std::size_t k = sorted.size();
-    const std::size_t block = std::size_t{1} << k;
-    const std::size_t groups = data_.size() >> k;
-    const std::vector<amp>& u_data = u.data(); // skip per-entry bounds checks
-    for (std::size_t g = 0; g < groups; ++g) {
-        const std::size_t base = expand_index(g, sorted);
-        for (std::size_t j = 0; j < block; ++j) {
-            scratch[j] = data_[base + offsets[j]];
-        }
-        for (std::size_t row = 0; row < block; ++row) {
-            amp sum{};
-            const amp* u_row = u_data.data() + row * block;
-            for (std::size_t col = 0; col < block; ++col) {
-                sum += u_row[col] * scratch[col];
-            }
-            data_[base + offsets[row]] = sum;
-        }
-    }
+    kernels::apply_block(data_.data(), num_qubits_, u.data().data(), sorted,
+                         offsets, scratch.data());
 }
 
 double statevector::probability_one(qubit_t q) const {
@@ -187,20 +169,12 @@ double statevector::probability_one(qubit_t q) const {
 
 void statevector::collapse(qubit_t q, bool outcome) {
     QUORUM_EXPECTS(q < num_qubits_);
-    const std::size_t mask = std::size_t{1} << q;
     const double p_one = probability_one(q);
     const double p = outcome ? p_one : 1.0 - p_one;
     QUORUM_EXPECTS_MSG(p > probability_epsilon,
                        "collapse onto a zero-probability outcome");
     const double scale = 1.0 / std::sqrt(p);
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-        const bool bit = (i & mask) != 0;
-        if (bit == outcome) {
-            data_[i] *= scale;
-        } else {
-            data_[i] = 0.0;
-        }
-    }
+    kernels::collapse(data_.data(), num_qubits_, q, outcome, scale);
 }
 
 bool statevector::measure_collapse(qubit_t q, util::rng& gen) {
@@ -272,6 +246,12 @@ void statevector::initialize_register(std::span<const qubit_t> qubits,
         }
     }
     const std::vector<std::size_t> offsets = make_offsets(qubits);
+    initialize_register_prepared(amplitudes, register_mask, offsets);
+}
+
+void statevector::initialize_register_prepared(
+    std::span<const amp> amplitudes, std::size_t register_mask,
+    std::span<const std::size_t> offsets) {
     // Spread each base amplitude over the register's sub-states.
     for (std::size_t i = 0; i < data_.size(); ++i) {
         if ((i & register_mask) != 0) {

@@ -17,6 +17,11 @@ namespace quorum::qsim {
 /// State vector over `num_qubits` qubits, little-endian indexed.
 class statevector {
 public:
+    /// Empty shell (dim 0) — a reusable buffer awaiting
+    /// assign_zero_state / assign_amplitudes. Same semantics as a
+    /// moved-from statevector; no other member may be called on it.
+    statevector() = default;
+
     /// |0...0> over `num_qubits` qubits.
     explicit statevector(std::size_t num_qubits);
 
@@ -26,6 +31,16 @@ public:
     /// State with explicit amplitudes (size must be a power of two and
     /// normalised to 1 within 1e-9).
     static statevector from_amplitudes(std::vector<amp> amplitudes);
+
+    /// Re-initialises this object to |0...0> over `num_qubits` qubits,
+    /// reusing the existing amplitude buffer when capacity allows. The
+    /// allocation-free equivalent of assigning a fresh statevector.
+    void assign_zero_state(std::size_t num_qubits);
+
+    /// Re-initialises this object to the given amplitudes (same
+    /// validation as from_amplitudes), reusing the existing buffer when
+    /// capacity allows.
+    void assign_amplitudes(std::span<const amp> amplitudes);
 
     [[nodiscard]] std::size_t num_qubits() const noexcept {
         return num_qubits_;
@@ -93,11 +108,21 @@ public:
     void initialize_register(std::span<const qubit_t> qubits,
                              std::span<const amp> amplitudes);
 
+    /// Allocation-free initialize_register for compiled replay:
+    /// `register_mask` is make_mask(qubits) and `offsets` is
+    /// make_offsets(qubits), both precomputed at compile time. Skips
+    /// the per-call operand validation and the |0..0>-precondition
+    /// scan — the caller guarantees both (compiled prep slots always
+    /// target a fresh or freshly-reset register).
+    void initialize_register_prepared(std::span<const amp> amplitudes,
+                                      std::size_t register_mask,
+                                      std::span<const std::size_t> offsets);
+
 private:
     void apply_x(qubit_t q);
     void apply_cx(qubit_t control, qubit_t target);
 
-    std::size_t num_qubits_;
+    std::size_t num_qubits_ = 0;
     std::vector<amp> data_;
 };
 

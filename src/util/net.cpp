@@ -95,6 +95,19 @@ sockaddr_in make_sockaddr(const endpoint& where) {
     return address;
 }
 
+/// Every quorum protocol is request/response with small framed writes
+/// (4-byte length header, then payload): the classic write-write-read
+/// shape that Nagle + delayed ACK stretches into ~40 ms stalls per round
+/// trip. Disable Nagle on every TCP socket — measured on the serve bench
+/// this is the difference between ~350 ms and ~10 ms per request.
+void set_nodelay(int fd, const std::string& label) {
+    const int enable = 1;
+    if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable,
+                     sizeof(enable)) != 0) {
+        throw_errno(label + ": setsockopt TCP_NODELAY failed");
+    }
+}
+
 } // namespace
 
 endpoint parse_endpoint(const std::string& text) {
@@ -171,6 +184,7 @@ unique_fd connect_tcp(const endpoint& peer, int timeout_ms) {
         ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
         throw_errno(label + ": fcntl failed");
     }
+    set_nodelay(fd.get(), label);
     return fd;
 }
 
@@ -214,7 +228,9 @@ unique_fd accept_tcp(int listen_fd, int timeout_ms) {
         }
         const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd >= 0) {
-            return unique_fd(fd);
+            unique_fd accepted(fd);
+            set_nodelay(accepted.get(), "accepted connection");
+            return accepted;
         }
         if (errno == EINTR || errno == ECONNABORTED) {
             continue; // the connection died in the backlog; keep serving

@@ -1,0 +1,155 @@
+// Steady-state allocation pinning for the exact replay hot path. The
+// batch executors warm their buffers (branch arena, scratch, chi, slot
+// amplitudes) on the first sample and then replay every further sample
+// allocation-free — this suite pins that by counting global operator new
+// calls: a batch of 64 samples must allocate exactly as much as a batch
+// of 8, i.e. zero heap allocations per sample after warm-up.
+//
+// The operator new/delete replacements below are binary-wide, so they
+// count for every test in quorum_test_exec; they only bump an atomic and
+// delegate to malloc, which keeps the other suites (and sanitizer runs)
+// unaffected.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/statevector_backend.h"
+#include "qml/amplitude_encoding.h"
+#include "qml/ansatz.h"
+#include "qml/autoencoder.h"
+#include "qsim/compiled_program.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_new_calls{0};
+
+std::uint64_t new_calls() {
+    return g_new_calls.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void* operator new(std::size_t size) {
+    g_new_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size != 0 ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace quorum;
+
+/// Generic (all-branches-survive) samples for an n-qubit register-A
+/// program: every reset sees both outcomes with nonzero probability, so
+/// the branch structure — and therefore the steady-state buffer shapes —
+/// are identical for every sample.
+std::vector<std::vector<double>> generic_amplitudes(std::size_t n_qubits,
+                                                    std::size_t count,
+                                                    std::uint64_t seed) {
+    util::rng gen(seed);
+    std::vector<std::vector<double>> out(count);
+    for (auto& amps : out) {
+        std::vector<double> features((std::size_t{1} << n_qubits) - 1);
+        for (double& f : features) {
+            f = gen.uniform() / static_cast<double>(features.size());
+        }
+        amps = qml::to_amplitudes(features, n_qubits);
+    }
+    return out;
+}
+
+std::vector<exec::sample>
+make_samples(const std::vector<std::vector<double>>& amplitudes) {
+    std::vector<exec::sample> samples(amplitudes.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        samples[i].amplitudes = amplitudes[i];
+    }
+    return samples;
+}
+
+exec::program reg_a_program(const qml::ansatz_params& params,
+                            std::size_t level) {
+    exec::program program;
+    program.circuit = qsim::compiled_program::compile(
+        qml::autoencoder_reg_a_template(params, level));
+    program.readout.kind = exec::readout_kind::prep_overlap_p1;
+    return program;
+}
+
+TEST(alloc_hot_path, run_batch_exact_allocates_nothing_per_sample) {
+    const std::size_t n_qubits = 5;
+    util::rng gen(4242);
+    const qml::ansatz_params params =
+        qml::random_ansatz_params(n_qubits, 2, gen);
+    const exec::program program = reg_a_program(params, 2);
+    const auto amplitudes = generic_amplitudes(n_qubits, 64, 99);
+    const std::vector<exec::sample> samples = make_samples(amplitudes);
+    const exec::statevector_backend engine(
+        exec::engine_config{.sampling_mode = exec::sampling::exact});
+    std::vector<double> out(samples.size());
+
+    // Warm-up absorbs any lazy one-time initialisation (ISA detection,
+    // gtest internals touched on first use, ...).
+    engine.run_batch(program, std::span(samples).first(8),
+                     std::span(out).first(8));
+
+    const std::uint64_t before_small = new_calls();
+    engine.run_batch(program, std::span(samples).first(8),
+                     std::span(out).first(8));
+    const std::uint64_t small = new_calls() - before_small;
+
+    const std::uint64_t before_large = new_calls();
+    engine.run_batch(program, samples, out);
+    const std::uint64_t large = new_calls() - before_large;
+
+    // Identical totals for 8 and 64 samples: every allocation is per
+    // batch (buffers, plan), none per sample.
+    EXPECT_EQ(small, large) << "per-sample allocations crept back into the "
+                               "exact replay path";
+}
+
+TEST(alloc_hot_path, run_batch_levels_exact_allocates_nothing_per_sample) {
+    const std::size_t n_qubits = 5;
+    util::rng gen(4343);
+    const qml::ansatz_params params =
+        qml::random_ansatz_params(n_qubits, 2, gen);
+    std::vector<exec::program> family;
+    family.push_back(reg_a_program(params, 1));
+    family.push_back(reg_a_program(params, 2));
+    const auto amplitudes = generic_amplitudes(n_qubits, 64, 77);
+    const std::vector<exec::sample> samples = make_samples(amplitudes);
+    const exec::statevector_backend engine(
+        exec::engine_config{.sampling_mode = exec::sampling::exact});
+    std::vector<double> out(samples.size() * family.size());
+
+    engine.run_batch_levels(family, std::span(samples).first(8),
+                            std::span(out).first(8 * family.size()));
+
+    const std::uint64_t before_small = new_calls();
+    engine.run_batch_levels(family, std::span(samples).first(8),
+                            std::span(out).first(8 * family.size()));
+    const std::uint64_t small = new_calls() - before_small;
+
+    const std::uint64_t before_large = new_calls();
+    engine.run_batch_levels(family, samples, out);
+    const std::uint64_t large = new_calls() - before_large;
+
+    EXPECT_EQ(small, large) << "per-sample allocations crept back into the "
+                               "fused level replay path";
+}
+
+} // namespace
