@@ -17,18 +17,6 @@
 
 namespace quorum::core {
 
-namespace {
-
-/// Floor for bucket standard deviations: below this the run carries no
-/// signal and contributes zero deviation (avoids division blow-ups when a
-/// bucket's SWAP results are all identical).
-constexpr double sigma_floor = 1e-9;
-
-/// One compiled SWAP-test program per (group, level): the ansatz + SWAP
-/// suffix is shared by every sample, so build/validate/fuse it once and
-/// replay it per bucket through the executor. The register-A overlap
-/// shortcut is used only when both the config and the backend allow it;
-/// otherwise the full 2n+1-qubit SWAP-test circuit is compiled.
 exec::program
 make_level_program(const qml::ansatz_params& params, std::size_t level,
                    const quorum_config& config,
@@ -47,8 +35,6 @@ make_level_program(const qml::ansatz_params& params, std::size_t level,
     }
     return program;
 }
-
-} // namespace
 
 group_result run_ensemble_group(const data::dataset& normalized,
                                 const quorum_config& config,

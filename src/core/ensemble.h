@@ -11,8 +11,26 @@
 #include "core/config.h"
 #include "data/dataset.h"
 #include "exec/executor.h"
+#include "qml/ansatz.h"
 
 namespace quorum::core {
+
+/// Floor for bucket standard deviations: below this the run carries no
+/// signal and contributes zero deviation (avoids division blow-ups when a
+/// bucket's SWAP results are all identical). Shared by the batch path
+/// here and the streaming path (stream/bucket_stats.h) so both skip the
+/// same degenerate runs.
+inline constexpr double sigma_floor = 1e-9;
+
+/// One compiled SWAP-test program per (group, level): the ansatz + SWAP
+/// suffix is shared by every sample, so build/validate/fuse it once and
+/// replay it per bucket through the executor. The register-A overlap
+/// shortcut is used only when both the config and the backend allow it;
+/// otherwise the full 2n+1-qubit SWAP-test circuit is compiled.
+[[nodiscard]] exec::program
+make_level_program(const qml::ansatz_params& params, std::size_t level,
+                   const quorum_config& config,
+                   const exec::executor& engine);
 
 /// A single ensemble group's contribution to the anomaly scores.
 struct group_result {

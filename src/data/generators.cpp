@@ -71,6 +71,70 @@ dataset generate_clustered(const generator_spec& spec, util::rng& gen) {
     return d;
 }
 
+dataset generate_drifting_stream(const stream_spec& spec, util::rng& gen) {
+    const generator_spec& base = spec.base;
+    QUORUM_EXPECTS(base.samples > 0 && base.features > 0);
+    QUORUM_EXPECTS(base.anomalies < base.samples);
+    QUORUM_EXPECTS(base.clusters >= 1);
+    QUORUM_EXPECTS(base.anomaly_feature_fraction > 0.0 &&
+                   base.anomaly_feature_fraction <= 1.0);
+    QUORUM_EXPECTS(spec.drift_period > 0.0);
+
+    std::vector<std::vector<double>> centers(base.clusters);
+    for (auto& center : centers) {
+        center.resize(base.features);
+        for (double& value : center) {
+            value = 0.5 + gen.uniform(-base.center_spread, base.center_spread);
+        }
+    }
+
+    dataset d(base.samples, base.features);
+    d.set_name(base.name);
+    std::vector<int> labels(base.samples, 0);
+
+    // Anomalies are drawn PER ROW (Bernoulli at the target rate) rather
+    // than placed globally: every rng draw for row t depends only on rows
+    // <= t, so a longer stream emits the shorter one as its exact prefix —
+    // the property the streaming determinism contract is pinned to.
+    const double anomaly_rate = static_cast<double>(base.anomalies) /
+                                static_cast<double>(base.samples);
+    const std::size_t deviating =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(
+                                     base.anomaly_feature_fraction *
+                                     static_cast<double>(base.features))));
+    constexpr double two_pi = 6.283185307179586476925286766559;
+
+    for (std::size_t t = 0; t < base.samples; ++t) {
+        labels[t] = gen.bernoulli(anomaly_rate) ? 1 : 0;
+        const std::vector<double>& center =
+            centers[gen.uniform_index(base.clusters)];
+        const double cycle =
+            two_pi * static_cast<double>(t) / spec.drift_period;
+        for (std::size_t j = 0; j < base.features; ++j) {
+            // Per-feature phase: features drift out of step, the way
+            // coupled sensors do, instead of translating rigidly.
+            const double phase = two_pi * static_cast<double>(j) /
+                                 static_cast<double>(base.features);
+            const double drifted =
+                center[j] + spec.drift_amplitude * std::sin(cycle + phase);
+            d.at(t, j) =
+                clip_unit(drifted + gen.normal(0.0, base.cluster_spread));
+        }
+        if (labels[t] == 1) {
+            const double severity = gen.uniform(0.4, 1.0);
+            const std::vector<std::size_t> subset =
+                gen.sample_without_replacement(base.features, deviating);
+            for (const std::size_t j : subset) {
+                const double sign = gen.bernoulli(0.5) ? 1.0 : -1.0;
+                d.at(t, j) = clip_unit(d.at(t, j) +
+                                       sign * severity * base.anomaly_shift);
+            }
+        }
+    }
+    d.set_labels(std::move(labels));
+    return d;
+}
+
 dataset make_breast_cancer(util::rng& gen) {
     generator_spec spec;
     spec.name = "breast_cancer";

@@ -67,6 +67,29 @@ struct generator_spec {
 /// each feature's plausible range, exactly like the paper's injection.
 [[nodiscard]] dataset make_power_plant(util::rng& gen);
 
+/// Parameters of the time-ordered drifting-stream generator (the
+/// streaming workload's data source). The base spec supplies shape and
+/// anomaly structure; on top of it the cluster centres drift
+/// sinusoidally with stream position, so distributions move the way
+/// multivariate sensor streams do and periodic re-bucketing has real
+/// drift to adapt to.
+struct stream_spec {
+    generator_spec base;
+    /// Peak centre displacement over a drift cycle (feature units).
+    double drift_amplitude = 0.12;
+    /// Stream positions per full drift cycle.
+    double drift_period = 160.0;
+};
+
+/// Draws a TIME-ORDERED stream: row t is the sample arriving at stream
+/// position t. Cluster centres drift sinusoidally (per-feature phase)
+/// with t; anomalous rows additionally deviate exactly like
+/// generate_clustered's. Values lie in [0, 1]; labels mark anomalies.
+/// Deterministic in (spec, gen state) — the same prefix of rows is
+/// emitted for any requested length.
+[[nodiscard]] dataset generate_drifting_stream(const stream_spec& spec,
+                                               util::rng& gen);
+
 /// One evaluation dataset plus its paper-assigned bucket probability
 /// (Table I right-most column).
 struct benchmark_dataset {

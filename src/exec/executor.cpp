@@ -8,6 +8,35 @@
 
 namespace quorum::exec {
 
+namespace {
+
+/// The base session: no planning to hoist, so each run() is exactly one
+/// run_batch_levels call. Used by backends without a fused override and
+/// as the per_shot fallback of backends that have one.
+class replay_level_session final : public level_session {
+public:
+    replay_level_session(const executor& engine, std::vector<program> family)
+        : engine_(engine), family_(std::move(family)) {
+        QUORUM_EXPECTS_MSG(!family_.empty(),
+                           "a level session needs at least one program");
+    }
+
+    [[nodiscard]] std::span<const program> family() const noexcept override {
+        return family_;
+    }
+
+    void run(std::span<const sample> samples,
+             std::span<double> out) override {
+        engine_.run_batch_levels(family_, samples, out);
+    }
+
+private:
+    const executor& engine_;
+    std::vector<program> family_;
+};
+
+} // namespace
+
 std::size_t resolve_lane_count(std::size_t configured,
                                std::size_t max_lanes) noexcept {
     return std::min(configured == 0 ? util::default_thread_count()
@@ -54,6 +83,11 @@ void executor::run_batch_levels(std::span<const program> levels,
             out[i * levels.size() + k] = level_out[i];
         }
     }
+}
+
+std::unique_ptr<level_session>
+executor::make_level_session(std::vector<program> family) const {
+    return std::make_unique<replay_level_session>(*this, std::move(family));
 }
 
 void validate_batch(const program& prog, std::span<const sample> samples,

@@ -19,6 +19,7 @@
 #define QUORUM_EXEC_EXECUTOR_H
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -122,6 +123,37 @@ enum class capability {
     fused_levels,
 };
 
+/// A persistent evaluation session over one program family — the
+/// streaming-path analogue of run_batch_levels. Where run_batch_levels
+/// re-plans the family (replay plans, fork points, scratch sizing) and
+/// re-allocates its work buffers on every call, a session does that work
+/// ONCE at creation and keeps the buffers across run() calls, so pushing
+/// single-sample batches through it is allocation-free at steady state.
+///
+/// Results obey the run_batch_levels contract exactly: run() output is
+/// EQUAL (IEEE ==) to engine.run_batch_levels(family(), samples, out).
+/// Sessions are NOT thread-safe (they own mutable buffers) — create one
+/// per consumer; the engine that created a session must outlive it.
+class level_session {
+public:
+    virtual ~level_session() = default;
+
+    level_session(const level_session&) = delete;
+    level_session& operator=(const level_session&) = delete;
+
+    /// The program family this session replays, in level order.
+    [[nodiscard]] virtual std::span<const program>
+    family() const noexcept = 0;
+
+    /// Evaluates the family for every sample, sample-major:
+    /// out[i * family().size() + k] = readout of level k for sample i.
+    virtual void run(std::span<const sample> samples,
+                     std::span<double> out) = 0;
+
+protected:
+    level_session() = default;
+};
+
 /// Abstract execution engine. Implementations are registered with the
 /// backend registry (exec/registry.h) and selected by name.
 class executor {
@@ -174,6 +206,15 @@ public:
     virtual void run_batch_levels(std::span<const program> levels,
                                   std::span<const sample> samples,
                                   std::span<double> out) const;
+
+    /// Creates a persistent session over `family` (see level_session).
+    /// The base implementation simply replays run_batch_levels per call —
+    /// correct everywhere, amortised nowhere; backends with
+    /// capability::fused_levels override it to hoist planning and buffer
+    /// allocation out of the per-call path. The engine must outlive the
+    /// session.
+    [[nodiscard]] virtual std::unique_ptr<level_session>
+    make_level_session(std::vector<program> family) const;
 
 protected:
     executor() = default;

@@ -382,6 +382,161 @@ void apply_fused_unitary(statevector& state, const fused_op& op,
     }
 }
 
+/// Everything the fused multi-level path precomputes per FAMILY: one
+/// program_plan per level, fork points, the shared-decoder-tail flag and
+/// the scratch size. run_batch_levels builds one per call; a
+/// level_session builds one at creation and keeps it.
+struct family_plan {
+    std::vector<program_plan> plans;
+    /// fork[k] = number of leading suffix ops level k shares with level
+    /// k-1 (state prep + encoder + the nested reset prefix for Quorum
+    /// families), capped at both levels' branch-mixture bodies.
+    std::vector<std::size_t> fork;
+    /// One reference evolution D†|psi> serves every level when all levels
+    /// short-circuit through the same decoder tail (Quorum shares one θ
+    /// across compression levels).
+    bool shared_tail = false;
+    std::size_t scratch_size = 2;
+};
+
+family_plan plan_family(std::span<const program> levels, sampling mode) {
+    const std::size_t count = levels.size();
+    family_plan family;
+    family.plans.reserve(count);
+    for (const program& level : levels) {
+        check_probability_readout(level.readout, mode);
+        family.plans.push_back(make_plan(level));
+        family.scratch_size = std::max(family.scratch_size,
+                                       max_dense_block(level.circuit));
+    }
+    family.fork.assign(count, 0);
+    for (std::size_t k = 1; k < count; ++k) {
+        family.fork[k] =
+            std::min({qsim::shared_suffix_ops(levels[k - 1].circuit,
+                                              levels[k].circuit),
+                      family.plans[k - 1].body_end,
+                      family.plans[k].body_end});
+    }
+    family.shared_tail = std::all_of(
+        family.plans.begin(), family.plans.end(),
+        [](const program_plan& plan) { return plan.shortcut; });
+    for (std::size_t k = 1; family.shared_tail && k < count; ++k) {
+        const auto& a = family.plans[0].tail.adjoint_ops;
+        const auto& b = family.plans[k].tail.adjoint_ops;
+        family.shared_tail = a.size() == b.size();
+        for (std::size_t j = 0; family.shared_tail && j < a.size(); ++j) {
+            family.shared_tail = qsim::replays_identically(a[j], b[j]);
+        }
+    }
+    return family;
+}
+
+/// The fused exact/binomial family replay over a precomputed plan. The
+/// trunk mixture holds the ops every remaining level still shares; each
+/// level forks off it (or reads it directly when its whole body is
+/// shared, as in nested reset families). Bit-identical to per-level
+/// run_batch, and allocation-free across calls once `buffers` is warm —
+/// the property level_session exposes to the streaming scorer.
+void run_family_planned(const engine_config& config,
+                        std::span<const program> levels,
+                        const family_plan& family, replay_buffers& buffers,
+                        std::span<const sample> samples,
+                        std::span<double> out) {
+    const std::size_t count = levels.size();
+    buffers.scratch.resize(family.scratch_size); // no-op once warm
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const sample& s = samples[i];
+        seed_mixture(levels[0].circuit, s, buffers);
+        std::size_t trunk_pos = 0;
+        if (family.shared_tail) {
+            reference_through_tail(family.plans[0].tail, s, buffers);
+        }
+        for (std::size_t k = 0; k < count; ++k) {
+            const program& level = levels[k];
+            if (k + 1 < count) {
+                const std::size_t target =
+                    std::min(family.fork[k + 1], family.plans[k].body_end);
+                if (target > trunk_pos) {
+                    apply_suffix_ops(level.circuit, buffers.branches,
+                                     buffers.next_branches, buffers.spare,
+                                     buffers.scratch, trunk_pos, target);
+                    trunk_pos = target;
+                }
+            }
+            const std::vector<qsim::branch>* final_branches =
+                &buffers.branches;
+            if (trunk_pos < family.plans[k].body_end) {
+                // The fork copy draws its storage from the spare pool —
+                // the slots (and their amplitude buffers) previous
+                // levels' forks left behind.
+                copy_mixture(buffers.branches, buffers.work, buffers.spare);
+                apply_suffix_ops(level.circuit, buffers.work,
+                                 buffers.next_branches, buffers.spare,
+                                 buffers.scratch, trunk_pos,
+                                 family.plans[k].body_end);
+                final_branches = &buffers.work;
+            }
+            double p_one = 0.0;
+            if (family.plans[k].shortcut) {
+                if (!family.shared_tail) {
+                    reference_through_tail(family.plans[k].tail, s, buffers);
+                }
+                p_one = overlap_p1(buffers.chi, *final_branches);
+            } else {
+                p_one =
+                    read_out(level.readout, level.circuit, *final_branches);
+            }
+            if (config.sampling_mode == sampling::exact) {
+                out[i * count + k] = p_one;
+            } else {
+                out[i * count + k] =
+                    static_cast<double>(
+                        s.level_gens[k]->binomial(config.shots, p_one)) /
+                    static_cast<double>(config.shots);
+            }
+            if (k + 1 < count && trunk_pos > family.fork[k + 1]) {
+                // The trunk evolved past the next level's fork point (only
+                // possible for non-nested level orderings): rebuild it
+                // along the next level's ops — bit-identical to a fresh
+                // per-level replay, just without the sharing.
+                seed_mixture(levels[k + 1].circuit, s, buffers);
+                apply_suffix_ops(levels[k + 1].circuit, buffers.branches,
+                                 buffers.next_branches, buffers.spare,
+                                 buffers.scratch, 0, family.fork[k + 1]);
+                trunk_pos = family.fork[k + 1];
+            }
+        }
+    }
+}
+
+/// The statevector session: family plan computed once, replay buffers
+/// (branch arena, scratch, chi) persistent across run() calls — a
+/// single-sample push at steady state performs zero allocations.
+class statevector_level_session final : public level_session {
+public:
+    statevector_level_session(engine_config config,
+                              std::vector<program> family)
+        : config_(std::move(config)), family_(std::move(family)),
+          plan_(plan_family(family_, config_.sampling_mode)) {}
+
+    [[nodiscard]] std::span<const program> family() const noexcept override {
+        return family_;
+    }
+
+    void run(std::span<const sample> samples,
+             std::span<double> out) override {
+        validate_level_batch(family_, samples, out,
+                             config_.sampling_mode != sampling::exact);
+        run_family_planned(config_, family_, plan_, buffers_, samples, out);
+    }
+
+private:
+    engine_config config_;
+    std::vector<program> family_;
+    family_plan plan_;
+    replay_buffers buffers_;
+};
+
 } // namespace
 
 statevector_backend::statevector_backend(engine_config config)
@@ -554,111 +709,22 @@ void statevector_backend::run_batch_levels(std::span<const program> levels,
         executor::run_batch_levels(levels, samples, out);
         return;
     }
-
-    // Per-level structural plans + fork points: fork[k] is the number of
-    // leading suffix ops level k shares with level k-1 (state prep +
-    // encoder + the nested reset prefix for Quorum families), capped at
-    // both levels' branch-mixture bodies.
-    const std::size_t count = levels.size();
-    std::vector<program_plan> plans;
-    plans.reserve(count);
-    for (const program& level : levels) {
-        check_probability_readout(level.readout, config_.sampling_mode);
-        plans.push_back(make_plan(level));
-    }
-    std::vector<std::size_t> fork(count, 0);
-    for (std::size_t k = 1; k < count; ++k) {
-        fork[k] = std::min({qsim::shared_suffix_ops(levels[k - 1].circuit,
-                                                    levels[k].circuit),
-                            plans[k - 1].body_end, plans[k].body_end});
-    }
-    // One reference evolution D†|psi> serves every level when all levels
-    // short-circuit through the same decoder tail (Quorum shares one θ
-    // across compression levels).
-    bool shared_tail =
-        std::all_of(plans.begin(), plans.end(),
-                    [](const program_plan& plan) { return plan.shortcut; });
-    for (std::size_t k = 1; shared_tail && k < count; ++k) {
-        const auto& a = plans[0].tail.adjoint_ops;
-        const auto& b = plans[k].tail.adjoint_ops;
-        shared_tail = a.size() == b.size();
-        for (std::size_t j = 0; shared_tail && j < a.size(); ++j) {
-            shared_tail = qsim::replays_identically(a[j], b[j]);
-        }
-    }
-
+    const family_plan plan = plan_family(levels, config_.sampling_mode);
     replay_buffers buffers;
-    std::size_t scratch_size = 2;
-    for (const program& level : levels) {
-        scratch_size = std::max(scratch_size, max_dense_block(level.circuit));
+    run_family_planned(config_, levels, plan, buffers, samples, out);
+}
+
+std::unique_ptr<level_session>
+statevector_backend::make_level_session(std::vector<program> family) const {
+    QUORUM_EXPECTS_MSG(!family.empty(),
+                       "a level session needs at least one program");
+    if (config_.sampling_mode == sampling::per_shot) {
+        // No deterministic prefix to fuse per shot — the base replay
+        // session (naive per-level loop per call) is the honest contract.
+        return executor::make_level_session(std::move(family));
     }
-    buffers.scratch.resize(scratch_size);
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const sample& s = samples[i];
-        // The trunk mixture holds the ops every remaining level still
-        // shares; each level forks off it (or reads it directly when its
-        // whole body is shared, as in nested reset families).
-        seed_mixture(levels[0].circuit, s, buffers);
-        std::size_t trunk_pos = 0;
-        if (shared_tail) {
-            reference_through_tail(plans[0].tail, s, buffers);
-        }
-        for (std::size_t k = 0; k < count; ++k) {
-            const program& level = levels[k];
-            if (k + 1 < count) {
-                const std::size_t target =
-                    std::min(fork[k + 1], plans[k].body_end);
-                if (target > trunk_pos) {
-                    apply_suffix_ops(level.circuit, buffers.branches,
-                                     buffers.next_branches, buffers.spare,
-                                     buffers.scratch, trunk_pos, target);
-                    trunk_pos = target;
-                }
-            }
-            const std::vector<qsim::branch>* final_branches =
-                &buffers.branches;
-            if (trunk_pos < plans[k].body_end) {
-                // The fork copy draws its storage from the spare pool —
-                // the slots (and their amplitude buffers) previous
-                // levels' forks left behind.
-                copy_mixture(buffers.branches, buffers.work, buffers.spare);
-                apply_suffix_ops(level.circuit, buffers.work,
-                                 buffers.next_branches, buffers.spare,
-                                 buffers.scratch, trunk_pos,
-                                 plans[k].body_end);
-                final_branches = &buffers.work;
-            }
-            double p_one = 0.0;
-            if (plans[k].shortcut) {
-                if (!shared_tail) {
-                    reference_through_tail(plans[k].tail, s, buffers);
-                }
-                p_one = overlap_p1(buffers.chi, *final_branches);
-            } else {
-                p_one =
-                    read_out(level.readout, level.circuit, *final_branches);
-            }
-            if (config_.sampling_mode == sampling::exact) {
-                out[i * count + k] = p_one;
-            } else {
-                out[i * count + k] =
-                    static_cast<double>(
-                        s.level_gens[k]->binomial(config_.shots, p_one)) /
-                    static_cast<double>(config_.shots);
-            }
-            if (k + 1 < count && trunk_pos > fork[k + 1]) {
-                // The trunk evolved past the next level's fork point (only
-                // possible for non-nested level orderings): rebuild it
-                // along the next level's ops — bit-identical to a fresh
-                // per-level replay, just without the sharing.
-                seed_mixture(levels[k + 1].circuit, s, buffers);
-                apply_suffix_ops(levels[k + 1].circuit, buffers.branches,
-                                 buffers.next_branches, buffers.spare,
-                                 buffers.scratch, 0, fork[k + 1]);
-                trunk_pos = fork[k + 1];
-            }
-        }
-    }
+    return std::make_unique<statevector_level_session>(config_,
+                                                       std::move(family));
 }
 
 } // namespace quorum::exec

@@ -44,6 +44,14 @@ public:
                           std::span<const sample> samples,
                           std::span<double> out) const override;
 
+    /// Persistent fused session: the family plan (replay plans, fork
+    /// points, shared decoder tail, scratch sizing) is computed once and
+    /// the replay buffers survive across run() calls, so single-sample
+    /// pushes are allocation-free at steady state. Falls back to the base
+    /// replay session under per-shot sampling.
+    [[nodiscard]] std::unique_ptr<level_session>
+    make_level_session(std::vector<program> family) const override;
+
 private:
     engine_config config_;
 };

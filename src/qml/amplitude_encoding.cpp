@@ -1,5 +1,6 @@
 #include "qml/amplitude_encoding.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "qsim/transpile.h"
@@ -7,37 +8,47 @@
 
 namespace quorum::qml {
 
-std::vector<double> to_amplitudes(std::span<const double> features,
-                                  std::size_t n_qubits) {
+void encode_amplitudes(std::span<const double> features,
+                       std::size_t n_qubits, std::span<double> out) {
     QUORUM_EXPECTS_MSG(n_qubits >= 1 && n_qubits <= 20,
                        "encoding qubit count out of range");
     const std::size_t dim = std::size_t{1} << n_qubits;
+    QUORUM_EXPECTS_MSG(out.size() == dim,
+                       "amplitude buffer must have size 2^n_qubits");
     QUORUM_EXPECTS_MSG(features.size() <= max_features(n_qubits),
                        "too many features for the register (need 2^n - 1)");
-    std::vector<double> amplitudes(dim, 0.0);
+    std::fill(out.begin(), out.end(), 0.0);
     double sum_squares = 0.0;
     for (std::size_t j = 0; j < features.size(); ++j) {
         const double value = features[j];
         QUORUM_EXPECTS_MSG(value >= -1e-12 && value <= 1.0 + 1e-12,
                            "features must be normalised into [0, 1]");
         const double clamped = std::min(1.0, std::max(0.0, value));
-        amplitudes[j] = clamped;
+        out[j] = clamped;
         sum_squares += clamped * clamped;
     }
     QUORUM_EXPECTS_MSG(sum_squares <= 1.0 + 1e-9,
                        "feature squares exceed unit probability mass; "
                        "apply the 1/M normalisation first");
-    amplitudes[overflow_index(n_qubits)] =
+    out[overflow_index(n_qubits)] =
         std::sqrt(std::max(0.0, 1.0 - sum_squares));
     // Exact renormalisation to absorb rounding.
     double norm = 0.0;
-    for (const double a : amplitudes) {
+    for (const double a : out) {
         norm += a * a;
     }
     const double scale = 1.0 / std::sqrt(norm);
-    for (double& a : amplitudes) {
+    for (double& a : out) {
         a *= scale;
     }
+}
+
+std::vector<double> to_amplitudes(std::span<const double> features,
+                                  std::size_t n_qubits) {
+    QUORUM_EXPECTS_MSG(n_qubits >= 1 && n_qubits <= 20,
+                       "encoding qubit count out of range");
+    std::vector<double> amplitudes(std::size_t{1} << n_qubits, 0.0);
+    encode_amplitudes(features, n_qubits, amplitudes);
     return amplitudes;
 }
 

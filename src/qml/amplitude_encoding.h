@@ -34,6 +34,12 @@ namespace quorum::qml {
 [[nodiscard]] std::vector<double>
 to_amplitudes(std::span<const double> features, std::size_t n_qubits);
 
+/// In-place variant for hot paths (the streaming scorer's per-sample
+/// push): writes the encoded state into `out`, which must have size
+/// 2^n_qubits. Bit-identical to to_amplitudes, zero allocations.
+void encode_amplitudes(std::span<const double> features,
+                       std::size_t n_qubits, std::span<double> out);
+
 /// The encoded pure state (exact fast path, no gates).
 [[nodiscard]] qsim::statevector encode_state(std::span<const double> features,
                                              std::size_t n_qubits);

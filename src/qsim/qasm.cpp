@@ -201,14 +201,27 @@ double parse_angle(std::string expr, std::size_t line) {
     return sign * factor * pi / divisor;
 }
 
+/// Strictly parses a register-index token (`what` names it in errors).
+/// std::atoi/strtoul would quietly read "x" as 0 and "2x" as 2; here the
+/// whole token must be digits, with a length cap so absurd indices fail
+/// as parse errors instead of overflowing.
+std::size_t parse_index_token(const std::string& token, std::size_t line,
+                              const std::string& what) {
+    if (token.empty() || token.size() > 9 ||
+        token.find_first_not_of("0123456789") != std::string::npos) {
+        parse_fail(line, "bad " + what + " index '" + token + "'");
+    }
+    return static_cast<std::size_t>(std::strtoul(token.c_str(), nullptr, 10));
+}
+
 /// Parses "q[K]" and returns K.
 qubit_t parse_qubit_ref(const std::string& token, std::size_t line) {
     if (token.size() < 4 || token[0] != 'q' || token[1] != '[' ||
         token.back() != ']') {
         parse_fail(line, "expected q[<index>], got '" + token + "'");
     }
-    return static_cast<qubit_t>(
-        std::strtoul(token.substr(2, token.size() - 3).c_str(), nullptr, 10));
+    return static_cast<qubit_t>(parse_index_token(
+        token.substr(2, token.size() - 3), line, "qubit"));
 }
 
 /// Splits "a,b,c" at top level (no nesting in this grammar).
@@ -280,9 +293,9 @@ circuit parse_qasm(std::istream& in) {
             if (open == std::string::npos || close == std::string::npos) {
                 parse_fail(line_number, "malformed qreg");
             }
-            num_qubits = std::strtoul(
-                statement.substr(open + 1, close - open - 1).c_str(), nullptr,
-                10);
+            num_qubits = parse_index_token(
+                statement.substr(open + 1, close - open - 1), line_number,
+                "qreg size");
             continue;
         }
         if (statement.rfind("creg", 0) == 0) {
@@ -291,9 +304,9 @@ circuit parse_qasm(std::istream& in) {
             if (open == std::string::npos || close == std::string::npos) {
                 parse_fail(line_number, "malformed creg");
             }
-            num_clbits = std::strtoul(
-                statement.substr(open + 1, close - open - 1).c_str(), nullptr,
-                10);
+            num_clbits = parse_index_token(
+                statement.substr(open + 1, close - open - 1), line_number,
+                "creg size");
             continue;
         }
 
@@ -335,9 +348,16 @@ circuit parse_qasm(std::istream& in) {
                 cref.back() != ']') {
                 parse_fail(line_number, "expected c[<index>]");
             }
-            const int cbit = std::atoi(
-                cref.substr(2, cref.size() - 3).c_str());
-            result->measure(q, cbit);
+            const std::size_t cbit = parse_index_token(
+                cref.substr(2, cref.size() - 3), line_number,
+                "classical-bit");
+            if (cbit >= num_clbits) {
+                parse_fail(line_number,
+                           "classical-bit index " + std::to_string(cbit) +
+                               " out of range for creg c[" +
+                               std::to_string(num_clbits) + "]");
+            }
+            result->measure(q, static_cast<int>(cbit));
             continue;
         }
 

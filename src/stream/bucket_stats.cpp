@@ -1,0 +1,59 @@
+#include "stream/bucket_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ensemble.h"
+#include "data/bucketing.h"
+#include "util/contracts.h"
+
+namespace quorum::stream {
+
+epoch_plan plan_epoch(std::size_t interval, double anomaly_rate,
+                      double bucket_probability, util::rng& gen) {
+    QUORUM_EXPECTS_MSG(interval >= 2,
+                       "an epoch needs >= 2 slots to ever yield sigma > 0");
+    // ceil, matching core::run_ensemble_group and
+    // quorum_detector::flag_count — one rounding rule for every use of
+    // estimated_anomaly_rate * n.
+    const auto estimated_anomalies = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(anomaly_rate * static_cast<double>(interval))));
+    epoch_plan plan;
+    plan.bucket_size = data::solve_bucket_size(interval, estimated_anomalies,
+                                               bucket_probability);
+    const std::vector<std::vector<std::size_t>> buckets =
+        data::make_buckets(interval, plan.bucket_size, gen);
+    plan.bucket_count = buckets.size();
+    plan.slot_to_bucket.assign(interval, 0);
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        for (const std::size_t slot : buckets[b]) {
+            plan.slot_to_bucket[slot] = b;
+        }
+    }
+    return plan;
+}
+
+void bucket_stats::reset(std::size_t levels, std::size_t buckets) {
+    QUORUM_EXPECTS_MSG(levels >= 1 && buckets >= 1,
+                       "bucket_stats needs a non-empty shape");
+    buckets_ = buckets;
+    runs_.assign(levels * buckets, util::welford_accumulator{});
+}
+
+std::optional<double> bucket_stats::add_and_score(std::size_t level,
+                                                  std::size_t bucket,
+                                                  double p) {
+    QUORUM_EXPECTS_MSG(bucket < buckets_ &&
+                           level * buckets_ + bucket < runs_.size(),
+                       "bucket_stats index out of range");
+    util::welford_accumulator& run = runs_[level * buckets_ + bucket];
+    run.add(p);
+    const double sigma = run.stddev_population();
+    if (sigma < core::sigma_floor) {
+        return std::nullopt;
+    }
+    return std::abs((p - run.mean()) / sigma);
+}
+
+} // namespace quorum::stream

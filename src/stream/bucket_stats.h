@@ -1,0 +1,70 @@
+// Incremental bucket statistics + periodic deterministic re-bucketing
+// for the streaming scorer.
+//
+// The batch path (core/ensemble.cpp) buckets the whole dataset once per
+// group and scores every sample against its bucket's full mean/σ. A
+// stream has no "whole dataset", so time is cut into EPOCHS of
+// `interval` arrivals: at each epoch boundary the next interval's slots
+// are re-bucketed with the exact batch machinery (ceil rounding of
+// rate·n into data::solve_bucket_size, data::make_buckets), keyed only
+// by (group seed, epoch index) — deterministic per stream position.
+// Within an epoch, each (level, bucket) run accumulates online mean/σ via
+// Welford updates; an arriving sample is ADDED first and then scored
+// against the updated statistics (so a bucket's first member, σ = 0, is
+// skipped by the same sigma_floor rule that skips all-identical batch
+// buckets).
+#ifndef QUORUM_STREAM_BUCKET_STATS_H
+#define QUORUM_STREAM_BUCKET_STATS_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace quorum::stream {
+
+/// One epoch's bucket assignment: stream slot s (position % interval)
+/// belongs to bucket slot_to_bucket[s].
+struct epoch_plan {
+    std::size_t bucket_size = 0;
+    std::size_t bucket_count = 0;
+    std::vector<std::size_t> slot_to_bucket;
+};
+
+/// Plans one epoch over `interval` slots: estimated anomalies =
+/// max(1, ceil(rate * interval)) — the batch path's ceil rule — sized by
+/// data::solve_bucket_size at `bucket_probability` and partitioned by
+/// data::make_buckets from `gen`. Deterministic in (interval, rate,
+/// probability, gen state). Allocates (the partition is built fresh);
+/// callers re-plan once per epoch, so the cost is amortised over
+/// `interval` pushes.
+[[nodiscard]] epoch_plan plan_epoch(std::size_t interval,
+                                    double anomaly_rate,
+                                    double bucket_probability,
+                                    util::rng& gen);
+
+/// Online per-(level, bucket) Welford runs with add-then-score.
+class bucket_stats {
+public:
+    /// Clears to `levels` x `buckets` empty runs. Allocation-free once
+    /// capacity covers the shape (epoch boundaries at a fixed interval).
+    void reset(std::size_t levels, std::size_t buckets);
+
+    /// Adds `p` to the (level, bucket) run, then scores it against the
+    /// UPDATED mean/σ: |(p - mu) / sigma|. Returns nullopt when σ <
+    /// core::sigma_floor — the run carries no signal yet (first member,
+    /// or all-identical values) and must contribute neither |z| nor a
+    /// run count, exactly like the batch skip rule.
+    [[nodiscard]] std::optional<double>
+    add_and_score(std::size_t level, std::size_t bucket, double p);
+
+private:
+    std::size_t buckets_ = 0;
+    std::vector<util::welford_accumulator> runs_;
+};
+
+} // namespace quorum::stream
+
+#endif // QUORUM_STREAM_BUCKET_STATS_H

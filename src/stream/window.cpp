@@ -1,0 +1,67 @@
+#include "stream/window.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.h"
+#include "util/stats.h"
+
+namespace quorum::stream {
+
+sliding_window_extractor::sliding_window_extractor(std::size_t raw_features,
+                                                   std::size_t window)
+    : raw_features_(raw_features), window_(window) {
+    QUORUM_EXPECTS_MSG(raw_features >= 1,
+                       "the extractor needs at least one raw feature");
+    QUORUM_EXPECTS_MSG(window >= 1, "the window must hold >= 1 sample");
+    ring_.assign(window_ * raw_features_, 0.0);
+}
+
+void sliding_window_extractor::push(std::span<const double> raw,
+                                    std::span<double> out) {
+    QUORUM_EXPECTS_MSG(raw.size() == raw_features_,
+                       "raw sample width does not match the extractor");
+    QUORUM_EXPECTS_MSG(out.size() == extracted_features(),
+                       "extracted-feature span has the wrong width");
+    double* slot = ring_.data() + (count_ % window_) * raw_features_;
+    for (std::size_t j = 0; j < raw_features_; ++j) {
+        slot[j] = raw[j];
+    }
+    ++count_;
+    const std::size_t filled = std::min(count_, window_);
+    const std::size_t start = (count_ - filled) % window_;
+    for (std::size_t j = 0; j < raw_features_; ++j) {
+        // Arrival order (oldest first): Welford's result depends on the
+        // observation order, and prefix determinism demands one order.
+        util::welford_accumulator acc;
+        for (std::size_t s = 0; s < filled; ++s) {
+            acc.add(ring_[((start + s) % window_) * raw_features_ + j]);
+        }
+        out[features_per_raw * j] = raw[j];
+        out[features_per_raw * j + 1] = acc.mean();
+        out[features_per_raw * j + 2] = acc.stddev_population();
+    }
+}
+
+online_normalizer::online_normalizer(std::size_t features)
+    : min_(features, std::numeric_limits<double>::infinity()),
+      max_(features, -std::numeric_limits<double>::infinity()) {
+    QUORUM_EXPECTS_MSG(features >= 1,
+                       "the normalizer needs at least one feature");
+}
+
+void online_normalizer::normalize(std::span<double> values) {
+    QUORUM_EXPECTS_MSG(values.size() == min_.size(),
+                       "value width does not match the normalizer");
+    const double scale = 1.0 / static_cast<double>(min_.size());
+    for (std::size_t j = 0; j < values.size(); ++j) {
+        min_[j] = std::min(min_[j], values[j]);
+        max_[j] = std::max(max_[j], values[j]);
+        const double range = max_[j] - min_[j];
+        // A feature constant so far carries no information yet — map to 0,
+        // exactly like normalize_for_quorum's constant-feature rule.
+        values[j] = range > 0.0 ? (values[j] - min_[j]) / range * scale : 0.0;
+    }
+}
+
+} // namespace quorum::stream

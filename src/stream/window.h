@@ -1,0 +1,82 @@
+// Sliding-window feature extraction for the streaming scorer.
+//
+// A batch detector sees a whole table at once; a stream sees one row at a
+// time. The extractor turns each arriving raw sample into a feature
+// vector that carries local temporal context: for every raw feature j it
+// emits [x_j, window-mean_j, window-stddev_j] over the last `window`
+// arrivals (partial windows from t = 0, so the stream scores from the
+// first sample). The companion online_normalizer then maps extracted
+// features into Quorum's [0, 1/M] amplitude-encoding range using
+// EXPANDING per-feature min/max — the online analogue of
+// data::normalize_for_quorum, deterministic per stream prefix.
+//
+// Both classes are allocation-free after construction: push()/normalize()
+// touch only preallocated buffers.
+#ifndef QUORUM_STREAM_WINDOW_H
+#define QUORUM_STREAM_WINDOW_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace quorum::stream {
+
+/// Per-raw-feature outputs of the extractor (value, mean, stddev).
+inline constexpr std::size_t features_per_raw = 3;
+
+class sliding_window_extractor {
+public:
+    /// A window of `window` arrivals over `raw_features`-wide samples.
+    sliding_window_extractor(std::size_t raw_features, std::size_t window);
+
+    [[nodiscard]] std::size_t raw_features() const noexcept {
+        return raw_features_;
+    }
+    [[nodiscard]] std::size_t window() const noexcept { return window_; }
+    /// Width of the extracted feature vector (features_per_raw per raw).
+    [[nodiscard]] std::size_t extracted_features() const noexcept {
+        return raw_features_ * features_per_raw;
+    }
+    /// Samples pushed so far.
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+    /// Pushes the arriving sample (raw.size() == raw_features()) and
+    /// writes its extracted features into `out`
+    /// (out.size() == extracted_features()):
+    /// out[3j] = x_j, out[3j+1] = window mean, out[3j+2] = window stddev.
+    /// Window statistics accumulate in arrival order (oldest first), so
+    /// the result is a pure function of the stream prefix.
+    void push(std::span<const double> raw, std::span<double> out);
+
+private:
+    std::size_t raw_features_;
+    std::size_t window_;
+    std::size_t count_ = 0;
+    /// Ring of the last `window` samples, laid out arrival-slot-major.
+    std::vector<double> ring_;
+};
+
+/// Expanding-range normalisation into [0, 1/M] (M = feature count): the
+/// observed per-feature min/max grow with the stream, each sample is
+/// normalised against the range INCLUDING itself, and constant features
+/// map to 0 — data::normalize_for_quorum's rules, applied online.
+class online_normalizer {
+public:
+    explicit online_normalizer(std::size_t features);
+
+    [[nodiscard]] std::size_t features() const noexcept {
+        return min_.size();
+    }
+
+    /// Updates the expanding ranges with `values`, then normalises it in
+    /// place. values.size() must equal features().
+    void normalize(std::span<double> values);
+
+private:
+    std::vector<double> min_;
+    std::vector<double> max_;
+};
+
+} // namespace quorum::stream
+
+#endif // QUORUM_STREAM_WINDOW_H

@@ -1,0 +1,86 @@
+// Strict flag/number parsing shared by the tools layer.
+//
+// Every helper consumes the WHOLE string or reports failure — no
+// std::atoi-style silent truncation ("banana" → 0) and no unsigned
+// wraparound ("-1" → 2^64 - 1). Callers decide what failure means
+// (usage error, contract_error, ...); these helpers never throw.
+#ifndef QUORUM_UTIL_PARSE_H
+#define QUORUM_UTIL_PARSE_H
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace quorum::util {
+
+/// Parses a non-negative integer from a plain digit string. Rejects
+/// empty strings, signs, whitespace, trailing garbage, and values that
+/// overflow unsigned long long.
+inline bool parse_unsigned(std::string_view text,
+                           unsigned long long& out) noexcept {
+    if (text.empty()) {
+        return false;
+    }
+    unsigned long long value = 0;
+    constexpr auto max = std::numeric_limits<unsigned long long>::max();
+    for (const char c : text) {
+        if (c < '0' || c > '9') {
+            return false;
+        }
+        const auto digit = static_cast<unsigned long long>(c - '0');
+        if (value > (max - digit) / 10) {
+            return false; // would overflow
+        }
+        value = value * 10 + digit;
+    }
+    out = value;
+    return true;
+}
+
+/// Parses a non-negative count into any integer type T, rejecting
+/// values that do not fit. Negative inputs fail the digit scan, so
+/// T may be signed (e.g. an `int retries` that must be >= 0).
+template <typename T>
+bool parse_count(std::string_view text, T& out) noexcept {
+    unsigned long long value = 0;
+    if (!parse_unsigned(text, value) ||
+        value > static_cast<unsigned long long>(
+                    std::numeric_limits<T>::max())) {
+        return false;
+    }
+    out = static_cast<T>(value);
+    return true;
+}
+
+/// Strict double parse: the whole string must be consumed (std::stod
+/// silently accepts trailing garbage like "0.5abc").
+inline bool parse_real(std::string_view text, double& out) noexcept {
+    const std::string copy(text); // strtod needs a terminator
+    char* end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end == copy.c_str() || *end != '\0') {
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+/// Strict int parse for flags where negatives are meaningful
+/// (e.g. --label-column: -1 = no labels).
+inline bool parse_int(std::string_view text, int& out) noexcept {
+    const std::string copy(text);
+    char* end = nullptr;
+    const long value = std::strtol(copy.c_str(), &end, 10);
+    if (end == copy.c_str() || *end != '\0' ||
+        value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max()) {
+        return false;
+    }
+    out = static_cast<int>(value);
+    return true;
+}
+
+} // namespace quorum::util
+
+#endif // QUORUM_UTIL_PARSE_H

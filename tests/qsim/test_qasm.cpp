@@ -197,4 +197,50 @@ TEST(QasmParse, WrongOperandCountRejected) {
         quorum::util::contract_error); // rx needs a parameter
 }
 
+TEST(QasmParse, RejectsNonNumericIndices) {
+    // Regression: register indices used to go through std::atoi, which
+    // silently turned "x" into 0 — `creg c[x]` parsed as an empty
+    // classical register. All index tokens are now strictly parsed.
+    EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[x];\n"),
+                 quorum::util::contract_error); // qreg size
+    EXPECT_THROW((void)from_qasm("OPENQASM 2.0;\nqreg q[2x];\n"),
+                 quorum::util::contract_error); // trailing garbage
+    EXPECT_THROW(
+        (void)from_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[x];\n"),
+        quorum::util::contract_error); // creg size
+    EXPECT_THROW(
+        (void)from_qasm("OPENQASM 2.0;\nqreg q[2];\nx q[banana];\n"),
+        quorum::util::contract_error); // qubit operand
+    EXPECT_THROW(
+        (void)from_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n"
+                        "measure q[0] -> c[x];\n"),
+        quorum::util::contract_error); // classical-bit index
+}
+
+TEST(QasmParse, IndexErrorsNameTheOffendingToken) {
+    try {
+        (void)from_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n"
+                        "measure q[0] -> c[x];\n");
+        FAIL() << "expected parse error";
+    } catch (const quorum::util::contract_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'x'"), std::string::npos)
+            << "diagnostic should quote the bad token: " << what;
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    }
+}
+
+TEST(QasmParse, RejectsOutOfRangeClassicalBit) {
+    try {
+        (void)from_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[1];\n"
+                        "measure q[0] -> c[5];\n");
+        FAIL() << "expected parse error";
+    } catch (const quorum::util::contract_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("classical-bit index 5"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("creg c[1]"), std::string::npos) << what;
+    }
+}
+
 } // namespace

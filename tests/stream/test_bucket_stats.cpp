@@ -1,0 +1,144 @@
+// stream/bucket_stats.h: epoch planning must reuse the batch path's
+// bucket-sizing rules exactly (same ceil rounding, same solver), and
+// add-then-score must apply the batch sigma-floor skip.
+#include "stream/bucket_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "data/bucketing.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+
+TEST(EpochPlan, MatchesBatchBucketSizingRules) {
+    const std::size_t interval = 64;
+    const double rate = 0.03;
+    const double probability = 0.75;
+    util::rng gen(7);
+    const stream::epoch_plan plan =
+        stream::plan_epoch(interval, rate, probability, gen);
+
+    // The batch path's rule verbatim: ceil(rate * n) with a floor of 1,
+    // fed to the same hypergeometric solver.
+    const auto anomalies = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(rate * static_cast<double>(interval))));
+    EXPECT_EQ(plan.bucket_size,
+              data::solve_bucket_size(interval, anomalies, probability));
+    EXPECT_EQ(plan.bucket_count,
+              (interval + plan.bucket_size - 1) / plan.bucket_size);
+
+    // Every slot maps to a valid bucket, and bucket sizes differ by at
+    // most one (the make_buckets contract, surfaced through the map).
+    ASSERT_EQ(plan.slot_to_bucket.size(), interval);
+    std::vector<std::size_t> counts(plan.bucket_count, 0);
+    for (const std::size_t bucket : plan.slot_to_bucket) {
+        ASSERT_LT(bucket, plan.bucket_count);
+        ++counts[bucket];
+    }
+    const auto [min_count, max_count] =
+        std::minmax_element(counts.begin(), counts.end());
+    EXPECT_LE(*max_count - *min_count, 1u);
+}
+
+TEST(EpochPlan, DeterministicInTheGeneratorState) {
+    util::rng a(123);
+    util::rng b(123);
+    const stream::epoch_plan plan_a = stream::plan_epoch(32, 0.05, 0.75, a);
+    const stream::epoch_plan plan_b = stream::plan_epoch(32, 0.05, 0.75, b);
+    EXPECT_EQ(plan_a.bucket_size, plan_b.bucket_size);
+    EXPECT_EQ(plan_a.slot_to_bucket, plan_b.slot_to_bucket);
+
+    util::rng c(124);
+    const stream::epoch_plan plan_c = stream::plan_epoch(32, 0.05, 0.75, c);
+    EXPECT_NE(plan_a.slot_to_bucket, plan_c.slot_to_bucket)
+        << "different streams should shuffle slots differently";
+}
+
+TEST(EpochPlan, RejectsDegenerateIntervals) {
+    util::rng gen(1);
+    EXPECT_THROW((void)stream::plan_epoch(1, 0.03, 0.75, gen),
+                 util::contract_error);
+}
+
+TEST(BucketStats, FirstMemberAndConstantRunsAreSkipped) {
+    stream::bucket_stats stats;
+    stats.reset(1, 1);
+    // First member: sigma is exactly 0 — below the floor, no signal.
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.25).has_value());
+    // Identical values keep sigma at 0 forever.
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.25).has_value());
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.25).has_value());
+}
+
+TEST(BucketStats, ScoresAgainstStatisticsIncludingTheNewSample) {
+    stream::bucket_stats stats;
+    stats.reset(1, 1);
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.0).has_value());
+    // Run is now {0, 1}: mean 0.5, population sigma 0.5 — the arriving
+    // sample scores |1 - 0.5| / 0.5 = 1, the batch self-inclusive z.
+    const std::optional<double> z = stats.add_and_score(0, 0, 1.0);
+    ASSERT_TRUE(z.has_value());
+    EXPECT_DOUBLE_EQ(*z, 1.0);
+}
+
+TEST(BucketStats, RunsAreIndependentPerLevelAndBucket) {
+    stream::bucket_stats stats;
+    stats.reset(2, 2);
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.1).has_value());
+    EXPECT_FALSE(stats.add_and_score(1, 0, 0.9).has_value());
+    EXPECT_FALSE(stats.add_and_score(0, 1, 0.5).has_value());
+    // Only (level 0, bucket 0) has two members; its sibling runs must
+    // still be in the skipped single-member state.
+    EXPECT_TRUE(stats.add_and_score(0, 0, 0.3).has_value());
+    EXPECT_FALSE(stats.add_and_score(1, 1, 0.7).has_value());
+}
+
+TEST(BucketStats, ResetClearsAccumulatedRuns) {
+    stream::bucket_stats stats;
+    stats.reset(1, 1);
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.0).has_value());
+    ASSERT_TRUE(stats.add_and_score(0, 0, 1.0).has_value());
+    stats.reset(1, 1);
+    // After re-bucketing the runs start empty again.
+    EXPECT_FALSE(stats.add_and_score(0, 0, 0.5).has_value());
+}
+
+TEST(BucketStats, RejectsOutOfRangeIndices) {
+    stream::bucket_stats stats;
+    stats.reset(2, 3);
+    EXPECT_THROW((void)stats.add_and_score(0, 3, 0.5),
+                 util::contract_error);
+    EXPECT_THROW((void)stats.add_and_score(2, 0, 0.5),
+                 util::contract_error);
+}
+
+TEST(BucketStats, SigmaFloorIsTheSharedCoreConstant) {
+    // The skip rule must be THE batch constant, not a lookalike: values
+    // whose spread is just under core::sigma_floor are skipped, just
+    // above contribute.
+    stream::bucket_stats stats;
+    stats.reset(1, 1);
+    const double base = 0.5;
+    const double tiny = core::sigma_floor * 0.5;
+    EXPECT_FALSE(stats.add_and_score(0, 0, base - tiny).has_value());
+    // Population sigma of {base - tiny, base + tiny} is `tiny`, below
+    // the floor — still skipped.
+    EXPECT_FALSE(stats.add_and_score(0, 0, base + tiny).has_value());
+
+    stats.reset(1, 1);
+    const double wide = core::sigma_floor * 4.0;
+    EXPECT_FALSE(stats.add_and_score(0, 0, base - wide).has_value());
+    EXPECT_TRUE(stats.add_and_score(0, 0, base + wide).has_value());
+}
+
+} // namespace

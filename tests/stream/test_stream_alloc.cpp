@@ -1,0 +1,105 @@
+// Steady-state allocation pinning for the streaming push path. A
+// stream_scorer does its expensive work at construction (program
+// compilation, session planning, buffer sizing) and at epoch boundaries
+// (re-bucketing); every other push must be completely allocation-free —
+// that is the property that keeps per-arrival latency flat.
+//
+// Scope: the fused session path on the statevector backend (exact and
+// sampled). The --no-fused per-level hatch re-plans inside run_batch on
+// every call and is deliberately NOT pinned.
+//
+// The operator new/delete replacements below are binary-wide, so they
+// count for every test in quorum_test_stream; they only bump an atomic
+// and delegate to malloc, which keeps the other tests unaffected.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "stream/stream_scorer.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_new_calls{0};
+
+std::uint64_t new_calls() {
+    return g_new_calls.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void* operator new(std::size_t size) {
+    g_new_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size != 0 ? size : 1)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace quorum;
+
+data::dataset alloc_stream(std::size_t samples) {
+    util::rng gen(2025);
+    data::stream_spec spec;
+    spec.base.samples = samples;
+    spec.base.anomalies = std::max<std::size_t>(1, samples / 16);
+    spec.base.features = 6;
+    return data::generate_drifting_stream(spec, gen);
+}
+
+void expect_zero_alloc_pushes(core::exec_mode mode) {
+    const std::size_t interval = 16;
+    stream::stream_config config;
+    config.window = 4;
+    config.rebucket_interval = interval;
+    config.detector.mode = mode;
+    config.detector.shots = 256;
+    config.detector.ensemble_groups = 3;
+    config.detector.seed = 2025;
+    const data::dataset d = alloc_stream(2 * interval);
+    stream::stream_scorer scorer(config, d.num_features());
+
+    // Warm-up: one full epoch plus the next epoch's boundary push, so
+    // every lazily-sized buffer (session scratch, epoch plan, Welford
+    // runs) has reached steady-state capacity.
+    for (std::size_t t = 0; t <= interval; ++t) {
+        (void)scorer.push(d.row(t));
+    }
+
+    // Every non-boundary push inside the second epoch must be
+    // allocation-free — not merely constant, ZERO heap allocations.
+    double checksum = 0.0;
+    const std::uint64_t before = new_calls();
+    for (std::size_t t = interval + 1; t < 2 * interval; ++t) {
+        checksum += scorer.push(d.row(t)).score;
+    }
+    const std::uint64_t allocations = new_calls() - before;
+    EXPECT_EQ(allocations, 0u)
+        << "mode=" << core::exec_mode_name(mode)
+        << ": the streaming push path allocated on a non-boundary "
+        << "arrival (checksum " << checksum << ")";
+}
+
+TEST(StreamAlloc, ExactPushesAreAllocationFreeAtSteadyState) {
+    expect_zero_alloc_pushes(core::exec_mode::exact);
+}
+
+TEST(StreamAlloc, SampledPushesAreAllocationFreeAtSteadyState) {
+    expect_zero_alloc_pushes(core::exec_mode::sampled);
+}
+
+} // namespace

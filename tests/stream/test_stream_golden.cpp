@@ -1,0 +1,177 @@
+// Golden stream-score fixtures: committed per-arrival scores of a fixed
+// drifting-stream workload, recomputed and diffed bit-for-bit — the
+// streaming determinism contract ("same stream prefix, same scores")
+// pinned to files that any engine or stream-layer change must visibly
+// regenerate. The workload spans three re-bucketing epochs (interval
+// 16 over 48 arrivals), so epoch boundary handling is inside the pin.
+//
+// Regenerate with:  QUORUM_REGEN_FIXTURES=1 ctest -R StreamGolden
+//
+// Platform scope: identical to tests/core/test_golden_scores.cpp —
+// bit-exact on one platform; set QUORUM_SKIP_GOLDEN_FIXTURES=1 on
+// non-CI libm implementations.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "stream/stream_scorer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+
+data::dataset golden_stream() {
+    util::rng gen(2025);
+    data::stream_spec spec;
+    spec.base.samples = 48;
+    spec.base.anomalies = 3;
+    spec.base.features = 8;
+    spec.base.anomaly_shift = 0.3;
+    return data::generate_drifting_stream(spec, gen);
+}
+
+stream::stream_config golden_config(core::exec_mode mode) {
+    stream::stream_config config;
+    config.window = 4;
+    config.rebucket_interval = 16;
+    config.detector.mode = mode;
+    config.detector.shots = 1024;
+    config.detector.ensemble_groups = 4;
+    config.detector.seed = 2025;
+    return config;
+}
+
+std::vector<double> stream_scores(const stream::stream_config& config,
+                                  const data::dataset& d) {
+    stream::stream_scorer scorer(config, d.num_features());
+    std::vector<double> scores;
+    scores.reserve(d.num_samples());
+    for (std::size_t t = 0; t < d.num_samples(); ++t) {
+        scores.push_back(scorer.push(d.row(t)).score);
+    }
+    return scores;
+}
+
+/// 17 significant digits: the shortest decimal form that round-trips
+/// every IEEE-754 double exactly, so CSV equality == bit equality.
+std::string format_double(double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+std::string fixture_path(const std::string& name) {
+    return std::string(QUORUM_TEST_FIXTURE_DIR) + "/" + name;
+}
+
+bool env_flag(const char* name) {
+    const char* raw = std::getenv(name);
+    return raw != nullptr && raw[0] != '\0' && raw[0] != '0';
+}
+
+void write_fixture(const std::string& path,
+                   const std::vector<std::string>& columns,
+                   const std::vector<std::vector<double>>& series) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << "sample";
+    for (const std::string& column : columns) {
+        out << "," << column;
+    }
+    out << "\n";
+    for (std::size_t i = 0; i < series[0].size(); ++i) {
+        out << i;
+        for (const std::vector<double>& values : series) {
+            out << "," << format_double(values[i]);
+        }
+        out << "\n";
+    }
+}
+
+void compare_fixture(const std::string& path,
+                     const std::vector<std::string>& columns,
+                     const std::vector<std::vector<double>>& series) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good())
+        << path << " is missing — regenerate the golden fixtures with "
+        << "QUORUM_REGEN_FIXTURES=1 and commit the result";
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+    std::string expected_header = "sample";
+    for (const std::string& column : columns) {
+        expected_header += "," + column;
+    }
+    EXPECT_EQ(line, expected_header);
+
+    std::size_t row = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        ASSERT_LT(row, series[0].size()) << "fixture has extra rows";
+        std::stringstream cells(line);
+        std::string cell;
+        ASSERT_TRUE(static_cast<bool>(std::getline(cells, cell, ',')));
+        EXPECT_EQ(std::stoul(cell), row);
+        for (std::size_t c = 0; c < series.size(); ++c) {
+            ASSERT_TRUE(static_cast<bool>(std::getline(cells, cell, ',')))
+                << "row " << row << " is missing column " << columns[c];
+            // Bit-identical scores: %.17g round-trips doubles exactly, so
+            // strict equality here means equality to the last bit.
+            EXPECT_EQ(std::stod(cell), series[c][row])
+                << columns[c] << " drifted at arrival " << row
+                << " (stream/engine change? regenerate fixtures "
+                << "deliberately with QUORUM_REGEN_FIXTURES=1)";
+        }
+        ++row;
+    }
+    EXPECT_EQ(row, series[0].size()) << "fixture is missing rows";
+}
+
+void check_fixture(const std::string& name,
+                   const std::vector<std::string>& columns,
+                   const std::vector<std::vector<double>>& series) {
+    const std::string path = fixture_path(name);
+    if (env_flag("QUORUM_REGEN_FIXTURES")) {
+        write_fixture(path, columns, series);
+    }
+    compare_fixture(path, columns, series);
+}
+
+TEST(StreamGolden, ExactAndSampledStreamScoresMatchFixture) {
+    if (env_flag("QUORUM_SKIP_GOLDEN_FIXTURES")) {
+        GTEST_SKIP() << "golden fixtures skipped (non-CI platform)";
+    }
+    const data::dataset d = golden_stream();
+    const std::vector<double> exact =
+        stream_scores(golden_config(core::exec_mode::exact), d);
+    const std::vector<double> sampled =
+        stream_scores(golden_config(core::exec_mode::sampled), d);
+    check_fixture("stream_scores.csv", {"exact", "sampled"},
+                  {exact, sampled});
+}
+
+TEST(StreamGolden, PerLevelPathMatchesTheSameFixture) {
+    if (env_flag("QUORUM_SKIP_GOLDEN_FIXTURES")) {
+        GTEST_SKIP() << "golden fixtures skipped (non-CI platform)";
+    }
+    // The --no-fused hatch is pinned to the SAME fixture columns the
+    // fused path wrote: one set of golden numbers, two evaluation paths.
+    const data::dataset d = golden_stream();
+    stream::stream_config exact = golden_config(core::exec_mode::exact);
+    exact.detector.fused_levels = false;
+    stream::stream_config sampled = golden_config(core::exec_mode::sampled);
+    sampled.detector.fused_levels = false;
+    compare_fixture(fixture_path("stream_scores.csv"),
+                    {"exact", "sampled"},
+                    {stream_scores(exact, d), stream_scores(sampled, d)});
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+// stream/window.h: sliding-window feature extraction and expanding
+// online normalisation — the stream-side analogues of batch
+// preprocessing, pinned here against hand-computed values.
+#include "stream/window.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+
+namespace {
+
+using namespace quorum;
+
+TEST(SlidingWindow, PartialWindowStatisticsFromFirstArrival) {
+    stream::sliding_window_extractor extractor(1, 3);
+    ASSERT_EQ(extractor.extracted_features(), stream::features_per_raw);
+    std::vector<double> out(extractor.extracted_features(), -1.0);
+
+    const std::vector<double> first{2.0};
+    extractor.push(first, out);
+    EXPECT_DOUBLE_EQ(out[0], 2.0); // raw value
+    EXPECT_DOUBLE_EQ(out[1], 2.0); // mean of {2}
+    EXPECT_DOUBLE_EQ(out[2], 0.0); // stddev of a single value
+
+    const std::vector<double> second{4.0};
+    extractor.push(second, out);
+    EXPECT_DOUBLE_EQ(out[0], 4.0);
+    EXPECT_DOUBLE_EQ(out[1], 3.0); // mean of {2, 4}
+    EXPECT_DOUBLE_EQ(out[2], 1.0); // population stddev of {2, 4}
+}
+
+TEST(SlidingWindow, OldestSampleFallsOutOfTheWindow) {
+    stream::sliding_window_extractor extractor(1, 2);
+    std::vector<double> out(extractor.extracted_features(), 0.0);
+    for (const double value : {10.0, 2.0, 4.0}) {
+        const std::vector<double> raw{value};
+        extractor.push(raw, out);
+    }
+    // Window is {2, 4}: the 10 from t = 0 must be gone.
+    EXPECT_DOUBLE_EQ(out[1], 3.0);
+    EXPECT_DOUBLE_EQ(out[2], 1.0);
+    EXPECT_EQ(extractor.count(), 3u);
+}
+
+TEST(SlidingWindow, MultiFeatureLayoutIsPerRawFeatureTriples) {
+    stream::sliding_window_extractor extractor(2, 4);
+    ASSERT_EQ(extractor.extracted_features(), 6u);
+    std::vector<double> out(6, 0.0);
+    const std::vector<double> a{1.0, 10.0};
+    const std::vector<double> b{3.0, 30.0};
+    extractor.push(a, out);
+    extractor.push(b, out);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);  // feature 0 raw
+    EXPECT_DOUBLE_EQ(out[1], 2.0);  // feature 0 mean
+    EXPECT_DOUBLE_EQ(out[2], 1.0);  // feature 0 stddev
+    EXPECT_DOUBLE_EQ(out[3], 30.0); // feature 1 raw
+    EXPECT_DOUBLE_EQ(out[4], 20.0); // feature 1 mean
+    EXPECT_DOUBLE_EQ(out[5], 10.0); // feature 1 stddev
+}
+
+TEST(SlidingWindow, RejectsMismatchedSpans) {
+    stream::sliding_window_extractor extractor(2, 3);
+    std::vector<double> out(extractor.extracted_features(), 0.0);
+    const std::vector<double> narrow{1.0};
+    EXPECT_THROW(extractor.push(narrow, out), util::contract_error);
+    const std::vector<double> row{1.0, 2.0};
+    std::vector<double> short_out(2, 0.0);
+    EXPECT_THROW(extractor.push(row, short_out), util::contract_error);
+}
+
+TEST(OnlineNormalizer, ExpandingRangeMapsIntoQuorumInterval) {
+    stream::online_normalizer normalizer(2);
+    const double scale = 1.0 / 2.0;
+
+    // First arrival: every feature is constant so far — maps to 0.
+    std::vector<double> first{5.0, -3.0};
+    normalizer.normalize(first);
+    EXPECT_DOUBLE_EQ(first[0], 0.0);
+    EXPECT_DOUBLE_EQ(first[1], 0.0);
+
+    // Second arrival extends both ranges; it sits at each range's top.
+    std::vector<double> second{7.0, 1.0};
+    normalizer.normalize(second);
+    EXPECT_DOUBLE_EQ(second[0], scale);
+    EXPECT_DOUBLE_EQ(second[1], scale);
+
+    // A mid-range arrival lands proportionally inside [0, 1/M].
+    std::vector<double> third{6.0, -1.0};
+    normalizer.normalize(third);
+    EXPECT_DOUBLE_EQ(third[0], 0.5 * scale);
+    EXPECT_DOUBLE_EQ(third[1], 0.5 * scale);
+
+    // Ranges only expand: a value below the seen min resets the floor.
+    std::vector<double> fourth{5.0, -3.0};
+    normalizer.normalize(fourth);
+    EXPECT_DOUBLE_EQ(fourth[0], 0.0);
+    EXPECT_DOUBLE_EQ(fourth[1], 0.0);
+}
+
+TEST(OnlineNormalizer, SameValuesSameOutputsRegardlessOfFuture) {
+    // Prefix determinism at the normaliser level: two normalisers fed the
+    // same prefix emit identical values, no matter what comes later.
+    stream::online_normalizer a(1);
+    stream::online_normalizer b(1);
+    const std::vector<double> prefix{0.4, 0.9, 0.1, 0.55};
+    for (const double value : prefix) {
+        std::vector<double> va{value};
+        std::vector<double> vb{value};
+        a.normalize(va);
+        b.normalize(vb);
+        EXPECT_EQ(va[0], vb[0]);
+    }
+}
+
+} // namespace

@@ -296,6 +296,19 @@ std::vector<metric> extract_metrics(const json_value& root) {
             metrics.push_back({prefix + "." + key, value.number, true});
         }
     }
+    // Benches that gate a latency publish it under "gated_latency_us":
+    // every number inside is lower-is-better. Other nested blocks (e.g.
+    // the ungated "latency_ms"/"latency_us" diagnostics) stay out of the
+    // gate on purpose.
+    if (const json_value* gated = root.find("gated_latency_us");
+        gated != nullptr && gated->type == json_value::kind::object) {
+        for (const auto& [key, value] : gated->members) {
+            if (value.type == json_value::kind::number) {
+                metrics.push_back({prefix + ".gated_latency_us." + key,
+                                   value.number, false});
+            }
+        }
+    }
     return metrics;
 }
 
@@ -396,6 +409,18 @@ int self_test() {
     const std::string serve_slow =
         R"({"bench":"serve_throughput","samples_per_second":70.0,)"
         R"("latency_ms":{"mean":2.0,"p50":2.0,"p99":4.0}})";
+    const std::string stream_base =
+        R"({"bench":"stream_latency","samples_per_second":1000.0,)"
+        R"("gated_latency_us":{"p50":900.0},)"
+        R"("latency_us":{"mean":950.0,"p99":2000.0}})";
+    const std::string stream_drift =
+        R"({"bench":"stream_latency","samples_per_second":980.0,)"
+        R"("gated_latency_us":{"p50":950.0},)"
+        R"("latency_us":{"mean":990.0,"p99":5000.0}})";
+    const std::string stream_slow =
+        R"({"bench":"stream_latency","samples_per_second":990.0,)"
+        R"("gated_latency_us":{"p50":1900.0},)"
+        R"("latency_us":{"mean":1950.0,"p99":4000.0}})";
 
     int failures = 0;
     const auto expect = [&failures](bool condition, const char* what) {
@@ -417,6 +442,12 @@ int self_test() {
     expect(diff_metrics(metrics_from_text(serve_base),
                         metrics_from_text(serve_base), 0.20, false) == 0,
            "identical serve artifacts must pass");
+    expect(diff_metrics(metrics_from_text(stream_base),
+                        metrics_from_text(stream_drift), 0.20, false) == 0,
+           "small latency drift (and an ungated p99 spike) must pass");
+    expect(diff_metrics(metrics_from_text(stream_base),
+                        metrics_from_text(stream_slow), 0.20, false) == 1,
+           "a doubled gated p50 latency must fail the gate");
     if (failures == 0) {
         std::printf("bench_diff --self-test: all checks passed (the gate "
                     "fails on injected regressions)\n");

@@ -54,6 +54,7 @@
 #include "qml/ansatz.h"
 #include "qml/autoencoder.h"
 #include "qsim/qasm.h"
+#include "util/parse.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -92,49 +93,12 @@ void print_usage() {
     std::cout << "\n";
 }
 
-/// Parses a non-negative integer flag value. std::stoul alone would
-/// silently wrap "-1" to 2^64 - 1; only plain digit strings in range are
-/// accepted.
-template <typename T>
-bool parse_count(const std::string& text, T& out) {
-    if (text.empty() ||
-        text.find_first_not_of("0123456789") != std::string::npos) {
-        return false;
-    }
-    unsigned long long value = 0;
-    try {
-        value = std::stoull(text);
-    } catch (const std::exception&) {
-        return false; // out of range
-    }
-    if (value > std::numeric_limits<T>::max()) {
-        return false;
-    }
-    out = static_cast<T>(value);
-    return true;
-}
-
-/// Strict double parse: the whole string must be consumed (std::stod
-/// silently accepts trailing garbage like "0.5abc").
-bool parse_real(const std::string& text, double& out) {
-    char* end = nullptr;
-    out = std::strtod(text.c_str(), &end);
-    return end != text.c_str() && *end == '\0';
-}
-
-/// Strict int parse for flags where negatives are meaningful
-/// (--label-column: -1 = no labels).
-bool parse_int(const std::string& text, int& out) {
-    char* end = nullptr;
-    const long value = std::strtol(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' ||
-        value < std::numeric_limits<int>::min() ||
-        value > std::numeric_limits<int>::max()) {
-        return false;
-    }
-    out = static_cast<int>(value);
-    return true;
-}
+// Strict flag parsing (whole string consumed, range checked, no silent
+// wraparound) lives in util/parse.h, shared with quorum_worker and
+// quorum_serve.
+using quorum::util::parse_count;
+using quorum::util::parse_int;
+using quorum::util::parse_real;
 
 bool parse_mode(const std::string& text, quorum::core::exec_mode& mode) {
     using quorum::core::exec_mode;

@@ -40,6 +40,7 @@
 #include "exec/tcp_transport.h"
 #include "util/contracts.h"
 #include "util/net.h"
+#include "util/parse.h"
 
 namespace {
 
@@ -105,30 +106,14 @@ void print_usage() {
         "     QSRV1 ERR <message>\\n\n");
 }
 
+// Strict shared helpers (util/parse.h): the old local strtoull version
+// silently wrapped "--workers -1" to 2^64 - 1.
 bool parse_count(const char* text, std::size_t& value) {
-    if (text == nullptr || *text == '\0') {
-        return false;
-    }
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(text, &end, 10);
-    if (*end != '\0') {
-        return false;
-    }
-    value = static_cast<std::size_t>(parsed);
-    return true;
+    return text != nullptr && util::parse_count(text, value);
 }
 
 bool parse_real(const char* text, double& value) {
-    if (text == nullptr || *text == '\0') {
-        return false;
-    }
-    char* end = nullptr;
-    const double parsed = std::strtod(text, &end);
-    if (*end != '\0') {
-        return false;
-    }
-    value = parsed;
-    return true;
+    return text != nullptr && util::parse_real(text, value);
 }
 
 bool parse_mode(const std::string& text, core::exec_mode& mode) {
@@ -476,9 +461,8 @@ int main(int argc, char** argv) {
             ok = value != nullptr &&
                  parse_count(next(), options.max_queue);
         } else if (arg == "--rejoin-attempts") {
-            std::size_t attempts = 0;
-            ok = value != nullptr && parse_count(next(), attempts);
-            options.rejoin_attempts = static_cast<int>(attempts);
+            ok = value != nullptr &&
+                 util::parse_count(next(), options.rejoin_attempts);
         } else if (arg == "--max-requests") {
             ok = value != nullptr &&
                  parse_count(next(), options.max_requests);

@@ -34,6 +34,7 @@
 #include "exec/serialise.h"
 #include "util/contracts.h"
 #include "util/net.h"
+#include "util/parse.h"
 
 namespace {
 
@@ -254,13 +255,27 @@ int main(int argc, char** argv) {
             ++i;
             continue;
         }
+        // Strict parse: std::atoi would turn "--retry banana" into 0 and
+        // accept negatives; parse_count rejects both (and overflow).
         if (arg == "--retry" && value != nullptr) {
-            retries = std::atoi(value);
+            if (!quorum::util::parse_count(value, retries)) {
+                std::fprintf(stderr,
+                             "quorum_worker: invalid value for "
+                             "--retry: %s\n",
+                             value);
+                return 2;
+            }
             ++i;
             continue;
         }
         if (arg == "--retry-delay-ms" && value != nullptr) {
-            retry_delay_ms = std::atoi(value);
+            if (!quorum::util::parse_count(value, retry_delay_ms)) {
+                std::fprintf(stderr,
+                             "quorum_worker: invalid value for "
+                             "--retry-delay-ms: %s\n",
+                             value);
+                return 2;
+            }
             ++i;
             continue;
         }
@@ -273,12 +288,6 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "quorum_worker: --listen and --connect are "
                      "mutually exclusive\n");
-        return 2;
-    }
-    if (retries < 0 || retry_delay_ms < 0) {
-        std::fprintf(stderr,
-                     "quorum_worker: retry parameters must be "
-                     "non-negative\n");
         return 2;
     }
     // A client that dies mid-reply must surface as a write error, not
