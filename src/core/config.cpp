@@ -81,6 +81,9 @@ exec::engine_config quorum_config::to_engine_config() const {
         break;
     }
     engine.shards = shards;
+    // Throws contract_error naming the spec on a malformed value — the
+    // same construction-time surfacing validate() gives backend specs.
+    engine.schedule = exec::parse_schedule_spec(schedule);
     return engine;
 }
 

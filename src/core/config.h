@@ -77,6 +77,12 @@ struct quorum_config {
     /// per hardware thread). Ignored by plain backends. Results are
     /// identical for any lane count.
     std::size_t shards = 0;
+    /// Span-planning policy for the wrapper backends: "static" (one
+    /// balanced span per lane) or "dynamic[:grain]" (grain-sample spans
+    /// the lanes pull from a shared queue — absorbs skew; see
+    /// exec/schedule.h). Results are identical for any policy and grain;
+    /// malformed specs fail validation at construction time.
+    std::string schedule = "static";
     /// Master seed; every ensemble group derives child stream g.
     std::uint64_t seed = 2025;
     /// exact/sampled only: simulate the full 2n+1-qubit circuit instead of

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/schedule.h"
 #include "qsim/compiled_program.h"
 #include "qsim/noise.h"
 #include "util/rng.h"
@@ -54,6 +55,12 @@ struct engine_config {
     /// Worker shards the "sharded" backend partitions run_batch across
     /// (0 = one per hardware thread; ignored by non-sharded backends).
     std::size_t shards = 0;
+    /// Span-planning policy for the wrapper backends (sharded / remote /
+    /// fleet). Like `shards`, this is coordinator-side only: it shapes
+    /// the plan, never the per-span work, so it does NOT travel on the
+    /// wire (encode_engine_config) and cannot change scores — see
+    /// exec/schedule.h for the determinism argument.
+    schedule_spec schedule{};
 };
 
 /// One sample of a batch.

@@ -140,6 +140,20 @@ std::size_t worker_fleet::requeued_spans() const {
     return requeued_;
 }
 
+fleet_stats worker_fleet::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fleet_stats snapshot;
+    snapshot.live_lanes = live_lanes_;
+    snapshot.requeued_spans = requeued_;
+    snapshot.lanes.reserve(lanes_.size());
+    for (const std::unique_ptr<lane_state>& lane : lanes_) {
+        snapshot.lanes.push_back(
+            fleet_lane_stats{lane->label, lane->completed, lane->live});
+        snapshot.spans_completed += lane->completed;
+    }
+    return snapshot;
+}
+
 void worker_fleet::wait_for_lanes(std::size_t lanes, int timeout_ms) const {
     std::unique_lock<std::mutex> lock(mutex_);
     const bool ready =
@@ -214,6 +228,7 @@ void worker_fleet::lane_main(lane_state& lane) {
             const std::lock_guard<std::mutex> lock(mutex_);
             --pending_lanes_;
             ++live_lanes_;
+            lane.live = true;
             lanes_cv_.notify_all();
         }
         if (serve_on(lane, *transport)) {
@@ -226,6 +241,7 @@ void worker_fleet::lane_main(lane_state& lane) {
             }
             const std::lock_guard<std::mutex> lock(mutex_);
             --live_lanes_;
+            lane.live = false;
             lanes_cv_.notify_all();
             return;
         }
@@ -234,6 +250,7 @@ void worker_fleet::lane_main(lane_state& lane) {
         // the top and reconnect.
         const std::lock_guard<std::mutex> lock(mutex_);
         --live_lanes_;
+        lane.live = false;
         if (lane.factory == nullptr || stopping_) {
             note_lane_gone_locked();
             lanes_cv_.notify_all();
@@ -268,6 +285,10 @@ bool worker_fleet::serve_on(lane_state& lane, wire_transport& transport) {
         } catch (const transport_error& error) {
             handle_lane_death(lane, std::move(job), error.what());
             return false;
+        }
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++lane.completed;
         }
         job.batch->promises[job.index].set_value(std::move(reply));
     }
@@ -340,6 +361,7 @@ fleet_executor::fleet_executor(std::shared_ptr<worker_fleet> fleet)
     QUORUM_EXPECTS_MSG(fleet_ != nullptr, "fleet executor needs a fleet");
     const fleet_config& config = fleet_->config();
     spec_ = "fleet:" + config.inner;
+    planner_ = span_planner(config.engine.schedule);
     needs_rng_ = config.engine.sampling_mode != sampling::exact;
     probe_ = make_executor(config.inner, config.engine);
 }
@@ -360,7 +382,7 @@ void fleet_executor::run_batch(const program& prog,
     wire::encode_program(block, prog);
     const std::vector<std::uint8_t> blob = block.take();
     const std::vector<shard_work> plan =
-        make_shard_plan(samples.size(), plan_lanes(), &prog);
+        planner_.plan(samples.size(), plan_lanes(), &prog);
     std::vector<std::vector<std::uint8_t>> requests;
     requests.reserve(plan.size());
     for (const shard_work& span : plan) {
@@ -387,7 +409,7 @@ void fleet_executor::run_batch_levels(std::span<const program> levels,
     // Keyed by sample index only, exactly like the sharded and remote
     // plans, so fused evaluation composes with fleet-size invariance.
     const std::vector<shard_work> plan =
-        make_shard_plan(samples.size(), plan_lanes(), nullptr);
+        planner_.plan(samples.size(), plan_lanes(), nullptr);
     std::vector<std::vector<std::uint8_t>> requests;
     requests.reserve(plan.size());
     for (const shard_work& span : plan) {

@@ -68,6 +68,25 @@ struct fleet_config {
     int rejoin_delay_ms = 100;
 };
 
+/// One lane's telemetry inside a fleet_stats snapshot.
+struct fleet_lane_stats {
+    std::string label;
+    /// Spans this lane has completed (reply delivered) since it joined.
+    std::size_t spans_completed = 0;
+    bool live = false;
+};
+
+/// Point-in-time fleet telemetry (worker_fleet::stats). Taken under the
+/// fleet lock, so one snapshot is internally consistent; deltas between
+/// two snapshots attribute work only approximately while other requests
+/// are in flight.
+struct fleet_stats {
+    std::size_t live_lanes = 0;
+    std::size_t spans_completed = 0; ///< sum over lanes
+    std::size_t requeued_spans = 0;
+    std::vector<fleet_lane_stats> lanes;
+};
+
 class worker_fleet {
 public:
     explicit worker_fleet(fleet_config config);
@@ -93,6 +112,11 @@ public:
 
     /// Spans requeued after an observed worker death (fault telemetry).
     [[nodiscard]] std::size_t requeued_spans() const;
+
+    /// Full telemetry snapshot: per-lane completed-span counts, live
+    /// flags, and the requeue total — what quorum_serve logs per
+    /// request so fleet fault behaviour is observable in production.
+    [[nodiscard]] fleet_stats stats() const;
 
     /// Blocks until at least `lanes` lanes are live. Throws
     /// util::contract_error (citing the last lane failure) on timeout.
@@ -133,6 +157,8 @@ private:
         std::size_t factory_index = 0;
         std::unique_ptr<wire_transport> adopted;
         std::thread thread;
+        std::size_t completed = 0; ///< spans served (guarded by mutex_)
+        bool live = false;         ///< handshake done (guarded by mutex_)
     };
 
     void lane_main(lane_state& lane);
@@ -167,12 +193,14 @@ private:
 
 /// Executor adapter: scoring through a shared fleet. Construction
 /// instantiates a local probe of the inner backend (config validation +
-/// single-circuit runs); batches are planned with make_shard_plan over
-/// the CURRENT lane count — scores are fleet-size-invariant, so a fleet
-/// that grew or shrank between batches changes nothing but the split —
-/// and shipped through worker_fleet::run_spans, which multiplexes
-/// concurrent callers. quorum_serve registers one of these per request
-/// via exec::register_backend, all sharing one fleet.
+/// single-circuit runs); batches are planned with the configured span
+/// planner (fleet_config::engine.schedule) over the CURRENT lane count —
+/// scores are fleet-size- and schedule-invariant, so a fleet that grew
+/// or shrank between batches changes nothing but the split — and shipped
+/// through worker_fleet::run_spans, whose bounded job queue the lanes
+/// already PULL from, multiplexing concurrent callers. quorum_serve
+/// registers one of these per request via exec::register_backend, all
+/// sharing one fleet.
 class fleet_executor final : public executor {
 public:
     explicit fleet_executor(std::shared_ptr<worker_fleet> fleet);
@@ -204,6 +232,7 @@ private:
 
     std::shared_ptr<worker_fleet> fleet_;
     std::string spec_;
+    span_planner planner_;
     bool needs_rng_;
     std::unique_ptr<executor> probe_;
 };

@@ -1,6 +1,8 @@
 #include "exec/remote_backend.h"
 
 #include <algorithm>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "exec/process_transport.h"
@@ -154,6 +156,7 @@ remote_backend::remote_backend(const engine_config& config,
       inner_(inner),
       spec_("remote:" + inner),
       workers_(resolve_lane_count(config.shards, max_workers)),
+      planner_(config.schedule),
       needs_rng_(config.sampling_mode != sampling::exact),
       factory_(std::move(factory)),
       probe_(make_probe(config, inner)) {
@@ -233,17 +236,71 @@ void remote_backend::dispatch(
     const std::vector<std::vector<std::uint8_t>>& requests,
     std::size_t values_per_sample, std::span<double> out) const {
     const std::lock_guard<std::mutex> lock(mutex_);
+    const bool dynamic =
+        config_.schedule.policy == schedule_policy::dynamic_spans;
     try {
-        dispatch_locked(plan, requests, values_per_sample, out);
+        if (dynamic) {
+            dispatch_locked_dynamic(plan, requests, values_per_sample,
+                                    out);
+        } else {
+            dispatch_locked(plan, requests, values_per_sample, out);
+        }
     } catch (...) {
         // A failed span aborts the batch while sibling lanes may still
         // hold unread replies; reusing those lanes would deliver THIS
-        // batch's values into the next one. Reset every lane the plan
-        // touched so a later batch starts from a clean handshake.
-        for (const shard_work& span : plan) {
-            restart_lane(span.shard);
+        // batch's values into the next one. Reset every lane the batch
+        // touched so a later batch starts from a clean handshake. (The
+        // static plan maps span k to lane k; the dynamic path may have
+        // used any lane, so it resets all of them.)
+        if (dynamic) {
+            for (std::size_t i = 0; i < lanes_.size(); ++i) {
+                restart_lane(i);
+            }
+        } else {
+            for (const shard_work& span : plan) {
+                restart_lane(span.shard);
+            }
         }
         throw;
+    }
+}
+
+void remote_backend::decode_reply(std::size_t index, const shard_work& span,
+                                  std::span<const std::uint8_t> reply,
+                                  std::size_t values_per_sample,
+                                  std::span<double> out) const {
+    if (reply.empty()) {
+        fail_span(index, span, "empty reply");
+    }
+    wire::reader in(reply);
+    const std::uint8_t type = in.u8();
+    if (type == static_cast<std::uint8_t>(wire::message::error)) {
+        std::string message = "malformed error reply";
+        try {
+            message = in.str();
+        } catch (const util::contract_error&) {
+        }
+        fail_span(index, span, message);
+    }
+    if (type != static_cast<std::uint8_t>(wire::message::result)) {
+        fail_span(index, span,
+                  "unexpected reply type " + std::to_string(type));
+    }
+    // Malformed result payloads are protocol corruption, not
+    // transience: no retry, surface the worker and span.
+    try {
+        const std::uint64_t count = in.u64();
+        QUORUM_EXPECTS_MSG(count == span.count * values_per_sample,
+                           "result count does not match the span");
+        in.expect_available(count, 8);
+        double* slot = out.data() + span.first * values_per_sample;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            slot[i] = in.f64();
+        }
+        in.expect_done();
+    } catch (const util::contract_error& error) {
+        fail_span(index, span,
+                  std::string("malformed reply: ") + error.what());
     }
 }
 
@@ -278,39 +335,69 @@ void remote_backend::dispatch_locked(
         } else {
             reply = exchange(span.shard, span, requests[k]);
         }
-        wire::reader in(reply);
-        if (reply.empty()) {
-            fail_span(span.shard, span, "empty reply");
-        }
-        const std::uint8_t type = in.u8();
-        if (type == static_cast<std::uint8_t>(wire::message::error)) {
-            std::string message = "malformed error reply";
+        decode_reply(span.shard, span, reply, values_per_sample, out);
+    }
+}
+
+void remote_backend::dispatch_locked_dynamic(
+    std::span<const shard_work> plan,
+    const std::vector<std::vector<std::uint8_t>>& requests,
+    std::size_t values_per_sample, std::span<double> out) const {
+    // Per-lane pull loop: min(workers, spans) lanes each own one
+    // transport and claim span indices from the shared queue until the
+    // plan drains. A fast lane simply pulls more spans — that is the
+    // whole skew-absorption mechanism. Each span writes a disjoint
+    // output slice at span.first, so completion order cannot change a
+    // bit of the result.
+    const std::size_t lane_count = std::min(workers_, plan.size());
+    if (lane_count == 0) {
+        return;
+    }
+    // Pre-size the lane table: lane threads only ever touch their own
+    // slot after this, so the lazy connect in lane() stays race-free.
+    if (lanes_.size() < workers_) {
+        lanes_.resize(workers_);
+    }
+    span_queue queue(plan.size());
+    std::mutex failure_mutex;
+    std::exception_ptr failure;
+    const auto pull_loop = [&](std::size_t lane_index) noexcept {
+        while (const std::optional<std::size_t> k = queue.pull()) {
+            const shard_work& span = plan[*k];
             try {
-                message = in.str();
-            } catch (const util::contract_error&) {
+                std::vector<std::uint8_t> reply;
+                try {
+                    wire_transport& transport = lane(lane_index);
+                    transport.send_message(requests[*k]);
+                    reply = transport.recv_message();
+                } catch (const transport_error&) {
+                    restart_lane(lane_index);
+                    reply = exchange(lane_index, span, requests[*k]);
+                }
+                decode_reply(lane_index, span, reply, values_per_sample,
+                             out);
+            } catch (...) {
+                // First failure wins; closing the queue lets sibling
+                // lanes drain out instead of shipping more doomed work.
+                const std::lock_guard<std::mutex> lock(failure_mutex);
+                if (failure == nullptr) {
+                    failure = std::current_exception();
+                }
+                queue.close();
             }
-            fail_span(span.shard, span, message);
         }
-        if (type != static_cast<std::uint8_t>(wire::message::result)) {
-            fail_span(span.shard, span,
-                      "unexpected reply type " + std::to_string(type));
-        }
-        // Malformed result payloads are protocol corruption, not
-        // transience: no retry, surface the worker and span.
-        try {
-            const std::uint64_t count = in.u64();
-            QUORUM_EXPECTS_MSG(count == span.count * values_per_sample,
-                               "result count does not match the span");
-            in.expect_available(count, 8);
-            double* slot = out.data() + span.first * values_per_sample;
-            for (std::uint64_t i = 0; i < count; ++i) {
-                slot[i] = in.f64();
-            }
-            in.expect_done();
-        } catch (const util::contract_error& error) {
-            fail_span(span.shard, span,
-                      std::string("malformed reply: ") + error.what());
-        }
+    };
+    std::vector<std::thread> lane_threads;
+    lane_threads.reserve(lane_count - 1);
+    for (std::size_t i = 1; i < lane_count; ++i) {
+        lane_threads.emplace_back(pull_loop, i);
+    }
+    pull_loop(0);
+    for (std::thread& thread : lane_threads) {
+        thread.join();
+    }
+    if (failure != nullptr) {
+        std::rethrow_exception(failure);
     }
 }
 
@@ -325,7 +412,7 @@ void remote_backend::run_batch(const program& prog,
     wire::encode_program(block, prog);
     const std::vector<std::uint8_t> blob = block.take();
     const std::vector<shard_work> plan =
-        make_shard_plan(samples.size(), workers_, &prog);
+        planner_.plan(samples.size(), workers_, &prog);
     std::vector<std::vector<std::uint8_t>> requests;
     requests.reserve(plan.size());
     for (const shard_work& span : plan) {
@@ -352,7 +439,7 @@ void remote_backend::run_batch_levels(std::span<const program> levels,
     // Keyed by sample index only, exactly like the in-process sharded
     // plan, so fused evaluation composes with worker-count invariance.
     const std::vector<shard_work> plan =
-        make_shard_plan(samples.size(), workers_, nullptr);
+        planner_.plan(samples.size(), workers_, nullptr);
     std::vector<std::vector<std::uint8_t>> requests;
     requests.reserve(plan.size());
     for (const shard_work& span : plan) {

@@ -1,8 +1,8 @@
 // Remote sharded execution backend: partitions every batch with the SAME
-// deterministic plan the in-process sharded backend uses (make_shard_plan,
-// keyed by sample index only), but evaluates each span in a quorum_worker
-// process that speaks the binary wire protocol (exec/serialise.h) over a
-// pluggable message transport.
+// deterministic planner the in-process sharded backend uses
+// (exec/schedule.h, keyed by sample index only), but evaluates each span
+// in a quorum_worker process that speaks the binary wire protocol
+// (exec/serialise.h) over a pluggable message transport.
 //
 // Determinism: the plan, the per-sample rng stream snapshots and the
 // IEEE-754 bit patterns of every double all travel verbatim, and the
@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "exec/executor.h"
-#include "exec/sharded_backend.h"
+#include "exec/schedule.h"
 
 namespace quorum::exec {
 
@@ -143,10 +143,12 @@ public:
         return probe_->run(c, cbit, gen);
     }
 
-    /// Plans with make_shard_plan (one span per worker, keyed by sample
-    /// index only), ships every span, and reassembles the replies into
-    /// `out`. One batch is in flight per engine at a time (concurrent
-    /// callers serialise on an internal mutex).
+    /// Plans with the configured span planner (config.schedule: one
+    /// balanced span per worker, or many grain-sized spans the worker
+    /// lanes pull concurrently — all keyed by sample index only), ships
+    /// every span, and reassembles the replies into `out`. One batch is
+    /// in flight per engine at a time (concurrent callers serialise on
+    /// an internal mutex).
     void run_batch(const program& prog, std::span<const sample> samples,
                    std::span<double> out) const override;
 
@@ -184,6 +186,21 @@ private:
                     const std::vector<std::vector<std::uint8_t>>& requests,
                     std::size_t values_per_sample,
                     std::span<double> out) const;
+    /// Dynamic-schedule dispatch: min(workers, spans) lane threads PULL
+    /// span indices from a shared span_queue, each lane pinned to its
+    /// own transport. Output placement stays keyed by shard_work.first,
+    /// so results are IEEE == to the static path for any pull order.
+    void dispatch_locked_dynamic(
+        std::span<const shard_work> plan,
+        const std::vector<std::vector<std::uint8_t>>& requests,
+        std::size_t values_per_sample, std::span<double> out) const;
+    /// Validates one result reply and writes its span's slice into
+    /// `out`; error replies and malformed payloads fail the span
+    /// structurally (no retry). Shared by both dispatch paths.
+    void decode_reply(std::size_t index, const shard_work& span,
+                      std::span<const std::uint8_t> reply,
+                      std::size_t values_per_sample,
+                      std::span<double> out) const;
     [[noreturn]] static void fail_span(std::size_t index,
                                        const shard_work& span,
                                        const std::string& why);
@@ -192,6 +209,7 @@ private:
     std::string inner_;
     std::string spec_;
     std::size_t workers_;
+    span_planner planner_;
     bool needs_rng_;
     transport_factory factory_;
     std::unique_ptr<executor> probe_;

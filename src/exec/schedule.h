@@ -1,0 +1,162 @@
+// Span planning and dispatch policy — the ONE place batches are cut into
+// per-lane work spans. The sharded backend (in-process threads), the
+// remote backend (worker processes) and the serving fleet all plan
+// through span_planner instead of carrying private copies of the
+// partitioning logic.
+//
+// Two policies:
+//
+//   static          — the even-span plan the backends have used since
+//                     PR 3: min(lanes, n) contiguous spans balanced to
+//                     within one sample, one span per lane.
+//   dynamic:<grain> — many small spans of ~`grain` samples each; lanes
+//                     PULL spans from a shared deterministic queue
+//                     (span_queue, or the thread pool's parallel_for
+//                     claim counter, or the fleet's job queue), so fast
+//                     lanes absorb skew instead of idling behind the
+//                     slowest span.
+//
+// Determinism: a plan is a pure function of (n_samples, lanes, grain) —
+// never of time, load or completion order — and every span writes its
+// output slice at `shard_work.first`. All stochasticity lives in the
+// per-sample rng streams the samples carry, so ANY partition evaluated
+// in ANY order produces IEEE-identical scores (pinned by
+// tests/exec/test_schedule.cpp: dynamic ≡ static bit-for-bit in every
+// mode, on every consumer).
+#ifndef QUORUM_EXEC_SCHEDULE_H
+#define QUORUM_EXEC_SCHEDULE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace quorum::exec {
+
+struct program;
+
+/// One lane's slice of a batch, as plain data. In-process execution
+/// resolves `prog` and the sample span directly; a multi-process or remote
+/// executor ships the compiled program, the span's per-sample
+/// amplitudes/params, and `rng_seed` (from which a worker re-derives the
+/// span's per-sample streams) over the wire instead.
+struct shard_work {
+    std::size_t shard = 0;         ///< span index the work is keyed to
+    std::size_t first = 0;         ///< first sample index of the span
+    std::size_t count = 0;         ///< samples in the span (> 0)
+    const program* prog = nullptr; ///< compiled-program handle
+    /// derive_seed(plan seed, shard). The in-process backends plan with
+    /// seed 0 and never read this field — their samples carry their own
+    /// streams; a remote executor plans with its transport seed and keys
+    /// shard-local stream derivation off this value.
+    std::uint64_t rng_seed = 0;
+};
+
+/// Builds the deterministic STATIC work plan: min(lanes, n_samples)
+/// contiguous sample spans, balanced to within one sample and never
+/// empty, keyed only by (n_samples, lanes) — the same inputs always
+/// yield the same plan.
+[[nodiscard]] std::vector<shard_work>
+make_shard_plan(std::size_t n_samples, std::size_t shards,
+                const program* prog = nullptr, std::uint64_t seed = 0);
+
+enum class schedule_policy {
+    /// One balanced span per lane (make_shard_plan, bit-for-bit).
+    static_spans,
+    /// ~grain-sample spans pulled from a shared queue.
+    dynamic_spans,
+};
+
+/// Grain a bare "dynamic" spec defaults to: small enough that a typical
+/// skewed bucket batch splits into several spans per lane, large enough
+/// that per-span dispatch overhead stays in the noise.
+inline constexpr std::size_t default_dynamic_grain = 8;
+
+/// Cap on dynamic spans per batch: beyond this the effective grain grows
+/// (deterministically, from n_samples alone) so a huge batch with a tiny
+/// grain cannot drown dispatch in per-span overhead.
+inline constexpr std::size_t max_spans_per_batch = 4096;
+
+/// A parsed `--schedule` value.
+struct schedule_spec {
+    schedule_policy policy = schedule_policy::static_spans;
+    /// Samples per dynamic span (>= 1 there; 0 and ignored for static).
+    std::size_t grain = 0;
+
+    friend bool operator==(const schedule_spec&,
+                           const schedule_spec&) = default;
+
+    /// Canonical spec string: "static" or "dynamic:<grain>".
+    [[nodiscard]] std::string str() const;
+};
+
+/// Parses "static", "dynamic" (grain = default_dynamic_grain) or
+/// "dynamic:<grain>" with the tools' strict numeric rules. Anything else
+/// — unknown policy, "dynamic:0", a grain with garbage — throws
+/// util::contract_error naming the offending spec.
+[[nodiscard]] schedule_spec parse_schedule_spec(std::string_view spec);
+
+/// Plans batches under one schedule_spec. Stateless and thread-safe.
+class span_planner {
+public:
+    /// Static planner (today's behaviour).
+    span_planner() = default;
+
+    explicit span_planner(schedule_spec spec);
+
+    [[nodiscard]] const schedule_spec& spec() const noexcept {
+        return spec_;
+    }
+
+    /// The work plan for a batch of `n_samples` across `lanes` lanes
+    /// (>= 1). Static plans are make_shard_plan verbatim; dynamic plans
+    /// are grain-keyed spans [k*g, (k+1)*g) independent of the lane
+    /// count entirely — growing or shrinking the lane set between
+    /// batches changes which lane pulls a span, never the spans.
+    [[nodiscard]] std::vector<shard_work>
+    plan(std::size_t n_samples, std::size_t lanes,
+         const program* prog = nullptr, std::uint64_t seed = 0) const;
+
+private:
+    schedule_spec spec_{};
+};
+
+/// The shared deterministic pull queue: lanes claim span indices in plan
+/// order with one atomic counter. Which LANE gets a span depends on
+/// timing; which SPANS exist and where their output lands does not —
+/// that is the whole determinism argument. (util::thread_pool::
+/// parallel_for uses the identical claim loop in-process; the remote
+/// backend's dynamic dispatch and tests use this one.)
+class span_queue {
+public:
+    explicit span_queue(std::size_t count) noexcept : count_(count) {}
+
+    /// Claims the next unclaimed span index, or nullopt when the plan is
+    /// drained (or the queue was closed). Thread-safe, lock-free.
+    [[nodiscard]] std::optional<std::size_t> pull() noexcept {
+        const std::size_t k =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (k >= count_) {
+            return std::nullopt;
+        }
+        return k;
+    }
+
+    /// Stops further pulls (first failure wins; siblings drain out).
+    void close() noexcept {
+        next_.store(count_, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+private:
+    std::atomic<std::size_t> next_{0};
+    std::size_t count_ = 0;
+};
+
+} // namespace quorum::exec
+
+#endif // QUORUM_EXEC_SCHEDULE_H

@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "exec/executor.h"
-#include "exec/sharded_backend.h"
+#include "exec/schedule.h"
 #include "util/rng.h"
 
 namespace quorum::exec::wire {

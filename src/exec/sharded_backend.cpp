@@ -1,41 +1,12 @@
 #include "exec/sharded_backend.h"
 
-#include <algorithm>
 #include <mutex>
 #include <string>
 
 #include "exec/registry.h"
 #include "util/contracts.h"
-#include "util/rng.h"
 
 namespace quorum::exec {
-
-std::vector<shard_work> make_shard_plan(std::size_t n_samples,
-                                        std::size_t shards,
-                                        const program* prog,
-                                        std::uint64_t seed) {
-    QUORUM_EXPECTS_MSG(shards >= 1, "a shard plan needs at least one shard");
-    // More shards than samples cannot add lanes, so iterate the capped
-    // count: a pathological shards value (e.g. an unsigned wrap of "-1")
-    // must not spin 2^64 times or overflow the span arithmetic below.
-    const std::size_t lanes = std::min(shards, n_samples);
-    std::vector<shard_work> plan;
-    plan.reserve(lanes);
-    for (std::size_t s = 0; s < lanes; ++s) {
-        // Balanced contiguous spans: shard s owns [s*n/L, (s+1)*n/L),
-        // never empty for s < L <= n. Integer arithmetic keyed only by
-        // (n_samples, shards) — stable across runs, platforms, and call
-        // sites.
-        shard_work work;
-        work.shard = s;
-        work.first = s * n_samples / lanes;
-        work.count = (s + 1) * n_samples / lanes - work.first;
-        work.prog = prog;
-        work.rng_seed = util::derive_seed(seed, s);
-        plan.push_back(work);
-    }
-    return plan;
-}
 
 namespace {
 
@@ -57,6 +28,7 @@ sharded_backend::sharded_backend(const engine_config& config,
     : inner_(make_inner(config, inner)),
       spec_("sharded:" + inner),
       shards_(resolve_lane_count(config.shards, max_shards)),
+      planner_(config.schedule),
       needs_rng_(config.sampling_mode != sampling::exact) {}
 
 util::thread_pool& sharded_backend::pool() const {
@@ -73,11 +45,15 @@ void sharded_backend::run_batch(const program& prog,
     // once, deterministically, instead of from whichever shard saw it.
     validate_batch(prog, samples, out, needs_rng_);
     const std::vector<shard_work> plan =
-        make_shard_plan(samples.size(), shards_, &prog);
+        planner_.plan(samples.size(), shards_, &prog);
     if (plan.size() <= 1) {
         inner_->run_batch(prog, samples, out);
         return;
     }
+    // parallel_for's claim counter IS the dynamic pull queue: shards_
+    // concurrent lanes (pool workers + the caller) claim span indices in
+    // plan order, so a dynamic plan with more spans than shards gets
+    // work-pulling dispatch with no extra machinery.
     pool().parallel_for(plan.size(), [&](std::size_t k) {
         const shard_work& work = plan[k];
         try {
@@ -105,7 +81,7 @@ void sharded_backend::run_batch_levels(std::span<const program> levels,
     // sample-major output layout), so shard invariance and per-sample rng
     // derivation are preserved bit-for-bit for fused families too.
     const std::vector<shard_work> plan =
-        make_shard_plan(samples.size(), shards_, nullptr);
+        planner_.plan(samples.size(), shards_, nullptr);
     const std::size_t count = levels.size();
     if (plan.size() <= 1) {
         inner_->run_batch_levels(levels, samples, out);

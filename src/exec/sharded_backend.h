@@ -22,34 +22,10 @@
 #include <string>
 
 #include "exec/executor.h"
+#include "exec/schedule.h"
 #include "util/thread_pool.h"
 
 namespace quorum::exec {
-
-/// One shard's slice of a batch, as plain data. In-process execution
-/// resolves `prog` and the sample span directly; a multi-process or remote
-/// shard executor would ship the compiled program, the span's per-sample
-/// amplitudes/params, and `rng_seed` (from which the shard re-derives the
-/// span's per-sample streams) over the wire instead.
-struct shard_work {
-    std::size_t shard = 0;         ///< shard index the span is keyed to
-    std::size_t first = 0;         ///< first sample index of the span
-    std::size_t count = 0;         ///< samples in the span (> 0)
-    const program* prog = nullptr; ///< compiled-program handle
-    /// derive_seed(plan seed, shard). The in-process backend plans with
-    /// seed 0 and never reads this field — its samples carry their own
-    /// streams; a remote executor plans with its transport seed and keys
-    /// shard-local stream derivation off this value.
-    std::uint64_t rng_seed = 0;
-};
-
-/// Builds the deterministic work plan: min(shards, n_samples) contiguous
-/// sample spans, balanced to within one sample and never empty, keyed
-/// only by (n_samples, shards) — the same inputs always yield the same
-/// plan.
-[[nodiscard]] std::vector<shard_work>
-make_shard_plan(std::size_t n_samples, std::size_t shards,
-                const program* prog = nullptr, std::uint64_t seed = 0);
 
 class sharded_backend final : public executor {
 public:
@@ -85,8 +61,11 @@ public:
         return inner_->run(c, cbit, gen);
     }
 
-    /// Partitions the batch with make_shard_plan and runs every span
-    /// through the inner backend concurrently. A shard's contract
+    /// Partitions the batch with the configured span planner
+    /// (config.schedule: one balanced span per shard, or many
+    /// grain-sized spans the shard lanes pull from parallel_for's shared
+    /// claim counter) and runs every span through the inner backend
+    /// concurrently. A shard's contract
     /// violation surfaces as util::contract_error naming the shard and
     /// its sample span (first failure wins; the remaining shards still
     /// complete, so no work is left dangling); other exception types
@@ -119,6 +98,7 @@ private:
     std::unique_ptr<executor> inner_;
     std::string spec_;
     std::size_t shards_;
+    span_planner planner_;
     bool needs_rng_;
     /// Mutable: run_batch is logically const and the pool is internally
     /// synchronised.

@@ -4,7 +4,8 @@
 //
 // Options:
 //   --input PATH          CSV file to score (required unless --demo)
-//   --output PATH         scores CSV (default: quorum_scores.csv)
+//   --out PATH            scores CSV (default: quorum_scores.csv;
+//                         --output is an alias)
 //   --label-column K      0/1 label column for evaluation (-1 = none)
 //   --no-header           input has no header row
 //   --groups N            ensemble groups (default 300)
@@ -22,6 +23,11 @@
 //                         ignored by plain backends)
 //   --workers N           alias for --shards (reads better with --backend
 //                         remote:...)
+//   --schedule S          span planning for the sharded/remote backends:
+//                         static (one balanced span per lane) or
+//                         dynamic[:grain] (grain-sample spans pulled from
+//                         a shared queue; absorbs skew). Scores are
+//                         identical either way (default static)
 //   --threads N           worker threads (default: all cores)
 //   --no-fused            evaluate compression levels one batch at a time
 //                         instead of through the fused multi-level path
@@ -45,6 +51,7 @@
 #include "data/generators.h"
 #include "exec/registry.h"
 #include "exec/remote_backend.h"
+#include "exec/schedule.h"
 #include "exec/sharded_backend.h"
 #include "metrics/confusion.h"
 #include "metrics/detection_curve.h"
@@ -76,12 +83,13 @@ void print_usage() {
     std::cout <<
         "quorum_cli — zero-training unsupervised quantum anomaly detection\n"
         "\n"
-        "  quorum_cli --input data.csv [--output scores.csv]\n"
+        "  quorum_cli --input data.csv [--out scores.csv]\n"
         "             [--label-column K] [--no-header]\n"
         "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
         "             [--backend auto|NAME|sharded:NAME|remote:NAME]\n"
         "             [--shards N] [--workers N]\n"
+        "             [--schedule static|dynamic[:grain]]\n"
         "             [--threads N] [--no-fused] [--seed S]\n"
         "             [--top K] [--qasm out.qasm]\n"
         "  quorum_cli --demo\n"
@@ -154,7 +162,7 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 return false;
             }
             options.input = v;
-        } else if (arg == "--output") {
+        } else if (arg == "--out" || arg == "--output") {
             const char* v = next();
             if (v == nullptr) {
                 return false;
@@ -237,6 +245,12 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 return false;
             }
             options.config.backend = v;
+        } else if (arg == "--schedule") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.schedule = v;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return false;
@@ -307,6 +321,13 @@ int main(int argc, char** argv) {
                              options.config.shards,
                              exec::remote_backend::max_workers);
         }
+        if (options.config.schedule != "static") {
+            // Echo the parsed canonical form (e.g. bare "dynamic" shows
+            // its default grain).
+            std::cout << " schedule="
+                      << exec::parse_schedule_spec(options.config.schedule)
+                             .str();
+        }
         std::cout << " groups=" << options.config.ensemble_groups
                   << " qubits=" << options.config.n_qubits
                   << " shots=" << options.config.shots << "\n";
@@ -328,7 +349,18 @@ int main(int argc, char** argv) {
         table.print(std::cout);
 
         std::ofstream out(options.output);
+        if (!out) {
+            std::cerr << "error: cannot open --out path '" << options.output
+                      << "' for writing\n";
+            return 1;
+        }
         data::write_scores_csv(out, input, report.scores);
+        out.flush();
+        if (!out) {
+            std::cerr << "error: failed writing scores to --out path '"
+                      << options.output << "'\n";
+            return 1;
+        }
         std::cout << "\nwrote scores to " << options.output << "\n";
 
         if (input.has_labels() && input.num_anomalies() > 0) {

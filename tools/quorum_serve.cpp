@@ -36,6 +36,7 @@
 #include "exec/fleet.h"
 #include "exec/process_transport.h"
 #include "exec/registry.h"
+#include "exec/schedule.h"
 #include "exec/serve_client.h"
 #include "exec/tcp_transport.h"
 #include "util/contracts.h"
@@ -82,6 +83,11 @@ void print_usage() {
         "                        `quorum_worker --listen` (repeatable)\n"
         "  --backend B           inner backend each worker runs: auto |\n"
         "                        statevector | density (default auto)\n"
+        "  --schedule S          span planning across the fleet: static\n"
+        "                        (one balanced span per lane) or\n"
+        "                        dynamic[:grain] (grain-sample spans the\n"
+        "                        lanes pull; absorbs skew). Scores are\n"
+        "                        identical either way (default static)\n"
         "  --mode M              exact | sampled | per_shot | noisy\n"
         "                        (default sampled)\n"
         "  --groups N            ensemble groups (default 200)\n"
@@ -183,6 +189,7 @@ bool parse_feature_row(const std::string& line, std::size_t cols,
 
 struct serve_state {
     core::quorum_config config;
+    std::shared_ptr<exec::worker_fleet> fleet;
     std::size_t max_requests = 0;
     std::atomic<std::size_t> served{0};
 };
@@ -234,9 +241,23 @@ void handle_client(util::unique_fd fd, serve_state& state) {
             }
             if (!fatal) {
                 try {
+                    // Fleet-wide span/requeue deltas around the request:
+                    // approximate while other requests are in flight,
+                    // exact when serving one at a time — either way the
+                    // lane count and requeue movement are visible per
+                    // request instead of only in aggregate.
+                    const exec::fleet_stats before = state.fleet->stats();
                     const core::quorum_detector detector(state.config);
                     const core::score_report report =
                         detector.score(data::dataset::from_rows(features));
+                    const exec::fleet_stats after = state.fleet->stats();
+                    std::fprintf(
+                        stderr,
+                        "quorum_serve: request #%zu scored rows=%zu "
+                        "(fleet: lanes=%zu spans=%zu requeues=%zu)\n",
+                        state.served.load() + 1, rows, after.live_lanes,
+                        after.spans_completed - before.spans_completed,
+                        after.requeued_spans - before.requeued_spans);
                     reply = tag + " OK " + std::to_string(rows) + "\n";
                     for (const double score : report.scores) {
                         reply += exec::serve_format_double(score);
@@ -299,6 +320,7 @@ int run(const serve_options& options) {
     serve_state state;
     state.config = options.config;
     state.config.backend = "fleet";
+    state.fleet = fleet;
     state.max_requests = options.max_requests;
     state.config.validate();
 
@@ -430,6 +452,19 @@ int main(int argc, char** argv) {
             ok = value != nullptr;
             if (ok) {
                 options.backend = next();
+            }
+        } else if (arg == "--schedule") {
+            ok = value != nullptr;
+            if (ok) {
+                options.config.schedule = next();
+                try {
+                    (void)exec::parse_schedule_spec(
+                        options.config.schedule);
+                } catch (const util::contract_error& error) {
+                    std::fprintf(stderr, "quorum_serve: %s\n",
+                                 error.what());
+                    return 2;
+                }
             }
         } else if (arg == "--mode") {
             ok = value != nullptr &&

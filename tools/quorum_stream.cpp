@@ -11,7 +11,8 @@
 //
 // Options:
 //   --input PATH          CSV whose rows arrive in order (else --demo)
-//   --output PATH         scores CSV (default: quorum_stream_scores.csv)
+//   --out PATH            scores CSV (default: quorum_stream_scores.csv;
+//                         --output is an alias)
 //   --label-column K      0/1 label column for evaluation (-1 = none)
 //   --no-header           input has no header row
 //   --samples N           demo stream length (default 256)
@@ -29,6 +30,9 @@
 //   --mode M              exact | sampled | per_shot | noisy
 //                         (default sampled)
 //   --backend B           execution engine (default auto)
+//   --schedule S          span planning for wrapper backends: static or
+//                         dynamic[:grain] (identical scores; default
+//                         static)
 //   --no-fused            per-level evaluation instead of the fused
 //                         session (identical scores; A/B hatch)
 //   --seed S              master seed (default 2025)
@@ -77,10 +81,11 @@ void print_usage() {
         "  quorum_stream --demo [--samples N] [--anomalies N]\n"
         "                [--features N] [--drift A] [--drift-period P]\n"
         "  quorum_stream --input data.csv [--label-column K] [--no-header]\n"
-        "  common: [--output scores.csv] [--window N] [--rebucket N]\n"
+        "  common: [--out scores.csv] [--window N] [--rebucket N]\n"
         "          [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "          [--bucket-prob P]\n"
         "          [--mode exact|sampled|per_shot|noisy] [--backend B]\n"
+        "          [--schedule static|dynamic[:grain]]\n"
         "          [--no-fused] [--seed S] [--top K]\n"
         "\n"
         "registered backends:";
@@ -160,7 +165,7 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 return false;
             }
             options.input = v;
-        } else if (arg == "--output") {
+        } else if (arg == "--out" || arg == "--output") {
             const char* v = next();
             if (v == nullptr) {
                 return false;
@@ -246,6 +251,12 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 return false;
             }
             options.config.detector.backend = v;
+        } else if (arg == "--schedule") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            options.config.detector.schedule = v;
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return false;
@@ -366,6 +377,11 @@ int main(int argc, char** argv) {
         table.print(std::cout);
 
         std::ofstream out(options.output);
+        if (!out) {
+            std::cerr << "error: cannot open --out path '" << options.output
+                      << "' for writing\n";
+            return 1;
+        }
         out << "position,score,runs";
         if (input.has_labels()) {
             out << ",label";
@@ -377,6 +393,12 @@ int main(int argc, char** argv) {
                 out << "," << input.labels()[t];
             }
             out << "\n";
+        }
+        out.flush();
+        if (!out) {
+            std::cerr << "error: failed writing scores to --out path '"
+                      << options.output << "'\n";
+            return 1;
         }
         std::cout << "\nwrote per-arrival scores to " << options.output
                   << "\n";
