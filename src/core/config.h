@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/executor.h"
+#include "qml/angle_encoding.h"
 #include "qsim/noise.h"
 
 namespace quorum::core {
@@ -96,6 +97,12 @@ struct quorum_config {
     bool fused_levels = true;
     /// Feature subsampling strategy (paper default: uniform_random).
     feature_strategy features = feature_strategy::uniform_random;
+    /// How features become quantum states (paper default: amplitude,
+    /// §IV-B). Angle encoding embeds one feature per qubit as RY(pi·f)
+    /// — O(n) prep depth instead of state-prep synthesis, but only n
+    /// features per register instead of 2^n - 1, so bucket planning and
+    /// feature selection key off this (qml::encoded_feature_count).
+    qml::encoding encoding = qml::encoding::amplitude;
     /// Noise model for exec_mode::noisy.
     qsim::noise_model noise = qsim::noise_model::ibm_brisbane_median();
     /// Execution backend spec (exec/registry.h). "auto" picks the density

@@ -9,6 +9,7 @@
 #include "exec/executor.h"
 #include "exec/registry.h"
 #include "qml/amplitude_encoding.h"
+#include "qml/angle_encoding.h"
 #include "qml/ansatz.h"
 #include "qml/autoencoder.h"
 #include "util/contracts.h"
@@ -22,15 +23,23 @@ make_level_program(const qml::ansatz_params& params, std::size_t level,
                    const quorum_config& config,
                    const exec::executor& engine) {
     exec::program program;
+    // Angle-encoded samples are product states: tell gate-lowering
+    // engines (density) to prepare them as an O(n) RY chain instead of
+    // the synthesis tree. The option travels with the program template,
+    // so remote workers lower prep identically.
+    qsim::compile_options options;
+    options.prep = config.encoding == qml::encoding::angle
+                       ? qsim::prep_style::ry_product
+                       : qsim::prep_style::synthesis;
     if (config.uses_full_circuit() ||
         !engine.supports(exec::readout_kind::prep_overlap_p1)) {
         program.circuit = qsim::compiled_program::compile(
-            qml::autoencoder_template(params, level));
+            qml::autoencoder_template(params, level), options);
         program.readout.kind = exec::readout_kind::cbit_probability;
         program.readout.cbit = qml::swap_result_cbit;
     } else {
         program.circuit = qsim::compiled_program::compile(
-            qml::autoencoder_reg_a_template(params, level));
+            qml::autoencoder_reg_a_template(params, level), options);
         program.readout.kind = exec::readout_kind::prep_overlap_p1;
     }
     return program;
@@ -63,7 +72,10 @@ group_result run_ensemble_group(const data::dataset& normalized,
     const std::vector<std::vector<std::size_t>> buckets =
         data::make_buckets(n_samples, result.bucket_size, gen);
 
-    // Feature subset for this group (m = 2^n - 1, Fig. 4).
+    // Feature subset for this group (m = 2^n - 1 for amplitude encoding,
+    // Fig. 4; m = n for angle encoding — one qubit per feature).
+    const std::size_t group_features =
+        qml::encoded_feature_count(config.encoding, config.n_qubits);
     std::vector<std::size_t> features;
     if (config.features == feature_strategy::top_variance) {
         // Ablation comparator: a fixed variance-greedy projection shared by
@@ -84,17 +96,14 @@ group_result run_ensemble_group(const data::dataset& normalized,
                          [&variances](std::size_t a, std::size_t b) {
                              return variances[a] > variances[b];
                          });
-        const std::size_t count =
-            std::min(qml::max_features(config.n_qubits), n_features);
+        const std::size_t count = std::min(group_features, n_features);
         features.assign(order.begin(),
                         order.begin() + static_cast<std::ptrdiff_t>(count));
         // Keep the RNG stream aligned with the random strategy so bucket
         // assignments and angles stay comparable across ablation arms.
-        (void)data::select_features(n_features,
-                                    qml::max_features(config.n_qubits), gen);
+        (void)data::select_features(n_features, group_features, gen);
     } else {
-        features = data::select_features(
-            n_features, qml::max_features(config.n_qubits), gen);
+        features = data::select_features(n_features, group_features, gen);
     }
 
     // Random ansatz angles, shared by all compression levels (Fig. 6).
@@ -106,7 +115,8 @@ group_result run_ensemble_group(const data::dataset& normalized,
     for (std::size_t i = 0; i < n_samples; ++i) {
         const std::vector<double> selected =
             data::gather_features(normalized.row(i), features);
-        amplitudes[i] = qml::to_amplitudes(selected, config.n_qubits);
+        amplitudes[i] = qml::to_encoded_amplitudes(config.encoding, selected,
+                                                   config.n_qubits);
     }
 
     const bool stochastic = config.mode != exec_mode::exact;

@@ -26,8 +26,13 @@ score_report quorum_detector::score(const data::dataset& input) const {
     QUORUM_EXPECTS_MSG(input.num_samples() >= 2,
                        "need at least two samples to compare");
     // Unsupervised: any labels are dropped before processing (§V).
+    // Amplitude encoding needs the 1/M cap so squared features fit the
+    // unit probability mass (§IV-A); angle encoding maps each feature to
+    // its own rotation, so the full unit range is usable.
     const data::dataset normalized =
-        data::normalize_for_quorum(input.without_labels());
+        config_.encoding == qml::encoding::angle
+            ? data::normalize_unit_range(input.without_labels())
+            : data::normalize_for_quorum(input.without_labels());
 
     std::vector<group_result> groups(config_.ensemble_groups);
     const std::size_t thread_count =

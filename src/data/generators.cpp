@@ -242,6 +242,136 @@ dataset make_power_plant(util::rng& gen) {
     return d;
 }
 
+dataset generate_sensor_stream(const sensor_stream_spec& spec,
+                               util::rng& gen) {
+    const generator_spec& base = spec.base;
+    QUORUM_EXPECTS(base.samples > 0 && base.features > 0);
+    QUORUM_EXPECTS(base.anomalies < base.samples);
+    QUORUM_EXPECTS(base.anomaly_feature_fraction > 0.0 &&
+                   base.anomaly_feature_fraction <= 1.0);
+    QUORUM_EXPECTS(spec.coupling > 0.0);
+    QUORUM_EXPECTS(spec.walk_step > 0.0);
+    QUORUM_EXPECTS(spec.stuck_probability >= 0.0 &&
+                   spec.stuck_probability <= 1.0);
+    QUORUM_EXPECTS(spec.spike_magnitude > 0.0);
+
+    // Per-sensor calibration, drawn once up front: an offset around 0.5
+    // and a signed coupling to the shared plant state, so the bank moves
+    // together without translating rigidly.
+    std::vector<double> offset(base.features);
+    std::vector<double> gain(base.features);
+    for (std::size_t j = 0; j < base.features; ++j) {
+        offset[j] = 0.5 + gen.uniform(-base.center_spread, base.center_spread);
+        const double sign = gen.bernoulli(0.5) ? 1.0 : -1.0;
+        gain[j] = sign * spec.coupling * gen.uniform(0.5, 1.0);
+    }
+
+    dataset d(base.samples, base.features);
+    d.set_name(base.name);
+    std::vector<int> labels(base.samples, 0);
+
+    // Faults are drawn PER ROW (Bernoulli at the target rate), like the
+    // drifting stream's: row t's draws depend only on rows <= t, so a
+    // longer stream emits the shorter one as its exact prefix.
+    const double fault_rate = static_cast<double>(base.anomalies) /
+                              static_cast<double>(base.samples);
+    const std::size_t faulty =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(
+                                     base.anomaly_feature_fraction *
+                                     static_cast<double>(base.features))));
+
+    double latent = 0.0;
+    for (std::size_t t = 0; t < base.samples; ++t) {
+        labels[t] = gen.bernoulli(fault_rate) ? 1 : 0;
+        // Mean-reverting latent plant state, kept inside [-1, 1].
+        latent = std::min(
+            1.0, std::max(-1.0,
+                          0.97 * latent + gen.normal(0.0, spec.walk_step)));
+        for (std::size_t j = 0; j < base.features; ++j) {
+            d.at(t, j) = clip_unit(offset[j] + gain[j] * latent +
+                                   gen.normal(0.0, base.cluster_spread));
+        }
+        if (labels[t] == 1) {
+            const std::vector<std::size_t> subset =
+                gen.sample_without_replacement(base.features, faulty);
+            for (const std::size_t j : subset) {
+                if (gen.bernoulli(spec.stuck_probability)) {
+                    // Stuck-at-rail fault: the sensor pins to its low or
+                    // high rail, ignoring the plant state entirely.
+                    d.at(t, j) = gen.bernoulli(0.5) ? 0.02 : 0.98;
+                } else {
+                    // Spike fault: a large transient displacement.
+                    const double sign = gen.bernoulli(0.5) ? 1.0 : -1.0;
+                    d.at(t, j) = clip_unit(d.at(t, j) +
+                                           sign * spec.spike_magnitude *
+                                               gen.uniform(0.7, 1.3));
+                }
+            }
+        }
+    }
+    d.set_labels(std::move(labels));
+    return d;
+}
+
+dataset make_hep_events(const hep_spec& spec, util::rng& gen) {
+    QUORUM_EXPECTS(spec.samples > 0);
+    QUORUM_EXPECTS(spec.anomalies < spec.samples);
+    QUORUM_EXPECTS(spec.resonance_mass > 0.0 && spec.resonance_mass < 1.0);
+    QUORUM_EXPECTS(spec.resonance_width > 0.0);
+    QUORUM_EXPECTS(spec.background_scale > 0.0);
+
+    constexpr std::size_t features = 6;
+    dataset d(spec.samples, features);
+    d.set_name(spec.name);
+    d.set_feature_names(
+        {"m_jj", "pt_lead", "pt_sub", "delta_eta", "mass_asym", "tau21"});
+    std::vector<int> labels(spec.samples, 0);
+    const std::vector<std::size_t> signal_rows =
+        gen.sample_without_replacement(spec.samples, spec.anomalies);
+    for (const std::size_t row : signal_rows) {
+        labels[row] = 1;
+    }
+
+    for (std::size_t i = 0; i < spec.samples; ++i) {
+        const bool signal = labels[i] == 1;
+        // Invariant mass: background falls exponentially from threshold;
+        // signal clusters in a narrow resonance bump.
+        const double mass =
+            signal ? clip_unit(gen.normal(spec.resonance_mass,
+                                          spec.resonance_width))
+                   : clip_unit(0.05 - spec.background_scale *
+                                          std::log(1.0 - gen.uniform()));
+        // pT balance: QCD radiation smears the split; a two-body
+        // resonance decay is more symmetric.
+        const double asym =
+            std::abs(gen.normal(0.0, signal ? 0.04 : 0.08));
+        // Jet pTs track the mass (heavier system -> harder jets), so the
+        // features are correlated rather than independent coordinates.
+        d.at(i, 0) = mass;
+        d.at(i, 1) = clip_unit(0.9 * mass * (0.5 + asym) + 0.15 +
+                               gen.normal(0.0, 0.04));
+        d.at(i, 2) = clip_unit(0.9 * mass * (0.5 - asym) + 0.10 +
+                               gen.normal(0.0, 0.04));
+        // Rapidity separation: QCD dijets at a given mass sit forward
+        // (mass grows with deta at fixed pT); resonance decays are
+        // central.
+        d.at(i, 3) = signal
+                         ? clip_unit(0.18 + gen.normal(0.0, 0.06))
+                         : clip_unit(0.25 + 0.5 * mass +
+                                     gen.normal(0.0, 0.08));
+        // Groomed-mass asymmetry: equal-mass decay products vs broad
+        // QCD jet-mass spread.
+        d.at(i, 4) = signal ? gen.uniform(0.05, 0.25)
+                            : gen.uniform(0.2, 0.7);
+        // tau21-like substructure proxy: two-prong (low) for signal,
+        // one-prong (high) for QCD.
+        d.at(i, 5) = clip_unit(signal ? gen.normal(0.30, 0.08)
+                                      : gen.normal(0.65, 0.10));
+    }
+    d.set_labels(std::move(labels));
+    return d;
+}
+
 std::vector<benchmark_dataset> make_benchmark_suite(std::uint64_t seed) {
     util::rng root(seed);
     std::vector<benchmark_dataset> suite;

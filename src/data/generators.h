@@ -90,6 +90,65 @@ struct stream_spec {
 [[nodiscard]] dataset generate_drifting_stream(const stream_spec& spec,
                                                util::rng& gen);
 
+/// Parameters of the multivariate-sensor stream generator: a bank of
+/// correlated sensors tracking one latent plant state, with injected
+/// stuck-at-rail and spike faults. The base spec supplies shape
+/// (samples / anomalies / features) and noise knobs; `cluster_spread`
+/// is the per-sensor read noise and `center_spread` the spread of the
+/// sensors' calibration offsets around 0.5.
+struct sensor_stream_spec {
+    generator_spec base;
+    /// Peak excursion each sensor sees from the shared plant state
+    /// (feature units). Couplings are signed per sensor, so the bank
+    /// moves together but not rigidly.
+    double coupling = 0.18;
+    /// Stddev of the latent plant-state random walk per arrival.
+    double walk_step = 0.05;
+    /// Faults split stuck-at-rail vs spike at this probability.
+    double stuck_probability = 0.5;
+    /// Peak displacement of a spike fault (feature units).
+    double spike_magnitude = 0.35;
+};
+
+/// Draws a TIME-ORDERED multivariate sensor stream: row t is the bank's
+/// reading at arrival t. All sensors track a mean-reverting latent
+/// plant state through per-sensor signed couplings, so the bank is
+/// correlated the way co-located instruments are. Faulty rows (drawn
+/// per row at the target Bernoulli rate, so any prefix is emitted
+/// identically for any requested length) pin a random sensor subset to
+/// its rails (stuck fault) or displace it transiently (spike fault).
+/// Values lie in [0, 1]; labels mark faulty rows.
+[[nodiscard]] dataset generate_sensor_stream(const sensor_stream_spec& spec,
+                                             util::rng& gen);
+
+/// Parameters of the HEP dijet-event generator, after the LHC
+/// new-physics anomaly-detection setting of Ngairangbam et al.
+/// (arXiv:2112.04958): background QCD dijet events with a steeply
+/// falling invariant-mass spectrum, against rare signal events from a
+/// heavy resonance decaying to two jets.
+struct hep_spec {
+    std::string name = "hep_dijet";
+    std::size_t samples = 600;
+    std::size_t anomalies = 30;
+    /// Location of the resonance bump in the normalised mass spectrum.
+    double resonance_mass = 0.62;
+    /// Width (stddev) of the resonance bump.
+    double resonance_width = 0.025;
+    /// Decay constant of the falling background mass spectrum.
+    double background_scale = 0.16;
+};
+
+/// Draws a labelled HEP event table with 6 correlated features per
+/// event: dijet invariant mass, leading/subleading jet pT (both driven
+/// by the mass, so features are correlated rather than independent),
+/// jet rapidity separation, groomed-mass asymmetry and a tau21-like
+/// substructure proxy. Background events fall exponentially in mass and
+/// look QCD-like (forward, one-prong); signal events cluster in a
+/// narrow resonance bump and are central and two-prong. Values lie in
+/// [0, 1]; labels mark signal events. Standalone — not part of the
+/// paper's Table-I suite.
+[[nodiscard]] dataset make_hep_events(const hep_spec& spec, util::rng& gen);
+
 /// One evaluation dataset plus its paper-assigned bucket probability
 /// (Table I right-most column).
 struct benchmark_dataset {

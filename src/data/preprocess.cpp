@@ -26,10 +26,13 @@ normalization_summary summarize_ranges(const dataset& input) {
     return summary;
 }
 
-dataset normalize_for_quorum(const dataset& input) {
+namespace {
+
+/// Shared range-based normalisation kernel: x -> (x - min)/range * cap.
+/// normalize_for_quorum passes cap = 1/M (bit-identical to the original
+/// inline expression); normalize_unit_range passes cap = 1.
+dataset normalize_range_scaled(const dataset& input, double cap) {
     const normalization_summary summary = summarize_ranges(input);
-    const double per_feature_cap =
-        1.0 / static_cast<double>(input.num_features());
     dataset out = input;
     for (std::size_t j = 0; j < input.num_features(); ++j) {
         const double range = summary.feature_max[j] - summary.feature_min[j];
@@ -38,11 +41,22 @@ dataset normalize_for_quorum(const dataset& input) {
                 out.at(i, j) = 0.0;
             } else {
                 out.at(i, j) = (input.at(i, j) - summary.feature_min[j]) /
-                               range * per_feature_cap;
+                               range * cap;
             }
         }
     }
     return out;
+}
+
+} // namespace
+
+dataset normalize_for_quorum(const dataset& input) {
+    return normalize_range_scaled(
+        input, 1.0 / static_cast<double>(input.num_features()));
+}
+
+dataset normalize_unit_range(const dataset& input) {
+    return normalize_range_scaled(input, 1.0);
 }
 
 dataset normalize_max_scale(const dataset& input) {

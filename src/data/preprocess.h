@@ -29,6 +29,12 @@ struct normalization_summary {
 /// Labels and metadata are preserved (labels still never influence values).
 [[nodiscard]] dataset normalize_for_quorum(const dataset& input);
 
+/// Range-based normalisation into the full unit interval:
+/// x -> (x - min_f) / (max_f - min_f). Constant features map to 0.
+/// This is what angle encoding wants (each feature becomes its own
+/// RY(pi·x) rotation, so the 1/M amplitude budget does not apply).
+[[nodiscard]] dataset normalize_unit_range(const dataset& input);
+
 /// The paper's literal formula: x -> x / max_f * (1/M). Requires all
 /// values non-negative; throws otherwise. Constant-zero features map to 0.
 [[nodiscard]] dataset normalize_max_scale(const dataset& input);

@@ -1,5 +1,7 @@
 #include "exec/density_backend.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <utility>
 #include <vector>
@@ -48,8 +50,49 @@ qsim::circuit suffix_circuit(const qsim::compiled_program& prog) {
 /// batched path's bit-identity rests on sharing that code, not copying
 /// it.
 qsim::circuit lowered_prep(std::span<const double> amplitudes,
-                           std::size_t register_qubits) {
+                           std::size_t register_qubits,
+                           qsim::prep_style style) {
     qsim::circuit prep(register_qubits);
+    if (style == qsim::prep_style::ry_product) {
+        // Product-state fast path (qml angle encoding): one RY per qubit
+        // with the angle recovered from that qubit's marginal — the same
+        // 2*atan2(sqrt(mass_one), sqrt(mass_zero)) formula the synthesis
+        // tree uses, so remote workers recompiling from the wire enum
+        // lower prep to the identical op stream. O(n) gates instead of
+        // the O(2^n) Möttönen tree.
+        const std::size_t dim = std::size_t{1} << register_qubits;
+        QUORUM_EXPECTS_MSG(amplitudes.size() == dim,
+                           "prep amplitudes must have size 2^register");
+        std::vector<double> half_angles(register_qubits, 0.0);
+        for (std::size_t j = 0; j < register_qubits; ++j) {
+            const std::size_t stride = std::size_t{1} << j;
+            double mass_zero = 0.0;
+            double mass_one = 0.0;
+            for (std::size_t b = 0; b < dim; ++b) {
+                const double p = amplitudes[b] * amplitudes[b];
+                ((b & stride) != 0 ? mass_one : mass_zero) += p;
+            }
+            half_angles[j] =
+                std::atan2(std::sqrt(mass_one), std::sqrt(mass_zero));
+            prep.ry(2.0 * half_angles[j], static_cast<qsim::qubit_t>(j));
+        }
+        // The fast path is only valid for product states; a non-product
+        // amplitude vector here means the caller mislabelled the program.
+        double max_err = 0.0;
+        for (std::size_t b = 0; b < dim; ++b) {
+            double expected = 1.0;
+            for (std::size_t j = 0; j < register_qubits; ++j) {
+                const double half = half_angles[j];
+                expected *= ((b >> j) & 1) != 0 ? std::sin(half)
+                                                : std::cos(half);
+            }
+            max_err = std::max(max_err, std::abs(expected - amplitudes[b]));
+        }
+        QUORUM_EXPECTS_MSG(max_err <= 1e-8,
+                           "ry_product prep requires product-state "
+                           "amplitudes (angle encoding)");
+        return qsim::decompose_to_basis(prep);
+    }
     std::vector<qsim::qubit_t> reg(register_qubits);
     std::iota(reg.begin(), reg.end(), qsim::qubit_t{0});
     prep.initialize(reg, amplitudes);
@@ -134,7 +177,8 @@ void density_backend::run_batch(const program& prog,
             compiled.slots().empty()
                 ? qsim::circuit(0)
                 : lowered_prep(samples[i].amplitudes,
-                               compiled.slots()[0].qubits.size());
+                               compiled.slots()[0].qubits.size(),
+                               compiled.compiled_with().prep);
         const qsim::circuit lowered = assemble_lowered(
             compiled, samples[i], prep, shared_lowered, identity);
 
@@ -188,7 +232,8 @@ void density_backend::run_batch_levels(std::span<const program> levels,
             first.slots().empty()
                 ? qsim::circuit(0)
                 : lowered_prep(samples[i].amplitudes,
-                               first.slots()[0].qubits.size());
+                               first.slots()[0].qubits.size(),
+                               first.compiled_with().prep);
         level_circuits.clear();
         for (std::size_t k = 0; k < count; ++k) {
             level_circuits.push_back(

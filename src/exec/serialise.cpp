@@ -233,6 +233,7 @@ void encode_program(writer& out, const program& prog) {
     const qsim::compile_options& opt = circuit.compiled_with();
     out.u8(opt.fuse ? 1 : 0);
     out.u8(opt.fuse_two_qubit ? 1 : 0);
+    out.u8(static_cast<std::uint8_t>(opt.prep));
     out.u64(opt.parameterized_ops);
     out.u32(static_cast<std::uint32_t>(circuit.slots().size()));
     for (const qsim::prep_slot& slot : circuit.slots()) {
@@ -270,6 +271,11 @@ program decode_program(reader& in) {
     qsim::compile_options opt;
     opt.fuse = in.u8() != 0;
     opt.fuse_two_qubit = in.u8() != 0;
+    const std::uint8_t prep = in.u8();
+    QUORUM_EXPECTS_MSG(
+        prep <= static_cast<std::uint8_t>(qsim::prep_style::ry_product),
+        "wire: prep style byte out of range");
+    opt.prep = static_cast<qsim::prep_style>(prep);
     opt.parameterized_ops = in.u64();
 
     // Reassemble the template circuit through the validating builder, with

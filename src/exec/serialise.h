@@ -40,7 +40,9 @@ namespace quorum::exec::wire {
 inline constexpr std::uint32_t protocol_magic = 0x574D5251u;
 
 /// Bumped on ANY layout change; both handshake sides must match exactly.
-inline constexpr std::uint32_t protocol_version = 1;
+/// v2: compile_options gained the prep-style byte (angle encoding's
+/// product-state lowering travels with the program template).
+inline constexpr std::uint32_t protocol_version = 2;
 
 /// Upper bound a transport accepts for one message (guards length-prefix
 /// framing against allocating garbage lengths from a corrupt stream).

@@ -27,6 +27,7 @@
 #define QUORUM_QSIM_COMPILED_PROGRAM_H
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -79,6 +80,19 @@ struct fused_op {
     std::vector<std::size_t> offsets;
 };
 
+/// How engines that lower prep slots to gates (the density backend's
+/// noisy path) synthesise the per-sample state preparation. Statevector
+/// engines load slot amplitudes directly and ignore this.
+enum class prep_style : std::uint8_t {
+    /// General state-prep synthesis (Möttönen uniformly-controlled-RY
+    /// tree) — handles any real non-negative amplitude vector.
+    synthesis = 0,
+    /// The amplitudes are a product state (qml angle encoding): lower to
+    /// one RY per qubit with angles recovered from the per-qubit
+    /// marginals. O(n) gates instead of the O(2^n) synthesis tree.
+    ry_product = 1,
+};
+
 /// Compilation knobs.
 struct compile_options {
     /// Build the fused suffix (adjacent single-qubit gates -> 2x2).
@@ -89,6 +103,10 @@ struct compile_options {
     /// supplied per sample (each op consumes gate_param_count angles
     /// from the sample's param stream, in op order).
     std::size_t parameterized_ops = 0;
+    /// How gate-lowering engines synthesise the prep slots. Travels on
+    /// the wire with the other options so remote workers lower prep the
+    /// same way the local engine would.
+    prep_style prep = prep_style::synthesis;
 };
 
 /// A circuit compiled for batched replay. Immutable after compile().

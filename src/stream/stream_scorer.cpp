@@ -8,6 +8,7 @@
 #include "data/feature_select.h"
 #include "exec/registry.h"
 #include "qml/amplitude_encoding.h"
+#include "qml/angle_encoding.h"
 #include "qml/ansatz.h"
 #include "util/contracts.h"
 
@@ -23,7 +24,13 @@ void stream_config::validate() const {
 stream_scorer::stream_scorer(stream_config config, std::size_t raw_features)
     : config_((config.validate(), std::move(config))),
       extractor_(raw_features, config_.window),
-      normalizer_(extractor_.extracted_features()) {
+      // Angle encoding uses the full unit range; amplitude keeps the
+      // online 1/M cap (see online_normalizer).
+      normalizer_(extractor_.extracted_features(),
+                  config_.detector.encoding == qml::encoding::angle
+                      ? 1.0
+                      : 1.0 / static_cast<double>(
+                                  extractor_.extracted_features())) {
     const core::quorum_config& detector = config_.detector;
     levels_ = detector.effective_compression_levels();
     stochastic_ = detector.mode != core::exec_mode::exact;
@@ -41,7 +48,8 @@ stream_scorer::stream_scorer(stream_config config, std::size_t raw_features)
         util::rng init(util::derive_seed(group.group_root, 0));
         group.features = data::select_features(
             extractor_.extracted_features(),
-            qml::max_features(detector.n_qubits), init);
+            qml::encoded_feature_count(detector.encoding, detector.n_qubits),
+            init);
         const qml::ansatz_params params = qml::random_ansatz_params(
             detector.n_qubits, detector.ansatz_layers, init);
         std::vector<exec::program> family;
@@ -58,9 +66,11 @@ stream_scorer::stream_scorer(stream_config config, std::size_t raw_features)
     }
 
     extracted_.assign(extractor_.extracted_features(), 0.0);
-    selected_.assign(std::min(qml::max_features(detector.n_qubits),
-                              extractor_.extracted_features()),
-                     0.0);
+    selected_.assign(
+        std::min(qml::encoded_feature_count(detector.encoding,
+                                            detector.n_qubits),
+                 extractor_.extracted_features()),
+        0.0);
     amplitudes_.assign(std::size_t{1} << detector.n_qubits, 0.0);
     p_values_.assign(level_count, 0.0);
     if (stochastic_) {
@@ -101,8 +111,8 @@ stream_score stream_scorer::push(std::span<const double> raw) {
         for (std::size_t k = 0; k < group.features.size(); ++k) {
             selected_[k] = extracted_[group.features[k]];
         }
-        qml::encode_amplitudes(selected_, config_.detector.n_qubits,
-                               amplitudes_);
+        qml::encode_features(config_.detector.encoding, selected_,
+                             config_.detector.n_qubits, amplitudes_);
 
         exec::sample s;
         s.amplitudes = amplitudes_;

@@ -9,8 +9,10 @@
 // autoencoder — but scores each sample AS IT ARRIVES:
 //
 //   raw sample --> sliding_window_extractor (value/mean/stddev per raw
-//   feature) --> online_normalizer (expanding min/max into [0, 1/M])
-//   --> per group: gather the group's feature subset, amplitude-encode,
+//   feature) --> online_normalizer (expanding min/max into [0, 1/M] for
+//   amplitude encoding, [0, 1] for angle encoding)
+//   --> per group: gather the group's feature subset, encode it per the
+//   detector's qml::encoding,
 //   run the group's compiled level family, fold each level's P(1) into
 //   the (bucket, level) Welford run via add-then-score --> the sample's
 //   score is mean |z| over every run that had signal (sigma >=

@@ -44,23 +44,28 @@ void sliding_window_extractor::push(std::span<const double> raw,
 }
 
 online_normalizer::online_normalizer(std::size_t features)
+    : online_normalizer(features, 1.0 / static_cast<double>(features)) {}
+
+online_normalizer::online_normalizer(std::size_t features, double range_max)
     : min_(features, std::numeric_limits<double>::infinity()),
-      max_(features, -std::numeric_limits<double>::infinity()) {
+      max_(features, -std::numeric_limits<double>::infinity()),
+      scale_(range_max) {
     QUORUM_EXPECTS_MSG(features >= 1,
                        "the normalizer needs at least one feature");
+    QUORUM_EXPECTS_MSG(range_max > 0.0 && range_max <= 1.0,
+                       "range_max must be in (0, 1]");
 }
 
 void online_normalizer::normalize(std::span<double> values) {
     QUORUM_EXPECTS_MSG(values.size() == min_.size(),
                        "value width does not match the normalizer");
-    const double scale = 1.0 / static_cast<double>(min_.size());
     for (std::size_t j = 0; j < values.size(); ++j) {
         min_[j] = std::min(min_[j], values[j]);
         max_[j] = std::max(max_[j], values[j]);
         const double range = max_[j] - min_[j];
         // A feature constant so far carries no information yet — map to 0,
         // exactly like normalize_for_quorum's constant-feature rule.
-        values[j] = range > 0.0 ? (values[j] - min_[j]) / range * scale : 0.0;
+        values[j] = range > 0.0 ? (values[j] - min_[j]) / range * scale_ : 0.0;
     }
 }
 

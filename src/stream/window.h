@@ -56,13 +56,17 @@ private:
     std::vector<double> ring_;
 };
 
-/// Expanding-range normalisation into [0, 1/M] (M = feature count): the
-/// observed per-feature min/max grow with the stream, each sample is
-/// normalised against the range INCLUDING itself, and constant features
-/// map to 0 — data::normalize_for_quorum's rules, applied online.
+/// Expanding-range normalisation into [0, range_max]: the observed
+/// per-feature min/max grow with the stream, each sample is normalised
+/// against the range INCLUDING itself, and constant features map to 0.
+/// The default range_max is 1/M (M = feature count) —
+/// data::normalize_for_quorum's rules, applied online, which is what
+/// amplitude encoding needs; angle encoding passes 1.0 (the online
+/// analogue of data::normalize_unit_range).
 class online_normalizer {
 public:
     explicit online_normalizer(std::size_t features);
+    online_normalizer(std::size_t features, double range_max);
 
     [[nodiscard]] std::size_t features() const noexcept {
         return min_.size();
@@ -75,6 +79,7 @@ public:
 private:
     std::vector<double> min_;
     std::vector<double> max_;
+    double scale_;
 };
 
 } // namespace quorum::stream

@@ -1,0 +1,116 @@
+// baseline/hybrid_qae.h: the closed-form PCA stage (Jacobi eigensolver,
+// sign convention, explained variance), its determinism, and the
+// end-to-end hybrid pipeline contracts.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/hybrid_qae.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+
+/// Rows spread along a known dominant axis (features 0+1 move together,
+/// the rest is small isotropic noise).
+data::dataset ridge_dataset(std::size_t samples) {
+    util::rng gen(5);
+    data::dataset d(samples, 4);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double t = gen.uniform(-1.0, 1.0);
+        d.at(i, 0) = 0.5 + 0.4 * t + gen.normal(0.0, 0.01);
+        d.at(i, 1) = 0.5 + 0.4 * t + gen.normal(0.0, 0.01);
+        d.at(i, 2) = 0.5 + gen.normal(0.0, 0.01);
+        d.at(i, 3) = 0.5 + gen.normal(0.0, 0.01);
+    }
+    return d;
+}
+
+TEST(HybridQae, RecoversTheDominantDirection) {
+    const data::dataset d = ridge_dataset(300);
+    baseline::hybrid_qae_config config;
+    config.components = 2;
+    baseline::hybrid_qae hybrid(config);
+    const std::vector<double> explained = hybrid.fit(d);
+    ASSERT_EQ(explained.size(), 2u);
+    // The ridge carries nearly all the variance...
+    EXPECT_GT(explained[0], 0.9);
+    EXPECT_GT(explained[0], explained[1]);
+    // ...and its direction is (1,1,0,0)/sqrt(2): the first component's
+    // projection of that axis has magnitude ~1, and the sign convention
+    // (largest-|component| positive) makes it positive.
+    const std::vector<double> along =
+        hybrid.project_row(std::vector<double>{0.9, 0.9, 0.5, 0.5});
+    const std::vector<double> across =
+        hybrid.project_row(std::vector<double>{0.5, 0.5, 0.9, 0.9});
+    EXPECT_GT(std::abs(along[0]), 0.3);
+    EXPECT_LT(std::abs(across[0]), 0.1);
+    EXPECT_GT(along[0], 0.0); // sign convention
+}
+
+TEST(HybridQae, FitIsDeterministicBitForBit) {
+    const data::dataset d = ridge_dataset(200);
+    baseline::hybrid_qae a({});
+    baseline::hybrid_qae b({});
+    a.fit(d);
+    b.fit(d);
+    const std::vector<double> row{0.6, 0.4, 0.55, 0.45};
+    const std::vector<double> pa = a.project_row(row);
+    const std::vector<double> pb = b.project_row(row);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t c = 0; c < pa.size(); ++c) {
+        EXPECT_EQ(pa[c], pb[c]) << c;
+    }
+    const core::score_report ra = a.score_all(d);
+    const core::score_report rb = b.score_all(d);
+    for (std::size_t i = 0; i < ra.scores.size(); ++i) {
+        EXPECT_EQ(ra.scores[i], rb.scores[i]) << i;
+    }
+}
+
+TEST(HybridQae, ProjectionCarriesLabelsAndShrinksWidth) {
+    data::dataset d = ridge_dataset(64);
+    std::vector<int> labels(64, 0);
+    labels[7] = 1;
+    d.set_labels(labels);
+    baseline::hybrid_qae hybrid({});
+    hybrid.fit(d);
+    const data::dataset projected = hybrid.project(d);
+    EXPECT_EQ(projected.num_samples(), 64u);
+    EXPECT_EQ(projected.num_features(), 4u); // default components
+    ASSERT_TRUE(projected.has_labels());
+    EXPECT_EQ(projected.label(7), 1);
+    EXPECT_EQ(projected.num_anomalies(), 1u);
+}
+
+TEST(HybridQae, ContractsRejectMisuse) {
+    const data::dataset d = ridge_dataset(32);
+    baseline::hybrid_qae_config config;
+    config.components = 0;
+    EXPECT_THROW(baseline::hybrid_qae bad(config), util::contract_error);
+
+    config.components = 9; // more than the 4 input features
+    baseline::hybrid_qae wide(config);
+    EXPECT_THROW((void)wide.fit(d), util::contract_error);
+
+    baseline::hybrid_qae unfitted({});
+    EXPECT_THROW((void)unfitted.project(d), util::contract_error);
+    const std::vector<double> row{0.5, 0.5, 0.5, 0.5};
+    EXPECT_THROW((void)unfitted.project_row(row), util::contract_error);
+
+    baseline::hybrid_qae fitted({});
+    fitted.fit(d);
+    const std::vector<double> narrow{0.5, 0.5};
+    EXPECT_THROW((void)fitted.project_row(narrow), util::contract_error);
+}
+
+TEST(HybridQae, DefaultDetectorUsesSmallerRegister) {
+    const baseline::hybrid_qae_config config;
+    EXPECT_EQ(config.components, 4u);
+    EXPECT_EQ(config.detector.n_qubits, 2u);
+}
+
+} // namespace

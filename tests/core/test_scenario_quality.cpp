@@ -1,0 +1,103 @@
+// Detection-quality regression harness: pinned ROC-AUC lower bounds per
+// (scenario, detector). bench_scenarios reports the same numbers for
+// humans; THIS file is what makes a quality regression fail CI — an
+// engine or generator change that silently degrades separation on any
+// scenario trips a bound here.
+//
+// Bounds are deliberately below the observed values (see
+// BENCH_scenarios.json: amplitude/angle ~1.0, hybrid ~0.99, HEP ~0.97)
+// so they only fire on real regressions, not on seed-level jitter from
+// intentional generator retuning.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/hybrid_qae.h"
+#include "core/quorum.h"
+#include "data/generators.h"
+#include "metrics/roc.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+
+data::dataset scenario_dataset() {
+    util::rng gen(2025);
+    data::generator_spec spec;
+    spec.name = "scenario_flagship";
+    spec.samples = 256;
+    spec.anomalies = 16;
+    spec.features = 12;
+    return data::generate_clustered(spec, gen);
+}
+
+core::quorum_config scenario_config(qml::encoding enc) {
+    core::quorum_config config;
+    config.encoding = enc;
+    config.ensemble_groups = 40;
+    config.mode = core::exec_mode::exact;
+    config.seed = 2025;
+    return config;
+}
+
+double scenario_auc(const data::dataset& d,
+                    const core::quorum_config& config) {
+    const core::quorum_detector detector(config);
+    return metrics::roc_auc(d.labels(), detector.score(d).scores);
+}
+
+TEST(ScenarioQuality, FlagshipAmplitudeAucLowerBound) {
+    // The paper's configuration on the flagship tabular scenario: the
+    // reference every other scenario is compared against.
+    const double auc =
+        scenario_auc(scenario_dataset(),
+                     scenario_config(qml::encoding::amplitude));
+    EXPECT_GT(auc, 0.95) << "amplitude flagship detection regressed";
+}
+
+TEST(ScenarioQuality, AngleEncodingAucLowerBound) {
+    // The angle ablation must stay competitive with amplitude on the
+    // same data — the encoding changes the state geometry, not the
+    // ensemble's ability to separate planted anomalies.
+    const double auc = scenario_auc(scenario_dataset(),
+                                    scenario_config(qml::encoding::angle));
+    EXPECT_GT(auc, 0.95) << "angle-encoding detection regressed";
+}
+
+TEST(ScenarioQuality, HybridBaselineAucLowerBound) {
+    // PCA(4) -> n = 2 Quorum: the classical bottleneck discards noise
+    // dimensions, so quality should survive the smaller register.
+    const data::dataset d = scenario_dataset();
+    baseline::hybrid_qae_config config;
+    config.detector.ensemble_groups = 40;
+    config.detector.mode = core::exec_mode::exact;
+    config.detector.seed = 2025;
+    baseline::hybrid_qae hybrid(config);
+    hybrid.fit(d);
+    const double auc =
+        metrics::roc_auc(d.labels(), hybrid.score_all(d).scores);
+    EXPECT_GT(auc, 0.9) << "hybrid PCA+QAE detection regressed";
+}
+
+TEST(ScenarioQuality, HepResonanceAucLowerBound) {
+    // Resonance-bump events against the falling QCD spectrum
+    // (arXiv:2112.04958's setting) under the flagship detector.
+    util::rng gen(2025);
+    const data::dataset d = data::make_hep_events(data::hep_spec{}, gen);
+    const double auc =
+        scenario_auc(d, scenario_config(qml::encoding::amplitude));
+    EXPECT_GT(auc, 0.9) << "HEP dijet detection regressed";
+}
+
+TEST(ScenarioQuality, HepAngleEncodingAucLowerBound) {
+    // The HEP table has 6 features — exactly 2 angle registers' worth:
+    // the ablation must also separate the resonance on this domain.
+    util::rng gen(2025);
+    const data::dataset d = data::make_hep_events(data::hep_spec{}, gen);
+    const double auc =
+        scenario_auc(d, scenario_config(qml::encoding::angle));
+    EXPECT_GT(auc, 0.85) << "HEP angle-encoding detection regressed";
+}
+
+} // namespace

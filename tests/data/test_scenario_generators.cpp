@@ -1,0 +1,189 @@
+// The scenario-diversity data generators: the multivariate sensor
+// stream (stuck/spike faults over a correlated bank) and the HEP dijet
+// events (resonance-bump anomalies over a falling mass spectrum).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum::data;
+using quorum::util::rng;
+
+TEST(SensorStreamGenerator, ShapeLabelsAndRange) {
+    rng gen(17);
+    sensor_stream_spec spec;
+    spec.base.samples = 300;
+    spec.base.anomalies = 24;
+    spec.base.features = 6;
+    const dataset d = generate_sensor_stream(spec, gen);
+    EXPECT_EQ(d.num_samples(), 300u);
+    EXPECT_EQ(d.num_features(), 6u);
+    ASSERT_TRUE(d.has_labels());
+    // Per-row Bernoulli draws: the fault count concentrates around the
+    // target, it is not exact.
+    EXPECT_GT(d.num_anomalies(), 5u);
+    EXPECT_LT(d.num_anomalies(), 60u);
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        for (std::size_t j = 0; j < d.num_features(); ++j) {
+            EXPECT_GE(d.at(i, j), 0.0);
+            EXPECT_LE(d.at(i, j), 1.0);
+        }
+    }
+}
+
+TEST(SensorStreamGenerator, LongerStreamEmitsShorterAsExactPrefix) {
+    // The property the streaming determinism contract rests on: row t's
+    // draws depend only on rows <= t, so at a FIXED fault rate
+    // (anomalies/samples — the per-row Bernoulli parameter) requesting
+    // more rows never changes the ones already emitted.
+    sensor_stream_spec spec;
+    spec.base.features = 5;
+    spec.base.anomalies = 10;
+    spec.base.samples = 200;
+    rng gen_long(31);
+    const dataset long_stream = generate_sensor_stream(spec, gen_long);
+    spec.base.samples = 120;
+    spec.base.anomalies = 6; // same 5% rate as 10/200
+    rng gen_short(31);
+    const dataset short_stream = generate_sensor_stream(spec, gen_short);
+    for (std::size_t t = 0; t < short_stream.num_samples(); ++t) {
+        EXPECT_EQ(long_stream.label(t), short_stream.label(t)) << t;
+        for (std::size_t j = 0; j < spec.base.features; ++j) {
+            EXPECT_EQ(long_stream.at(t, j), short_stream.at(t, j))
+                << "t=" << t << " j=" << j;
+        }
+    }
+}
+
+TEST(SensorStreamGenerator, SensorsTrackTheSharedPlantState) {
+    // Normal rows are a correlated bank: at least one sensor pair must
+    // show strong |correlation| — faults would be undetectable against
+    // an uncorrelated bank.
+    rng gen(23);
+    sensor_stream_spec spec;
+    spec.base.samples = 400;
+    spec.base.anomalies = 0;
+    spec.base.features = 4;
+    spec.coupling = 0.35;
+    const dataset d = generate_sensor_stream(spec, gen);
+    double best = 0.0;
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = a + 1; b < 4; ++b) {
+            double ma = 0.0;
+            double mb = 0.0;
+            for (std::size_t t = 0; t < d.num_samples(); ++t) {
+                ma += d.at(t, a);
+                mb += d.at(t, b);
+            }
+            ma /= static_cast<double>(d.num_samples());
+            mb /= static_cast<double>(d.num_samples());
+            double cov = 0.0;
+            double va = 0.0;
+            double vb = 0.0;
+            for (std::size_t t = 0; t < d.num_samples(); ++t) {
+                const double da = d.at(t, a) - ma;
+                const double db = d.at(t, b) - mb;
+                cov += da * db;
+                va += da * da;
+                vb += db * db;
+            }
+            best = std::max(best, std::abs(cov) / std::sqrt(va * vb));
+        }
+    }
+    EXPECT_GT(best, 0.5);
+}
+
+TEST(SensorStreamGenerator, RejectsNonsenseSpecs) {
+    rng gen(1);
+    sensor_stream_spec spec;
+    spec.base.samples = 10;
+    spec.base.anomalies = 10; // must be < samples
+    EXPECT_THROW((void)generate_sensor_stream(spec, gen),
+                 quorum::util::contract_error);
+    spec.base.anomalies = 1;
+    spec.stuck_probability = 1.5;
+    EXPECT_THROW((void)generate_sensor_stream(spec, gen),
+                 quorum::util::contract_error);
+}
+
+TEST(HepEventGenerator, ShapeLabelsNamesAndRange) {
+    rng gen(41);
+    const dataset d = make_hep_events(hep_spec{}, gen);
+    EXPECT_EQ(d.num_samples(), 600u);
+    EXPECT_EQ(d.num_features(), 6u);
+    EXPECT_EQ(d.num_anomalies(), 30u);
+    EXPECT_EQ(d.name(), "hep_dijet");
+    ASSERT_EQ(d.feature_names().size(), 6u);
+    EXPECT_EQ(d.feature_names()[0], "m_jj");
+    EXPECT_EQ(d.feature_names()[5], "tau21");
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        for (std::size_t j = 0; j < d.num_features(); ++j) {
+            EXPECT_GE(d.at(i, j), 0.0);
+            EXPECT_LE(d.at(i, j), 1.0);
+        }
+    }
+}
+
+TEST(HepEventGenerator, SignalClustersInTheResonanceBump) {
+    rng gen(43);
+    hep_spec spec;
+    const dataset d = make_hep_events(spec, gen);
+    // Signal invariant mass concentrates at the resonance; background
+    // falls from threshold — their means must be well separated and the
+    // signal spread narrow.
+    double signal_mean = 0.0;
+    double background_mean = 0.0;
+    std::size_t n_signal = 0;
+    std::size_t n_background = 0;
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        if (d.label(i) == 1) {
+            signal_mean += d.at(i, 0);
+            ++n_signal;
+        } else {
+            background_mean += d.at(i, 0);
+            ++n_background;
+        }
+    }
+    signal_mean /= static_cast<double>(n_signal);
+    background_mean /= static_cast<double>(n_background);
+    EXPECT_NEAR(signal_mean, spec.resonance_mass, 0.02);
+    EXPECT_LT(background_mean, 0.35);
+    double signal_var = 0.0;
+    for (std::size_t i = 0; i < d.num_samples(); ++i) {
+        if (d.label(i) == 1) {
+            const double delta = d.at(i, 0) - signal_mean;
+            signal_var += delta * delta;
+        }
+    }
+    EXPECT_LT(std::sqrt(signal_var / static_cast<double>(n_signal)), 0.06);
+}
+
+TEST(HepEventGenerator, StaysOutOfTheBenchmarkSuite) {
+    // The Table-I suite is the paper's; new domains ride alongside it.
+    const auto suite = make_benchmark_suite(7);
+    ASSERT_EQ(suite.size(), 4u);
+    for (const auto& entry : suite) {
+        EXPECT_NE(entry.name, "hep_dijet");
+    }
+}
+
+TEST(HepEventGenerator, RejectsNonsenseSpecs) {
+    rng gen(1);
+    hep_spec spec;
+    spec.resonance_mass = 1.2;
+    EXPECT_THROW((void)make_hep_events(spec, gen),
+                 quorum::util::contract_error);
+    spec.resonance_mass = 0.6;
+    spec.anomalies = 600;
+    EXPECT_THROW((void)make_hep_events(spec, gen),
+                 quorum::util::contract_error);
+}
+
+} // namespace

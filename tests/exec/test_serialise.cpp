@@ -393,7 +393,7 @@ TEST(WireSerialise, DocumentedHelloPayloadDecodes) {
     const std::uint8_t doc_payload[] = {
         0x01,                   // message type: hello
         0x51, 0x52, 0x4D, 0x57, // magic "QRMW"
-        0x01, 0x00, 0x00, 0x00, // protocol version 1
+        0x02, 0x00, 0x00, 0x00, // protocol version 2
         0x0B, 0x00, 0x00, 0x00, // inner name length: 11
         's', 't', 'a', 't', 'e', 'v', 'e', 'c', 't', 'o', 'r',
         0x00,                                           // sampling: exact
@@ -413,7 +413,7 @@ TEST(WireSerialise, DocumentedHelloPayloadDecodes) {
     const std::uint8_t doc_reply[] = {
         0x02,                   // message type: hello_ack
         0x51, 0x52, 0x4D, 0x57, // magic "QRMW"
-        0x01, 0x00, 0x00, 0x00, // protocol version 1
+        0x02, 0x00, 0x00, 0x00, // protocol version 2
     };
     ASSERT_EQ(reply.size(), sizeof(doc_reply));
     EXPECT_EQ(std::memcmp(reply.data(), doc_reply, sizeof(doc_reply)), 0);

@@ -1,0 +1,180 @@
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qml/angle_encoding.h"
+#include "qsim/statevector_runner.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace quorum;
+using namespace quorum::qml;
+
+TEST(AngleEncoding, NamesAndStrictParsing) {
+    EXPECT_EQ(encoding_name(encoding::amplitude), "amplitude");
+    EXPECT_EQ(encoding_name(encoding::angle), "angle");
+
+    encoding parsed = encoding::amplitude;
+    EXPECT_TRUE(parse_encoding("angle", parsed));
+    EXPECT_EQ(parsed, encoding::angle);
+    EXPECT_TRUE(parse_encoding("amplitude", parsed));
+    EXPECT_EQ(parsed, encoding::amplitude);
+
+    // Strict: no case folding, no prefixes, no surrounding junk — and a
+    // failed parse leaves the output untouched.
+    parsed = encoding::angle;
+    for (const char* bad :
+         {"", "Angle", "AMPLITUDE", "amp", "angle ", " angle", "angle2"}) {
+        EXPECT_FALSE(parse_encoding(bad, parsed)) << "accepted: " << bad;
+        EXPECT_EQ(parsed, encoding::angle) << "clobbered by: " << bad;
+    }
+}
+
+TEST(AngleEncoding, EncodedFeatureCountPerEncoding) {
+    EXPECT_EQ(encoded_feature_count(encoding::amplitude, 3), 7u);
+    EXPECT_EQ(encoded_feature_count(encoding::angle, 3), 3u);
+    EXPECT_EQ(encoded_feature_count(encoding::amplitude, 4), 15u);
+    EXPECT_EQ(encoded_feature_count(encoding::angle, 4), 4u);
+}
+
+TEST(AngleEncoding, ClosedFormMatchesProductDefinition) {
+    const std::vector<double> features{0.2, 0.7, 0.45};
+    const std::vector<double> amps = to_angle_amplitudes(features, 3);
+    ASSERT_EQ(amps.size(), 8u);
+    double norm = 0.0;
+    for (std::size_t b = 0; b < amps.size(); ++b) {
+        double expected = 1.0;
+        for (std::size_t j = 0; j < features.size(); ++j) {
+            const double half = std::numbers::pi * features[j] * 0.5;
+            expected *= ((b >> j) & 1u) != 0 ? std::sin(half)
+                                             : std::cos(half);
+        }
+        EXPECT_NEAR(amps[b], expected, 1e-15) << "basis state " << b;
+        norm += amps[b] * amps[b];
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-12);
+}
+
+TEST(AngleEncoding, ClosedFormBitIdenticalToRyChainSimulation) {
+    // The streaming hot path uses the closed-form fold; the gate path
+    // builds RY(pi * f_j) per qubit. The two must agree to the LAST BIT
+    // (including signed zeros — hence bit_cast, not EXPECT_EQ), or batch
+    // and gate-level scoring would diverge.
+    util::rng gen(7);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + gen.uniform_index(5);
+        std::vector<double> features(n);
+        for (double& f : features) {
+            // Include exact endpoints: RY(0) and RY(pi) exercise the
+            // signed-zero corners of the fold.
+            const double u = gen.uniform();
+            f = u < 0.05 ? 0.0 : (u > 0.95 ? 1.0 : gen.uniform());
+        }
+        const std::vector<double> closed = to_angle_amplitudes(features, n);
+        const qsim::exact_run_result run = qsim::statevector_runner::run_exact(
+            angle_encoding_circuit(features, n));
+        ASSERT_EQ(run.branches.size(), 1u);
+        const auto simulated = run.branches[0].state.amplitudes();
+        ASSERT_EQ(simulated.size(), closed.size());
+        for (std::size_t b = 0; b < closed.size(); ++b) {
+            EXPECT_EQ(std::bit_cast<std::uint64_t>(closed[b]),
+                      std::bit_cast<std::uint64_t>(simulated[b].real()))
+                << "trial " << trial << " basis state " << b;
+            EXPECT_EQ(simulated[b].imag(), 0.0);
+        }
+    }
+}
+
+TEST(AngleEncoding, RoundTripRecoversFeatures) {
+    // Features come back from the encoded state's per-qubit marginals:
+    // f_j = (2/pi) * atan2(sqrt(P[qubit j = 1]), sqrt(P[qubit j = 0])).
+    util::rng gen(11);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 1 + gen.uniform_index(5);
+        std::vector<double> features(n);
+        for (double& f : features) {
+            f = gen.uniform();
+        }
+        const std::vector<double> amps = to_angle_amplitudes(features, n);
+        for (std::size_t j = 0; j < n; ++j) {
+            double mass_zero = 0.0;
+            double mass_one = 0.0;
+            for (std::size_t b = 0; b < amps.size(); ++b) {
+                const double p = amps[b] * amps[b];
+                (((b >> j) & 1u) != 0 ? mass_one : mass_zero) += p;
+            }
+            const double recovered =
+                2.0 / std::numbers::pi *
+                std::atan2(std::sqrt(mass_one), std::sqrt(mass_zero));
+            EXPECT_NEAR(recovered, features[j], 1e-12)
+                << "trial " << trial << " feature " << j;
+        }
+    }
+}
+
+TEST(AngleEncoding, UnusedQubitsStayInGroundState) {
+    const std::vector<double> features{0.5};
+    const std::vector<double> amps = to_angle_amplitudes(features, 3);
+    // Only basis states with qubits 1..2 in |0> (indices 0 and 1) carry
+    // amplitude.
+    for (std::size_t b = 2; b < amps.size(); ++b) {
+        EXPECT_EQ(amps[b], 0.0) << "basis state " << b;
+    }
+    EXPECT_NEAR(amps[0] * amps[0] + amps[1] * amps[1], 1.0, 1e-12);
+}
+
+TEST(AngleEncoding, OutOfRangeFeatureNamesTheOffendingIndex) {
+    const std::vector<double> features{0.2, 0.3, 1.5};
+    try {
+        (void)to_angle_amplitudes(features, 3);
+        FAIL() << "expected contract_error";
+    } catch (const util::contract_error& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("feature 2"), std::string::npos) << message;
+        EXPECT_NE(message.find("[0, 1]"), std::string::npos) << message;
+    }
+    // The gate-level builder enforces the same contract.
+    EXPECT_THROW((void)angle_encoding_circuit(features, 3),
+                 util::contract_error);
+    const std::vector<double> negative{-0.2};
+    EXPECT_THROW((void)to_angle_amplitudes(negative, 1),
+                 util::contract_error);
+}
+
+TEST(AngleEncoding, ShapeContractsRejectNonsense) {
+    std::vector<double> out(8, 0.0);
+    // Too many features for the register.
+    const std::vector<double> wide{0.1, 0.2, 0.3, 0.4};
+    EXPECT_THROW(encode_angle_amplitudes(wide, 3, out),
+                 util::contract_error);
+    // Output buffer of the wrong dimension.
+    std::vector<double> small(4, 0.0);
+    const std::vector<double> one{0.1};
+    EXPECT_THROW(encode_angle_amplitudes(one, 3, small),
+                 util::contract_error);
+}
+
+TEST(AngleEncoding, DispatchersSelectTheRightEncoder) {
+    const std::vector<double> features{0.04, 0.08, 0.12};
+    const std::vector<double> amp =
+        to_encoded_amplitudes(encoding::amplitude, features, 3);
+    const std::vector<double> ang =
+        to_encoded_amplitudes(encoding::angle, features, 3);
+    EXPECT_EQ(amp, to_amplitudes(features, 3));
+    EXPECT_EQ(ang, to_angle_amplitudes(features, 3));
+
+    std::vector<double> out(8, 0.0);
+    encode_features(encoding::angle, features, 3, out);
+    EXPECT_EQ(out, ang);
+    encode_features(encoding::amplitude, features, 3, out);
+    EXPECT_EQ(out, amp);
+}
+
+} // namespace

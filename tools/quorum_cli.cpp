@@ -14,6 +14,10 @@
 //   --rate R              estimated anomaly rate (default 0.03)
 //   --bucket-prob P       bucket containment probability (default 0.75)
 //   --mode M              exact | sampled | per_shot | noisy (default sampled)
+//   --encoding E          amplitude (paper §IV-B, 2^n - 1 features per
+//                         register) or angle (one RY(pi·f) per qubit, n
+//                         features per register, O(n) prep depth;
+//                         default amplitude)
 //   --backend B           execution engine: auto | statevector | density |
 //                         sharded[:inner] | remote[:inner] | any registered
 //                         backend (default auto)
@@ -58,6 +62,7 @@
 #include "metrics/report.h"
 #include "metrics/roc.h"
 #include "qml/amplitude_encoding.h"
+#include "qml/angle_encoding.h"
 #include "qml/ansatz.h"
 #include "qml/autoencoder.h"
 #include "qsim/qasm.h"
@@ -87,6 +92,7 @@ void print_usage() {
         "             [--label-column K] [--no-header]\n"
         "             [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "             [--bucket-prob P] [--mode exact|sampled|per_shot|noisy]\n"
+        "             [--encoding amplitude|angle]\n"
         "             [--backend auto|NAME|sharded:NAME|remote:NAME]\n"
         "             [--shards N] [--workers N]\n"
         "             [--schedule static|dynamic[:grain]]\n"
@@ -239,6 +245,16 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 std::cerr << "unknown mode\n";
                 return false;
             }
+        } else if (arg == "--encoding") {
+            const char* v = next();
+            if (v == nullptr ||
+                !quorum::qml::parse_encoding(v, options.config.encoding)) {
+                if (v != nullptr) {
+                    std::cerr << "unknown encoding: " << v
+                              << " (amplitude | angle)\n";
+                }
+                return false;
+            }
         } else if (arg == "--backend") {
             const char* v = next();
             if (v == nullptr) {
@@ -328,6 +344,10 @@ int main(int argc, char** argv) {
                       << exec::parse_schedule_spec(options.config.schedule)
                              .str();
         }
+        if (options.config.encoding != qml::encoding::amplitude) {
+            std::cout << " encoding="
+                      << qml::encoding_name(options.config.encoding);
+        }
         std::cout << " groups=" << options.config.ensemble_groups
                   << " qubits=" << options.config.n_qubits
                   << " shots=" << options.config.shots << "\n";
@@ -384,11 +404,12 @@ int main(int argc, char** argv) {
             const auto params = qml::random_ansatz_params(
                 options.config.n_qubits, options.config.ansatz_layers, gen);
             std::vector<double> features(
-                std::min(qml::max_features(options.config.n_qubits),
+                std::min(qml::encoded_feature_count(options.config.encoding,
+                                                    options.config.n_qubits),
                          input.num_features()),
                 0.1);
-            const auto amps =
-                qml::to_amplitudes(features, options.config.n_qubits);
+            const auto amps = qml::to_encoded_amplitudes(
+                options.config.encoding, features, options.config.n_qubits);
             const qsim::circuit c =
                 qml::build_autoencoder_circuit(amps, params, 1);
             std::ofstream qasm_out(options.qasm_path);

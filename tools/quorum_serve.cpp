@@ -39,6 +39,7 @@
 #include "exec/schedule.h"
 #include "exec/serve_client.h"
 #include "exec/tcp_transport.h"
+#include "qml/angle_encoding.h"
 #include "util/contracts.h"
 #include "util/net.h"
 #include "util/parse.h"
@@ -48,6 +49,7 @@ namespace {
 namespace core = quorum::core;
 namespace data = quorum::data;
 namespace exec = quorum::exec;
+namespace qml = quorum::qml;
 namespace util = quorum::util;
 
 struct serve_options {
@@ -90,6 +92,7 @@ void print_usage() {
         "                        identical either way (default static)\n"
         "  --mode M              exact | sampled | per_shot | noisy\n"
         "                        (default sampled)\n"
+        "  --encoding E          amplitude | angle (default amplitude)\n"
         "  --groups N            ensemble groups (default 200)\n"
         "  --shots N             shots per circuit (default 4096)\n"
         "  --qubits N            data-register qubits (default 3)\n"
@@ -469,6 +472,9 @@ int main(int argc, char** argv) {
         } else if (arg == "--mode") {
             ok = value != nullptr &&
                  parse_mode(next(), options.config.mode);
+        } else if (arg == "--encoding") {
+            ok = value != nullptr &&
+                 qml::parse_encoding(next(), options.config.encoding);
         } else if (arg == "--groups") {
             ok = value != nullptr &&
                  parse_count(next(), options.config.ensemble_groups);

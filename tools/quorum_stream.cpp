@@ -11,6 +11,9 @@
 //
 // Options:
 //   --input PATH          CSV whose rows arrive in order (else --demo)
+//   --scenario S          demo stream family: drift (drifting clusters,
+//                         default) or sensors (correlated multivariate
+//                         sensor bank with stuck/spike faults)
 //   --out PATH            scores CSV (default: quorum_stream_scores.csv;
 //                         --output is an alias)
 //   --label-column K      0/1 label column for evaluation (-1 = none)
@@ -29,6 +32,7 @@
 //   --bucket-prob P       bucket containment probability (default 0.75)
 //   --mode M              exact | sampled | per_shot | noisy
 //                         (default sampled)
+//   --encoding E          amplitude | angle (default amplitude)
 //   --backend B           execution engine (default auto)
 //   --schedule S          span planning for wrapper backends: static or
 //                         dynamic[:grain] (identical scores; default
@@ -52,6 +56,7 @@
 #include "metrics/confusion.h"
 #include "metrics/report.h"
 #include "metrics/roc.h"
+#include "qml/angle_encoding.h"
 #include "stream/stream_scorer.h"
 #include "util/parse.h"
 #include "util/rng.h"
@@ -66,6 +71,7 @@ struct cli_options {
     bool has_header = true;
     bool demo = false;
     std::size_t top = 10;
+    std::string scenario = "drift";
     std::size_t demo_samples = 256;
     std::size_t demo_anomalies = 10;
     std::size_t demo_features = 8;
@@ -78,13 +84,15 @@ void print_usage() {
     std::cout <<
         "quorum_stream — online Quorum anomaly scoring over a stream\n"
         "\n"
-        "  quorum_stream --demo [--samples N] [--anomalies N]\n"
-        "                [--features N] [--drift A] [--drift-period P]\n"
+        "  quorum_stream --demo [--scenario drift|sensors] [--samples N]\n"
+        "                [--anomalies N] [--features N] [--drift A]\n"
+        "                [--drift-period P]\n"
         "  quorum_stream --input data.csv [--label-column K] [--no-header]\n"
         "  common: [--out scores.csv] [--window N] [--rebucket N]\n"
         "          [--groups N] [--shots N] [--qubits N] [--rate R]\n"
         "          [--bucket-prob P]\n"
         "          [--mode exact|sampled|per_shot|noisy] [--backend B]\n"
+        "          [--encoding amplitude|angle]\n"
         "          [--schedule static|dynamic[:grain]]\n"
         "          [--no-fused] [--seed S] [--top K]\n"
         "\n"
@@ -180,6 +188,17 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 }
                 return false;
             }
+        } else if (arg == "--scenario") {
+            const char* v = next();
+            if (v == nullptr) {
+                return false;
+            }
+            if (std::string(v) != "drift" && std::string(v) != "sensors") {
+                std::cerr << "unknown scenario: " << v
+                          << " (drift | sensors)\n";
+                return false;
+            }
+            options.scenario = v;
         } else if (arg == "--samples") {
             if (!next_count(options.demo_samples)) {
                 return false;
@@ -245,6 +264,17 @@ bool parse_arguments(int argc, char** argv, cli_options& options) {
                 std::cerr << "unknown mode\n";
                 return false;
             }
+        } else if (arg == "--encoding") {
+            const char* v = next();
+            if (v == nullptr ||
+                !quorum::qml::parse_encoding(
+                    v, options.config.detector.encoding)) {
+                if (v != nullptr) {
+                    std::cerr << "unknown encoding: " << v
+                              << " (amplitude | angle)\n";
+                }
+                return false;
+            }
         } else if (arg == "--backend") {
             const char* v = next();
             if (v == nullptr) {
@@ -301,19 +331,32 @@ int main(int argc, char** argv) {
         data::dataset input;
         if (options.demo) {
             util::rng gen(options.config.detector.seed);
-            data::stream_spec spec;
-            spec.base.name = "drifting_stream";
-            spec.base.samples = options.demo_samples;
-            spec.base.anomalies = options.demo_anomalies;
-            spec.base.features = options.demo_features;
-            spec.base.anomaly_shift = 0.3;
-            spec.drift_amplitude = options.drift_amplitude;
-            spec.drift_period = options.drift_period;
-            input = data::generate_drifting_stream(spec, gen);
-            std::cout << "demo stream: " << input.num_samples()
-                      << " arrivals, " << input.num_anomalies()
-                      << " planted anomalies, drift amplitude "
-                      << spec.drift_amplitude << "\n";
+            if (options.scenario == "sensors") {
+                data::sensor_stream_spec spec;
+                spec.base.name = "sensor_stream";
+                spec.base.samples = options.demo_samples;
+                spec.base.anomalies = options.demo_anomalies;
+                spec.base.features = options.demo_features;
+                input = data::generate_sensor_stream(spec, gen);
+                std::cout << "demo stream: " << input.num_samples()
+                          << " arrivals from a " << input.num_features()
+                          << "-sensor bank, " << input.num_anomalies()
+                          << " injected faults\n";
+            } else {
+                data::stream_spec spec;
+                spec.base.name = "drifting_stream";
+                spec.base.samples = options.demo_samples;
+                spec.base.anomalies = options.demo_anomalies;
+                spec.base.features = options.demo_features;
+                spec.base.anomaly_shift = 0.3;
+                spec.drift_amplitude = options.drift_amplitude;
+                spec.drift_period = options.drift_period;
+                input = data::generate_drifting_stream(spec, gen);
+                std::cout << "demo stream: " << input.num_samples()
+                          << " arrivals, " << input.num_anomalies()
+                          << " planted anomalies, drift amplitude "
+                          << spec.drift_amplitude << "\n";
+            }
         } else {
             data::csv_options csv;
             csv.has_header = options.has_header;
@@ -327,8 +370,11 @@ int main(int argc, char** argv) {
         stream::stream_scorer scorer(options.config, input.num_features());
         const core::quorum_config& detector = scorer.config().detector;
         std::cout << "scoring: mode=" << core::exec_mode_name(detector.mode)
-                  << " backend=" << detector.resolved_backend()
-                  << " groups=" << detector.ensemble_groups
+                  << " backend=" << detector.resolved_backend();
+        if (detector.encoding != qml::encoding::amplitude) {
+            std::cout << " encoding=" << qml::encoding_name(detector.encoding);
+        }
+        std::cout << " groups=" << detector.ensemble_groups
                   << " window=" << scorer.config().window
                   << " rebucket=" << scorer.config().rebucket_interval
                   << " qubits=" << detector.n_qubits
